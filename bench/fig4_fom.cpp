@@ -1,0 +1,52 @@
+// Fig. 4 — FOM optimization at 180nm (paper Sec. 4.1).
+//
+// Three circuits (two-stage OpAmp, three-stage OpAmp, bandgap), FOM of
+// Eq. 2, 10 random initial simulations, batch of 4.  Methods: KATO, MACE,
+// SMAC-RF, random search.  Expected shape: KATO reaches the highest FOM and
+// needs roughly half the simulations to match the best baseline.
+
+#include <iostream>
+
+#include "core/experiment.hpp"
+
+using namespace kato;
+
+int main() {
+  const auto seeds = core::seed_list(3);
+  std::cout << "== Fig. 4: FOM optimization (180nm), seeds=" << seeds.size()
+            << " ==\n";
+
+  for (const char* kind : {"opamp2", "opamp3", "bandgap"}) {
+    auto circuit = ckt::make_circuit(kind, "180nm");
+    util::Rng cal_rng(99);
+    const auto norm = ckt::calibrate_fom(*circuit, 300, cal_rng);
+
+    bo::BoConfig cfg = core::bench_config();
+    cfg.n_init = 10;
+    cfg.batch = 4;
+    cfg.iterations = 25;  // 10 + 100 simulations total
+
+    std::vector<core::MethodSeries> methods;
+    for (auto m : {bo::FomMethod::kato, bo::FomMethod::mace,
+                   bo::FomMethod::smac_rf, bo::FomMethod::random_search})
+      methods.push_back(core::run_fom_series(*circuit, norm, m, cfg, seeds));
+
+    core::print_series(std::cout, std::string("Fig.4 ") + circuit->name(),
+                       methods, 10);
+
+    // Speedup: simulations KATO needs to reach the best baseline's final
+    // median FOM.
+    double best_baseline = -1e18;
+    for (std::size_t i = 1; i < methods.size(); ++i)
+      best_baseline = std::max(best_baseline, methods[i].band.median.back());
+    const double kato_sims =
+        core::median_sims_to_reach(methods[0], best_baseline, false);
+    const double total = static_cast<double>(methods[0].band.median.size());
+    std::cout << "KATO final FOM " << util::fmt(methods[0].band.median.back(), 3)
+              << " vs best baseline " << util::fmt(best_baseline, 3)
+              << "; KATO reaches baseline-final FOM after "
+              << util::fmt(kato_sims, 0) << "/" << util::fmt(total, 0)
+              << " sims\n\n";
+  }
+  return 0;
+}

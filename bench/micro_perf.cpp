@@ -1,0 +1,117 @@
+// Microbenchmarks for the hot paths (google-benchmark): Neuk kernel-matrix
+// construction and backward pass, GP fit step and prediction, MNA DC solve
+// and AC sweep, NSGA-II generations.
+
+#include <benchmark/benchmark.h>
+
+#include "bo/surrogate.hpp"
+#include "circuits/factory.hpp"
+#include "gp/gp.hpp"
+#include "kernel/neuk.hpp"
+#include "moo/nsga2.hpp"
+#include "sim/ac.hpp"
+#include "sim/dc.hpp"
+#include "util/sampling.hpp"
+
+using namespace kato;
+
+namespace {
+
+la::Matrix random_points(std::size_t n, std::size_t d, std::uint64_t seed) {
+  util::Rng rng(seed);
+  la::Matrix x(n, d);
+  for (auto& v : x.data()) v = rng.uniform();
+  return x;
+}
+
+void bm_neuk_matrix(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(1);
+  kern::NeukConfig cfg;
+  kern::NeukKernel k(8, cfg, rng);
+  const auto x = random_points(n, 8, 2);
+  for (auto _ : state) benchmark::DoNotOptimize(k.matrix(x));
+}
+BENCHMARK(bm_neuk_matrix)->Arg(64)->Arg(128)->Arg(256);
+
+void bm_neuk_backward(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(1);
+  kern::NeukConfig cfg;
+  kern::NeukKernel k(8, cfg, rng);
+  const auto x = random_points(n, 8, 2);
+  la::Matrix dk(n, n, 1.0);
+  std::vector<double> grad(k.n_params());
+  for (auto _ : state) {
+    std::fill(grad.begin(), grad.end(), 0.0);
+    k.backward(x, dk, grad);
+    benchmark::DoNotOptimize(grad.data());
+  }
+}
+BENCHMARK(bm_neuk_backward)->Arg(64)->Arg(128);
+
+void bm_gp_fit_step(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(3);
+  kern::NeukConfig cfg;
+  gp::GaussianProcess model(std::make_unique<kern::NeukKernel>(8, cfg, rng));
+  const auto x = random_points(n, 8, 4);
+  la::Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) y[i] = std::sin(3.0 * x(i, 0)) + x(i, 1);
+  model.set_data(x, y);
+  gp::GpFitOptions opts;
+  opts.iterations = 1;
+  for (auto _ : state) {
+    model.fit(opts, rng);
+    benchmark::DoNotOptimize(model);
+  }
+}
+BENCHMARK(bm_gp_fit_step)->Arg(128)->Arg(256);
+
+void bm_gp_predict(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(5);
+  kern::NeukConfig cfg;
+  gp::GaussianProcess model(std::make_unique<kern::NeukKernel>(8, cfg, rng));
+  const auto x = random_points(n, 8, 6);
+  la::Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) y[i] = std::sin(3.0 * x(i, 0));
+  model.set_data(x, y);
+  const auto q = rng.uniform_vec(8);
+  for (auto _ : state) benchmark::DoNotOptimize(model.predict(q));
+}
+BENCHMARK(bm_gp_predict)->Arg(128)->Arg(320);
+
+void bm_dc_opamp2(benchmark::State& state) {
+  auto circuit = ckt::make_circuit("opamp2", "180nm");
+  const auto x = circuit->expert_design();
+  for (auto _ : state) benchmark::DoNotOptimize(circuit->evaluate(x));
+}
+BENCHMARK(bm_dc_opamp2);
+
+void bm_bandgap_eval(benchmark::State& state) {
+  auto circuit = ckt::make_circuit("bandgap", "180nm");
+  const auto x = circuit->expert_design();
+  for (auto _ : state) benchmark::DoNotOptimize(circuit->evaluate(x));
+}
+BENCHMARK(bm_bandgap_eval);
+
+void bm_nsga2(benchmark::State& state) {
+  auto fn = [](const std::vector<double>& x) {
+    double g = 0.0;
+    for (std::size_t i = 1; i < x.size(); ++i) g += x[i];
+    return std::vector<double>{x[0], 1.0 + g - std::sqrt(x[0] / (1.0 + g))};
+  };
+  moo::Nsga2Options opts;
+  opts.population = 32;
+  opts.generations = 20;
+  for (auto _ : state) {
+    util::Rng rng(7);
+    benchmark::DoNotOptimize(moo::nsga2(fn, 8, 2, opts, rng));
+  }
+}
+BENCHMARK(bm_nsga2);
+
+}  // namespace
+
+BENCHMARK_MAIN();

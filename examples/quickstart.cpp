@@ -1,0 +1,49 @@
+// Quickstart: size the 180nm two-stage OpAmp with KATO.
+//
+//   minimize Itotal   s.t.  Gain > 60 dB, PM > 60 deg, GBW > 4 MHz   (Eq. 15)
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <iostream>
+
+#include "core/kato.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace kato;
+
+  auto circuit = ckt::make_circuit("opamp2", "180nm");
+  std::cout << "Sizing " << circuit->name() << " (" << circuit->dim()
+            << " design variables)\n";
+
+  KatoOptimizer optimizer(*circuit);
+  optimizer.config().n_init = 60;      // random simulations to seed the GPs
+  optimizer.config().iterations = 10;  // BO iterations x batch of 4
+  const auto result = optimizer.optimize(/*seed=*/1);
+
+  if (result.best_metrics.empty()) {
+    std::cout << "No feasible design found — raise the budget.\n";
+    return 1;
+  }
+
+  std::cout << "\nBest design found after " << result.trace.size()
+            << " simulations:\n";
+  util::Table vars({"variable", "value"});
+  const auto physical = circuit->space().to_physical(result.best_x);
+  for (std::size_t i = 0; i < circuit->dim(); ++i)
+    vars.add_row(circuit->space().names[i], {physical[i]}, 12);
+  std::cout << vars.to_string();
+
+  util::Table metrics({"metric", "value", "spec"});
+  metrics.add_row({circuit->objective_name(),
+                   util::fmt(result.best_metrics[0], 2), "minimize"});
+  for (std::size_t c = 0; c < circuit->constraints().size(); ++c) {
+    const auto& spec = circuit->constraints()[c];
+    metrics.add_row({spec.name + "(" + spec.unit + ")",
+                     util::fmt(result.best_metrics[1 + c], 2),
+                     (spec.is_lower_bound ? "> " : "< ") +
+                         util::fmt(spec.bound, 0)});
+  }
+  std::cout << metrics.to_string();
+  return 0;
+}

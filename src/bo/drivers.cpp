@@ -1,0 +1,574 @@
+#include "bo/drivers.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "rf/random_forest.hpp"
+#include "util/sampling.hpp"
+
+namespace kato::bo {
+
+namespace {
+
+constexpr double k_inf = std::numeric_limits<double>::infinity();
+
+/// Shared bookkeeping: simulate, record history, maintain the running best.
+class ConstrainedState {
+ public:
+  ConstrainedState(const ckt::SizingCircuit& circuit) : circuit_(circuit) {}
+
+  /// Simulate one design; returns true when it improved the incumbent.
+  bool simulate(const std::vector<double>& x) {
+    const auto metrics = circuit_.evaluate(x);
+    result_.x_history.push_back(x);
+    result_.metrics_history.push_back(metrics);
+    bool improved = false;
+    if (metrics) {
+      xs_.push_back(x);
+      ys_.push_back(*metrics);
+      if (circuit_.feasible(*metrics) && (*metrics)[0] < best_) {
+        best_ = (*metrics)[0];
+        result_.best_x = x;
+        result_.best_metrics = *metrics;
+        improved = true;
+      }
+    }
+    result_.trace.push_back(best_);
+    return improved;
+  }
+
+  double best() const { return best_; }
+  std::size_t n_valid() const { return xs_.size(); }
+  const ckt::SizingCircuit& circuit() const { return circuit_; }
+  RunResult take_result() { return std::move(result_); }
+
+  /// Training matrices capped at `max_points`: all feasible designs are
+  /// kept (they anchor the incumbent region), the remainder filled with the
+  /// most recent simulations.
+  void training_data(std::size_t max_points, la::Matrix& x, la::Matrix& y) const {
+    std::vector<std::size_t> keep;
+    if (xs_.size() <= max_points) {
+      keep.resize(xs_.size());
+      for (std::size_t i = 0; i < keep.size(); ++i) keep[i] = i;
+    } else {
+      std::vector<char> taken(xs_.size(), 0);
+      for (std::size_t i = 0; i < xs_.size(); ++i)
+        if (circuit_.feasible(ys_[i]) && keep.size() < max_points) {
+          keep.push_back(i);
+          taken[i] = 1;
+        }
+      for (std::size_t i = xs_.size(); i-- > 0 && keep.size() < max_points;)
+        if (!taken[i]) keep.push_back(i);
+      std::sort(keep.begin(), keep.end());
+    }
+    x = la::Matrix(keep.size(), circuit_.dim());
+    y = la::Matrix(keep.size(), circuit_.n_metrics());
+    for (std::size_t r = 0; r < keep.size(); ++r) {
+      x.set_row(r, xs_[keep[r]]);
+      y.set_row(r, ys_[keep[r]]);
+    }
+  }
+
+  /// Up to `count` best feasible designs (NSGA-II seeds).
+  std::vector<std::vector<double>> incumbent_seeds(std::size_t count) const {
+    std::vector<std::pair<double, std::size_t>> feas;
+    for (std::size_t i = 0; i < xs_.size(); ++i)
+      if (circuit_.feasible(ys_[i])) feas.push_back({ys_[i][0], i});
+    std::sort(feas.begin(), feas.end());
+    std::vector<std::vector<double>> seeds;
+    for (std::size_t k = 0; k < feas.size() && k < count; ++k)
+      seeds.push_back(xs_[feas[k].second]);
+    return seeds;
+  }
+
+ private:
+  const ckt::SizingCircuit& circuit_;
+  RunResult result_;
+  std::vector<std::vector<double>> xs_;  ///< valid sims only
+  std::vector<std::vector<double>> ys_;
+  double best_ = k_inf;
+};
+
+/// Greedy top-k distinct designs from a scored candidate pool.
+std::vector<std::vector<double>> top_k_distinct(
+    std::vector<std::pair<double, std::vector<double>>>& scored, std::size_t k,
+    std::size_t dim, util::Rng& rng) {
+  std::sort(scored.begin(), scored.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::vector<std::vector<double>> batch;
+  for (const auto& [score, x] : scored) {
+    if (batch.size() >= k) break;
+    bool dup = false;
+    for (const auto& chosen : batch) {
+      double d2 = 0.0;
+      for (std::size_t j = 0; j < dim; ++j)
+        d2 += (x[j] - chosen[j]) * (x[j] - chosen[j]);
+      if (d2 < 1e-6) {
+        dup = true;
+        break;
+      }
+    }
+    if (!dup) batch.push_back(x);
+  }
+  while (batch.size() < k) batch.push_back(rng.uniform_vec(dim));
+  return batch;
+}
+
+/// Candidate pool for the scalarized baselines: random exploration plus
+/// Gaussian perturbations of the incumbent seeds.
+std::vector<std::vector<double>> candidate_pool(
+    const std::vector<std::vector<double>>& seeds, std::size_t dim,
+    util::Rng& rng) {
+  std::vector<std::vector<double>> pool;
+  for (int i = 0; i < 1200; ++i) pool.push_back(rng.uniform_vec(dim));
+  for (const auto& s : seeds)
+    for (int i = 0; i < 80; ++i) {
+      auto x = s;
+      for (auto& v : x) v = std::clamp(v + 0.05 * rng.normal(), 0.0, 1.0);
+      pool.push_back(std::move(x));
+    }
+  return pool;
+}
+
+}  // namespace
+
+const char* to_string(FomMethod m) {
+  switch (m) {
+    case FomMethod::kato: return "KATO";
+    case FomMethod::mace: return "MACE";
+    case FomMethod::smac_rf: return "SMAC-RF";
+    case FomMethod::random_search: return "RS";
+    case FomMethod::tlmbo: return "TLMBO";
+  }
+  return "?";
+}
+
+const char* to_string(ConstrainedMethod m) {
+  switch (m) {
+    case ConstrainedMethod::kato: return "KATO";
+    case ConstrainedMethod::mace_full: return "MACE";
+    case ConstrainedMethod::mesmoc: return "MESMOC";
+    case ConstrainedMethod::usemoc: return "USEMOC";
+  }
+  return "?";
+}
+
+TransferSource build_transfer_source(const ckt::SizingCircuit& circuit,
+                                     std::size_t n_samples, KernelKind kind,
+                                     std::uint64_t seed) {
+  util::Rng rng(seed);
+  TransferSource src;
+  src.dim = circuit.dim();
+  src.fom_norm = ckt::calibrate_fom(circuit, 200, rng);
+
+  std::vector<std::vector<double>> xs;
+  std::vector<std::vector<double>> ys;
+  std::vector<double> foms;
+  while (xs.size() < n_samples) {
+    const auto x = rng.uniform_vec(circuit.dim());
+    const auto m = circuit.evaluate(x);
+    if (!m) continue;
+    xs.push_back(x);
+    ys.push_back(*m);
+    foms.push_back(ckt::fom_value(src.fom_norm, *m));
+  }
+  src.x = la::Matrix::from_points(xs);
+  src.y = la::Matrix(ys.size(), circuit.n_metrics());
+  for (std::size_t i = 0; i < ys.size(); ++i) src.y.set_row(i, ys[i]);
+
+  gp::GpFitOptions fit;
+  fit.iterations = 120;
+  util::Rng fit_rng = rng.split();
+  src.metric_model = std::make_shared<gp::MultiGp>(
+      circuit.n_metrics(), [&] { return make_kernel(kind, circuit.dim(), fit_rng); });
+  src.metric_model->set_data(src.x, src.y);
+  src.metric_model->fit(fit, fit_rng);
+
+  // Single-output view for FOM-mode transfer: model -FOM (minimization).
+  la::Matrix neg_fom(foms.size(), 1);
+  for (std::size_t i = 0; i < foms.size(); ++i) neg_fom(i, 0) = -foms[i];
+  src.fom_model = std::make_shared<gp::MultiGp>(
+      1, [&] { return make_kernel(kind, circuit.dim(), fit_rng); });
+  src.fom_model->set_data(src.x, neg_fom);
+  src.fom_model->fit(fit, fit_rng);
+  return src;
+}
+
+// ---------------------------------------------------------------------------
+// Constrained mode.
+
+RunResult run_constrained(const ckt::SizingCircuit& circuit,
+                          ConstrainedMethod method, const BoConfig& config,
+                          std::uint64_t seed, const TransferSource* source) {
+  util::Rng rng(seed);
+  ConstrainedState state(circuit);
+  const std::size_t dim = circuit.dim();
+  const auto& specs = circuit.constraints();
+
+  // Initial random design set.
+  for (std::size_t i = 0; i < config.n_init; ++i)
+    (void)state.simulate(rng.uniform_vec(dim));
+
+  // Surrogates.
+  util::Rng model_rng = rng.split();
+  auto self_model = std::make_unique<GpSurrogate>(
+      dim, circuit.n_metrics(),
+      method == ConstrainedMethod::kato ? KernelKind::neuk : KernelKind::rbf,
+      config.gp_initial, config.gp_refit, model_rng);
+  std::unique_ptr<KatSurrogate> kat_model;
+  const bool transfer = method == ConstrainedMethod::kato && source != nullptr;
+  if (transfer)
+    kat_model = std::make_unique<KatSurrogate>(source->metric_model.get(), dim,
+                                               circuit.n_metrics(), config.kat,
+                                               model_rng);
+
+  // STL weights (Alg. 1): initialized with the sample counts.
+  double w_kat = transfer ? static_cast<double>(source->x.rows()) : 0.0;
+  double w_self = static_cast<double>(config.n_init);
+
+  MaceOptions mace_opts;
+  mace_opts.ucb_beta = config.ucb_beta;
+  mace_opts.nsga = config.nsga;
+
+  for (std::size_t it = 0; it < config.iterations; ++it) {
+    if (state.n_valid() < 4) {  // not enough data to model: explore
+      for (std::size_t b = 0; b < config.batch; ++b)
+        (void)state.simulate(rng.uniform_vec(dim));
+      continue;
+    }
+    la::Matrix x;
+    la::Matrix y;
+    state.training_data(config.max_gp_points, x, y);
+    const bool hyper = it % config.hyper_every == 0;
+    self_model->refit(x, y, model_rng, hyper);
+    if (transfer) kat_model->refit(x, y, model_rng, hyper);
+
+    const double y_best = state.best();
+    const auto seeds = state.incumbent_seeds(4);
+
+    switch (method) {
+      case ConstrainedMethod::kato: {
+        mace_opts.variant = config.kato_variant;
+        if (transfer && config.use_stl) {
+          // Alg. 1: split the batch between the two proposal sets by weight.
+          const auto p_kat =
+              mace_proposals(*kat_model, specs, y_best, mace_opts, rng, seeds);
+          const auto p_self =
+              mace_proposals(*self_model, specs, y_best, mace_opts, rng, seeds);
+          const auto n_kat = static_cast<std::size_t>(std::lround(
+              w_kat / (w_kat + w_self) * static_cast<double>(config.batch)));
+          const auto a_kat = select_batch(p_kat, n_kat, dim, rng);
+          const auto a_self =
+              select_batch(p_self, config.batch - n_kat, dim, rng);
+          for (const auto& cand : a_kat)
+            if (state.simulate(cand)) w_kat += 1.0;  // Eq. 14
+          for (const auto& cand : a_self)
+            if (state.simulate(cand)) w_self += 1.0;
+        } else if (transfer) {
+          // Transfer without STL: trust KAT-GP exclusively (ablation mode).
+          const auto p =
+              mace_proposals(*kat_model, specs, y_best, mace_opts, rng, seeds);
+          for (const auto& cand : select_batch(p, config.batch, dim, rng))
+            (void)state.simulate(cand);
+        } else {
+          const auto p =
+              mace_proposals(*self_model, specs, y_best, mace_opts, rng, seeds);
+          for (const auto& cand : select_batch(p, config.batch, dim, rng))
+            (void)state.simulate(cand);
+        }
+        break;
+      }
+      case ConstrainedMethod::mace_full: {
+        mace_opts.variant = MaceVariant::full;
+        const auto p =
+            mace_proposals(*self_model, specs, y_best, mace_opts, rng, seeds);
+        for (const auto& cand : select_batch(p, config.batch, dim, rng))
+          (void)state.simulate(cand);
+        break;
+      }
+      case ConstrainedMethod::mesmoc: {
+        // Exploitation-heavy feasible lower-confidence-bound (see DESIGN.md).
+        auto pool = candidate_pool(seeds, dim, rng);
+        std::vector<std::pair<double, std::vector<double>>> scored;
+        scored.reserve(pool.size());
+        for (auto& cand : pool) {
+          const auto preds = self_model->predict(cand);
+          const std::vector<gp::GpPrediction> cons(preds.begin() + 1, preds.end());
+          const double pf = probability_of_feasibility(cons, specs);
+          const double lcb = std::isfinite(y_best)
+                                 ? ucb_improvement(preds[0], y_best, 0.5)
+                                 : 1.0;
+          scored.push_back({pf * lcb, std::move(cand)});
+        }
+        for (const auto& cand : top_k_distinct(scored, config.batch, dim, rng))
+          (void)state.simulate(cand);
+        break;
+      }
+      case ConstrainedMethod::usemoc: {
+        // Uncertainty-aware search: total predictive spread gated by PF.
+        auto pool = candidate_pool(seeds, dim, rng);
+        std::vector<std::pair<double, std::vector<double>>> scored;
+        scored.reserve(pool.size());
+        for (auto& cand : pool) {
+          const auto preds = self_model->predict(cand);
+          const std::vector<gp::GpPrediction> cons(preds.begin() + 1, preds.end());
+          const double pf = probability_of_feasibility(cons, specs);
+          double spread = 0.0;
+          for (const auto& p : preds) spread += std::sqrt(std::max(p.var, 0.0));
+          scored.push_back({spread * std::sqrt(pf), std::move(cand)});
+        }
+        for (const auto& cand : top_k_distinct(scored, config.batch, dim, rng))
+          (void)state.simulate(cand);
+        break;
+      }
+    }
+  }
+
+  RunResult result = state.take_result();
+  result.stl_w_kat = w_kat;
+  result.stl_w_self = w_self;
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// FOM mode.
+
+namespace {
+
+/// GP surrogate whose mean is offset by a frozen source model — the
+/// TLMBO-lite technology-transfer baseline (see DESIGN.md).
+class ResidualSurrogate final : public Surrogate {
+ public:
+  ResidualSurrogate(const gp::MultiGp* source, std::size_t dim,
+                    const gp::GpFitOptions& initial_fit,
+                    const gp::GpFitOptions& refit, util::Rng& rng)
+      : source_(source),
+        residual_(dim, 1, KernelKind::rbf, initial_fit, refit, rng) {}
+
+  std::string name() const override { return "tlmbo"; }
+  std::size_t n_metrics() const override { return 1; }
+  std::size_t input_dim() const override { return residual_.input_dim(); }
+
+  void refit(const la::Matrix& x, const la::Matrix& y, util::Rng& rng,
+             bool train_hyper = true) override {
+    la::Matrix res(x.rows(), 1);
+    for (std::size_t i = 0; i < x.rows(); ++i)
+      res(i, 0) = y(i, 0) - source_->metric(0).predict(x.row(i)).mean;
+    residual_.refit(x, res, rng, train_hyper);
+  }
+
+  std::vector<gp::GpPrediction> predict(std::span<const double> x) const override {
+    const auto src = source_->metric(0).predict(x);
+    auto pred = residual_.predict(x);
+    pred[0].mean += src.mean;
+    pred[0].var += 0.25 * src.var;  // deflated: the source is a prior, not data
+    return pred;
+  }
+
+ private:
+  const gp::MultiGp* source_;
+  GpSurrogate residual_;
+};
+
+class FomState {
+ public:
+  FomState(const ckt::SizingCircuit& circuit, const ckt::FomNormalization& norm)
+      : circuit_(circuit), norm_(norm) {}
+
+  bool simulate(const std::vector<double>& x) {
+    const auto metrics = circuit_.evaluate(x);
+    result_.x_history.push_back(x);
+    result_.metrics_history.push_back(metrics);
+    bool improved = false;
+    if (metrics) {
+      const double fom = ckt::fom_value(norm_, *metrics);
+      xs_.push_back(x);
+      neg_fom_.push_back(-fom);
+      if (fom > best_) {
+        best_ = fom;
+        result_.best_x = x;
+        result_.best_metrics = *metrics;
+        improved = true;
+      }
+    }
+    result_.trace.push_back(best_);
+    return improved;
+  }
+
+  double best_neg() const { return -best_; }
+  std::size_t n_valid() const { return xs_.size(); }
+  const std::vector<std::vector<double>>& xs() const { return xs_; }
+  const std::vector<double>& neg_fom() const { return neg_fom_; }
+  RunResult take_result() { return std::move(result_); }
+
+  void training_data(std::size_t max_points, la::Matrix& x, la::Matrix& y) const {
+    // Keep the best + most recent points under the cap.
+    std::vector<std::size_t> keep;
+    if (xs_.size() <= max_points) {
+      keep.resize(xs_.size());
+      for (std::size_t i = 0; i < keep.size(); ++i) keep[i] = i;
+    } else {
+      std::vector<std::size_t> order(xs_.size());
+      for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+      std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return neg_fom_[a] < neg_fom_[b];
+      });
+      keep.assign(order.begin(), order.begin() + max_points / 2);
+      for (std::size_t i = xs_.size(); i-- > 0 && keep.size() < max_points;) {
+        if (std::find(keep.begin(), keep.end(), i) == keep.end())
+          keep.push_back(i);
+      }
+      std::sort(keep.begin(), keep.end());
+    }
+    x = la::Matrix(keep.size(), circuit_.dim());
+    y = la::Matrix(keep.size(), 1);
+    for (std::size_t r = 0; r < keep.size(); ++r) {
+      x.set_row(r, xs_[keep[r]]);
+      y(r, 0) = neg_fom_[keep[r]];
+    }
+  }
+
+  std::vector<std::vector<double>> incumbent_seeds(std::size_t count) const {
+    std::vector<std::size_t> order(xs_.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return neg_fom_[a] < neg_fom_[b];
+    });
+    std::vector<std::vector<double>> seeds;
+    for (std::size_t k = 0; k < order.size() && k < count; ++k)
+      seeds.push_back(xs_[order[k]]);
+    return seeds;
+  }
+
+ private:
+  const ckt::SizingCircuit& circuit_;
+  const ckt::FomNormalization& norm_;
+  RunResult result_;
+  std::vector<std::vector<double>> xs_;
+  std::vector<double> neg_fom_;
+  double best_ = -k_inf;
+};
+
+}  // namespace
+
+RunResult run_fom(const ckt::SizingCircuit& circuit,
+                  const ckt::FomNormalization& norm, FomMethod method,
+                  const BoConfig& config, std::uint64_t seed,
+                  const TransferSource* source) {
+  util::Rng rng(seed);
+  FomState state(circuit, norm);
+  const std::size_t dim = circuit.dim();
+
+  for (std::size_t i = 0; i < config.n_init; ++i)
+    (void)state.simulate(rng.uniform_vec(dim));
+
+  if (method == FomMethod::random_search) {
+    for (std::size_t i = 0; i < config.batch * config.iterations; ++i)
+      (void)state.simulate(rng.uniform_vec(dim));
+    return state.take_result();
+  }
+  if (method == FomMethod::tlmbo && source == nullptr)
+    throw std::invalid_argument("run_fom: tlmbo requires a transfer source");
+
+  util::Rng model_rng = rng.split();
+  std::unique_ptr<Surrogate> model;
+  std::unique_ptr<KatSurrogate> kat_model;
+  const bool transfer = method == FomMethod::kato && source != nullptr;
+  switch (method) {
+    case FomMethod::kato:
+      model = std::make_unique<GpSurrogate>(dim, 1, KernelKind::neuk,
+                                            config.gp_initial, config.gp_refit,
+                                            model_rng);
+      if (transfer)
+        kat_model = std::make_unique<KatSurrogate>(source->fom_model.get(), dim,
+                                                   1, config.kat, model_rng);
+      break;
+    case FomMethod::mace:
+      model = std::make_unique<GpSurrogate>(dim, 1, KernelKind::rbf,
+                                            config.gp_initial, config.gp_refit,
+                                            model_rng);
+      break;
+    case FomMethod::tlmbo:
+      model = std::make_unique<ResidualSurrogate>(source->fom_model.get(), dim,
+                                                  config.gp_initial,
+                                                  config.gp_refit, model_rng);
+      break;
+    case FomMethod::smac_rf:
+    case FomMethod::random_search:
+      break;
+  }
+
+  rf::RandomForest forest;
+
+  double w_kat = transfer ? static_cast<double>(source->x.rows()) : 0.0;
+  double w_self = static_cast<double>(config.n_init);
+
+  MaceOptions mace_opts;
+  mace_opts.ucb_beta = config.ucb_beta;
+  mace_opts.nsga = config.nsga;
+
+  for (std::size_t it = 0; it < config.iterations; ++it) {
+    if (state.n_valid() < 4) {
+      for (std::size_t b = 0; b < config.batch; ++b)
+        (void)state.simulate(rng.uniform_vec(dim));
+      continue;
+    }
+    const double y_best = state.best_neg();
+    const auto seeds = state.incumbent_seeds(4);
+
+    if (method == FomMethod::smac_rf) {
+      forest.fit(state.xs(), state.neg_fom(), model_rng);
+      auto pool = candidate_pool(seeds, dim, rng);
+      std::vector<std::pair<double, std::vector<double>>> scored;
+      scored.reserve(pool.size());
+      for (auto& cand : pool) {
+        const auto p = forest.predict(cand);
+        scored.push_back(
+            {expected_improvement({p.mean, p.var}, y_best), std::move(cand)});
+      }
+      for (const auto& cand : top_k_distinct(scored, config.batch, dim, rng))
+        (void)state.simulate(cand);
+      continue;
+    }
+
+    la::Matrix x;
+    la::Matrix y;
+    state.training_data(config.max_gp_points, x, y);
+    const bool hyper = it % config.hyper_every == 0;
+    model->refit(x, y, model_rng, hyper);
+    if (transfer) kat_model->refit(x, y, model_rng, hyper);
+
+    if (transfer && config.use_stl) {
+      const auto p_kat =
+          mace_proposals_unconstrained(*kat_model, y_best, mace_opts, rng, seeds);
+      const auto p_self =
+          mace_proposals_unconstrained(*model, y_best, mace_opts, rng, seeds);
+      const auto n_kat = static_cast<std::size_t>(std::lround(
+          w_kat / (w_kat + w_self) * static_cast<double>(config.batch)));
+      for (const auto& cand : select_batch(p_kat, n_kat, dim, rng))
+        if (state.simulate(cand)) w_kat += 1.0;
+      for (const auto& cand :
+           select_batch(p_self, config.batch - n_kat, dim, rng))
+        if (state.simulate(cand)) w_self += 1.0;
+    } else if (transfer) {
+      const auto p =
+          mace_proposals_unconstrained(*kat_model, y_best, mace_opts, rng, seeds);
+      for (const auto& cand : select_batch(p, config.batch, dim, rng))
+        (void)state.simulate(cand);
+    } else {
+      const auto p =
+          mace_proposals_unconstrained(*model, y_best, mace_opts, rng, seeds);
+      for (const auto& cand : select_batch(p, config.batch, dim, rng))
+        (void)state.simulate(cand);
+    }
+  }
+
+  RunResult result = state.take_result();
+  result.stl_w_kat = w_kat;
+  result.stl_w_self = w_self;
+  return result;
+}
+
+}  // namespace kato::bo

@@ -1,0 +1,101 @@
+#include "bo/mace.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace kato::bo {
+
+namespace {
+
+/// Objective metric GP scale for violation normalization.
+std::vector<double> constraint_scales(const Surrogate& surrogate,
+                                      std::size_t n_constraints) {
+  // Scales are folded into the GP standardization already; use unit scales.
+  (void)surrogate;
+  return std::vector<double>(n_constraints, 1.0);
+}
+
+}  // namespace
+
+moo::ParetoSet mace_proposals(const Surrogate& surrogate,
+                              const std::vector<ckt::MetricSpec>& specs,
+                              double y_best, const MaceOptions& options,
+                              util::Rng& rng,
+                              const std::vector<std::vector<double>>& seeds) {
+  const bool have_incumbent = std::isfinite(y_best);
+  const std::size_t n_obj = options.variant == MaceVariant::modified ? 3 : 6;
+  const auto scales = constraint_scales(surrogate, specs.size());
+
+  auto objective = [&](const std::vector<double>& x) {
+    const auto preds = surrogate.predict(x);
+    const gp::GpPrediction obj = preds.front();
+    const std::vector<gp::GpPrediction> cons(preds.begin() + 1, preds.end());
+    const double pf = probability_of_feasibility(cons, specs);
+
+    // Without a feasible incumbent the improvement acquisitions are
+    // undefined; search feasibility (PF) with an exploration tiebreak.
+    const double sigma = std::sqrt(std::max(obj.var, 1e-18));
+    const double ei = have_incumbent ? expected_improvement(obj, y_best) : sigma;
+    const double pi = have_incumbent ? probability_of_improvement(obj, y_best)
+                                     : pf;
+    const double ucb = have_incumbent
+                           ? ucb_improvement(obj, y_best, options.ucb_beta)
+                           : sigma;
+
+    if (options.variant == MaceVariant::modified) {
+      // Eq. 13: maximize {UCB, PI, EI} x PF  ==  minimize the negations.
+      return std::vector<double>{-ei * pf, -pi * pf, -ucb * pf};
+    }
+    return std::vector<double>{-ei,
+                               -pi,
+                               -ucb,
+                               -pf,
+                               total_violation(cons, specs, scales),
+                               total_violation_scaled(cons, specs)};
+  };
+
+  // NSGA genes = design variables in the unit box.
+  const std::size_t dim = surrogate.input_dim();
+  return moo::nsga2(objective, dim, n_obj, options.nsga, rng, seeds);
+}
+
+moo::ParetoSet mace_proposals_unconstrained(
+    const Surrogate& surrogate, double y_best, const MaceOptions& options,
+    util::Rng& rng, const std::vector<std::vector<double>>& seeds) {
+  auto objective = [&](const std::vector<double>& x) {
+    const gp::GpPrediction obj = surrogate.predict(x).front();
+    return std::vector<double>{
+        -expected_improvement(obj, y_best),
+        -probability_of_improvement(obj, y_best),
+        -ucb_improvement(obj, y_best, options.ucb_beta)};
+  };
+  const std::size_t dim = surrogate.input_dim();
+  return moo::nsga2(objective, dim, 3, options.nsga, rng, seeds);
+}
+
+std::vector<std::vector<double>> select_batch(const moo::ParetoSet& set,
+                                              std::size_t count, std::size_t dim,
+                                              util::Rng& rng) {
+  std::vector<std::vector<double>> batch;
+  if (!set.x.empty()) {
+    const auto order = rng.permutation(set.x.size());
+    for (std::size_t k = 0; k < order.size() && batch.size() < count; ++k) {
+      const auto& cand = set.x[order[k]];
+      bool duplicate = false;
+      for (const auto& chosen : batch) {
+        double d2 = 0.0;
+        for (std::size_t j = 0; j < dim; ++j)
+          d2 += (cand[j] - chosen[j]) * (cand[j] - chosen[j]);
+        if (d2 < 1e-10) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (!duplicate) batch.push_back(cand);
+    }
+  }
+  while (batch.size() < count) batch.push_back(rng.uniform_vec(dim));
+  return batch;
+}
+
+}  // namespace kato::bo

@@ -1,0 +1,70 @@
+#include "bo/surrogate.hpp"
+
+namespace kato::bo {
+
+std::unique_ptr<kern::Kernel> make_kernel(KernelKind kind, std::size_t dim,
+                                          util::Rng& rng) {
+  switch (kind) {
+    case KernelKind::neuk: {
+      kern::NeukConfig cfg;
+      return std::make_unique<kern::NeukKernel>(dim, cfg, rng);
+    }
+    case KernelKind::rbf:
+      return std::make_unique<kern::StationaryArd>(kern::StationaryType::rbf, dim);
+    case KernelKind::matern52:
+      return std::make_unique<kern::StationaryArd>(kern::StationaryType::matern52,
+                                                   dim);
+  }
+  throw std::logic_error("make_kernel: unknown kind");
+}
+
+GpSurrogate::GpSurrogate(std::size_t dim, std::size_t n_metrics, KernelKind kind,
+                         const gp::GpFitOptions& initial_fit,
+                         const gp::GpFitOptions& refit, util::Rng& rng)
+    : dim_(dim),
+      kind_(kind),
+      model_(n_metrics, [&] { return make_kernel(kind, dim, rng); }),
+      initial_fit_(initial_fit),
+      refit_(refit) {}
+
+std::string GpSurrogate::name() const {
+  switch (kind_) {
+    case KernelKind::neuk: return "neuk-gp";
+    case KernelKind::rbf: return "rbf-gp";
+    case KernelKind::matern52: return "matern52-gp";
+  }
+  return "gp";
+}
+
+void GpSurrogate::refit(const la::Matrix& x, const la::Matrix& y, util::Rng& rng,
+                        bool train_hyper) {
+  model_.set_data(x, y);  // refreshes the posterior at current hyperparams
+  if (train_hyper || !fitted_) {
+    model_.fit(fitted_ ? refit_ : initial_fit_, rng);
+    fitted_ = true;
+  }
+}
+
+std::vector<gp::GpPrediction> GpSurrogate::predict(std::span<const double> x) const {
+  return model_.predict(x);
+}
+
+KatSurrogate::KatSurrogate(const gp::MultiGp* source, std::size_t target_dim,
+                           std::size_t target_metrics,
+                           const gp::KatGpConfig& config, util::Rng& rng)
+    : dim_(target_dim), model_(source, target_dim, target_metrics, config, rng) {}
+
+void KatSurrogate::refit(const la::Matrix& x, const la::Matrix& y, util::Rng& rng,
+                         bool train_hyper) {
+  model_.set_target_data(x, y);
+  if (train_hyper || !fitted_) {
+    model_.fit(rng);
+    fitted_ = true;
+  }
+}
+
+std::vector<gp::GpPrediction> KatSurrogate::predict(std::span<const double> x) const {
+  return model_.predict(x);
+}
+
+}  // namespace kato::bo

@@ -1,0 +1,17 @@
+#include "circuits/factory.hpp"
+
+#include <stdexcept>
+
+namespace kato::ckt {
+
+std::unique_ptr<SizingCircuit> make_circuit(const std::string& kind,
+                                            const std::string& node) {
+  const Pdk& pdk = pdk_by_name(node);
+  if (kind == "opamp2") return std::make_unique<TwoStageOpAmp>(pdk);
+  if (kind == "opamp3") return std::make_unique<ThreeStageOpAmp>(pdk);
+  if (kind == "bandgap") return std::make_unique<BandgapReference>(pdk);
+  if (kind == "stage2") return std::make_unique<SecondStageAmp>(pdk);
+  throw std::invalid_argument("make_circuit: unknown kind " + kind);
+}
+
+}  // namespace kato::ckt

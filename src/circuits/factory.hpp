@@ -1,0 +1,16 @@
+#pragma once
+// Convenience factory for the evaluation circuits.
+
+#include <memory>
+#include <string>
+
+#include "circuits/bandgap.hpp"
+#include "circuits/opamp.hpp"
+
+namespace kato::ckt {
+
+/// kind in {"opamp2", "opamp3", "bandgap", "stage2"}, node in {"180nm", "40nm"}.
+std::unique_ptr<SizingCircuit> make_circuit(const std::string& kind,
+                                            const std::string& node);
+
+}  // namespace kato::ckt

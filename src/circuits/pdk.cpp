@@ -1,0 +1,73 @@
+#include "circuits/pdk.hpp"
+
+#include <stdexcept>
+
+namespace kato::ckt {
+
+namespace {
+
+Pdk make_180nm() {
+  Pdk p;
+  p.name = "180nm";
+  p.vdd = 1.8;
+  p.lmin = 0.18e-6;
+  p.lmax = 2.0e-6;
+
+  p.nmos.nmos = true;
+  p.nmos.vth0 = 0.50;
+  p.nmos.kp = 170e-6;
+  p.nmos.lambda_coef = 0.06e-6;
+  p.nmos.cox = 8.5e-3;
+  p.nmos.cgdo = 0.35e-9;
+  p.nmos.cj_w = 0.9e-9;
+  p.nmos.subthreshold_n = 1.45;
+
+  p.pmos = p.nmos;
+  p.pmos.nmos = false;
+  p.pmos.kp = 60e-6;
+  p.pmos.lambda_coef = 0.08e-6;
+  return p;
+}
+
+Pdk make_40nm() {
+  Pdk p;
+  p.name = "40nm";
+  p.vdd = 1.1;
+  p.lmin = 0.04e-6;
+  p.lmax = 0.5e-6;
+
+  p.nmos.nmos = true;
+  p.nmos.vth0 = 0.35;
+  p.nmos.kp = 380e-6;
+  p.nmos.lambda_coef = 0.025e-6;  // short channel: worse lambda per length
+  p.nmos.cox = 12e-3;
+  p.nmos.cgdo = 0.25e-9;
+  p.nmos.cj_w = 0.5e-9;
+  p.nmos.subthreshold_n = 1.35;
+
+  p.pmos = p.nmos;
+  p.pmos.nmos = false;
+  p.pmos.kp = 150e-6;
+  p.pmos.lambda_coef = 0.035e-6;
+  return p;
+}
+
+}  // namespace
+
+const Pdk& pdk_180nm() {
+  static const Pdk pdk = make_180nm();
+  return pdk;
+}
+
+const Pdk& pdk_40nm() {
+  static const Pdk pdk = make_40nm();
+  return pdk;
+}
+
+const Pdk& pdk_by_name(const std::string& name) {
+  if (name == "180nm") return pdk_180nm();
+  if (name == "40nm") return pdk_40nm();
+  throw std::invalid_argument("pdk_by_name: unknown PDK " + name);
+}
+
+}  // namespace kato::ckt

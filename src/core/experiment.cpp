@@ -1,0 +1,122 @@
+#include "core/experiment.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+namespace kato::core {
+
+std::vector<std::uint64_t> seed_list(std::size_t fallback) {
+  std::size_t n = fallback;
+  if (const char* env = std::getenv("KATO_SEEDS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) n = static_cast<std::size_t>(v);
+  }
+  std::vector<std::uint64_t> seeds(n);
+  for (std::size_t i = 0; i < n; ++i) seeds[i] = i + 1;
+  return seeds;
+}
+
+namespace {
+
+/// Replace +-inf placeholders so the aggregation stays finite: infeasible
+/// prefixes are reported as the worst finite value seen in any run.
+void sanitize_traces(std::vector<std::vector<double>>& traces, bool minimize) {
+  double worst = minimize ? -std::numeric_limits<double>::infinity()
+                          : std::numeric_limits<double>::infinity();
+  for (const auto& t : traces)
+    for (double v : t)
+      if (std::isfinite(v)) worst = minimize ? std::max(worst, v) : std::min(worst, v);
+  if (!std::isfinite(worst)) worst = 0.0;
+  const double fill = minimize ? 2.0 * std::abs(worst) + 1.0 : worst;
+  for (auto& t : traces)
+    for (double& v : t)
+      if (!std::isfinite(v)) v = minimize ? fill : v;
+}
+
+}  // namespace
+
+MethodSeries run_constrained_series(const ckt::SizingCircuit& circuit,
+                                    bo::ConstrainedMethod method,
+                                    const bo::BoConfig& config,
+                                    const std::vector<std::uint64_t>& seeds,
+                                    const bo::TransferSource* source,
+                                    const std::string& label) {
+  MethodSeries series;
+  series.name = label.empty() ? bo::to_string(method) : label;
+  std::vector<std::vector<double>> traces;
+  for (auto seed : seeds) {
+    series.runs.push_back(
+        bo::run_constrained(circuit, method, config, seed, source));
+    traces.push_back(series.runs.back().trace);
+  }
+  sanitize_traces(traces, /*minimize=*/true);
+  series.band = util::aggregate_traces(traces);
+  return series;
+}
+
+MethodSeries run_fom_series(const ckt::SizingCircuit& circuit,
+                            const ckt::FomNormalization& norm,
+                            bo::FomMethod method, const bo::BoConfig& config,
+                            const std::vector<std::uint64_t>& seeds,
+                            const bo::TransferSource* source,
+                            const std::string& label) {
+  MethodSeries series;
+  series.name = label.empty() ? bo::to_string(method) : label;
+  std::vector<std::vector<double>> traces;
+  for (auto seed : seeds) {
+    series.runs.push_back(bo::run_fom(circuit, norm, method, config, seed, source));
+    traces.push_back(series.runs.back().trace);
+  }
+  sanitize_traces(traces, /*minimize=*/false);
+  series.band = util::aggregate_traces(traces);
+  return series;
+}
+
+void print_series(std::ostream& os, const std::string& title,
+                  const std::vector<MethodSeries>& methods, std::size_t stride) {
+  os << "--- " << title << " ---\n";
+  std::vector<std::string> header{"sims"};
+  for (const auto& m : methods) header.push_back(m.name + " med [q25,q75]");
+  util::Table table(header);
+  const std::size_t len = methods.front().band.median.size();
+  for (std::size_t i = stride - 1; i < len; i += stride) {
+    std::vector<std::string> row{std::to_string(i + 1)};
+    for (const auto& m : methods) {
+      row.push_back(util::fmt(m.band.median[i], 3) + " [" +
+                    util::fmt(m.band.q25[i], 3) + "," +
+                    util::fmt(m.band.q75[i], 3) + "]");
+    }
+    table.add_row(row);
+  }
+  os << table.to_string();
+}
+
+double median_sims_to_reach(const MethodSeries& series, double target,
+                            bool minimize) {
+  std::vector<double> counts;
+  for (const auto& run : series.runs) {
+    double c = static_cast<double>(run.trace.size()) + 1.0;
+    for (std::size_t i = 0; i < run.trace.size(); ++i) {
+      const bool hit = minimize ? run.trace[i] <= target : run.trace[i] >= target;
+      if (hit) {
+        c = static_cast<double>(i + 1);
+        break;
+      }
+    }
+    counts.push_back(c);
+  }
+  return util::median(counts);
+}
+
+const bo::RunResult& best_run(const MethodSeries& series, bool minimize) {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < series.runs.size(); ++i) {
+    const double a = series.runs[i].trace.back();
+    const double b = series.runs[best].trace.back();
+    if (minimize ? a < b : a > b) best = i;
+  }
+  return series.runs[best];
+}
+
+}  // namespace kato::core

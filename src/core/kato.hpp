@@ -1,0 +1,60 @@
+#pragma once
+// Public KATO API.
+//
+// Typical use (see examples/quickstart.cpp):
+//
+//   auto circuit = kato::ckt::make_circuit("opamp2", "180nm");
+//   kato::KatoOptimizer opt(*circuit);
+//   auto result = opt.optimize(/*seed=*/1);
+//   // result.best_x (unit box), result.best_metrics, result.trace
+//
+// Transfer learning (Sec. 3.2/3.4): build a TransferSource from a previously
+// studied circuit — any design-variable dimensionality — and attach it; the
+// optimizer then runs KAT-GP alongside the NeukGP under Selective Transfer
+// Learning (Alg. 1):
+//
+//   auto source = kato::bo::build_transfer_source(*old_circuit, 200,
+//                                                 kato::bo::KernelKind::rbf, 7);
+//   opt.set_transfer_source(&source);
+
+#include "bo/drivers.hpp"
+#include "circuits/factory.hpp"
+
+namespace kato {
+
+class KatoOptimizer {
+ public:
+  explicit KatoOptimizer(const ckt::SizingCircuit& circuit,
+                         bo::BoConfig config = {})
+      : circuit_(&circuit), config_(std::move(config)) {}
+
+  bo::BoConfig& config() { return config_; }
+
+  /// Attach source-circuit knowledge (must outlive this optimizer).
+  /// Pass nullptr to detach.
+  void set_transfer_source(const bo::TransferSource* source) {
+    source_ = source;
+  }
+
+  /// Constrained sizing (Eq. 1): minimize metrics[0] subject to the
+  /// circuit's specs, with the modified MACE ensemble (Eq. 13) and — when a
+  /// source is attached — KAT-GP + STL.
+  bo::RunResult optimize(std::uint64_t seed) const {
+    return bo::run_constrained(*circuit_, bo::ConstrainedMethod::kato, config_,
+                               seed, source_);
+  }
+
+  /// FOM optimization (Eq. 2): maximize the scalar figure of merit.
+  bo::RunResult optimize_fom(const ckt::FomNormalization& norm,
+                             std::uint64_t seed) const {
+    return bo::run_fom(*circuit_, norm, bo::FomMethod::kato, config_, seed,
+                       source_);
+  }
+
+ private:
+  const ckt::SizingCircuit* circuit_;
+  bo::BoConfig config_;
+  const bo::TransferSource* source_ = nullptr;
+};
+
+}  // namespace kato

@@ -1,0 +1,250 @@
+#include "gp/gp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "nn/mlp.hpp"
+#include "util/stats.hpp"
+
+namespace kato::gp {
+
+namespace {
+constexpr double k_two_pi = 6.283185307179586;
+}
+
+GaussianProcess::GaussianProcess(std::unique_ptr<kern::Kernel> kernel)
+    : kernel_(std::move(kernel)), log_noise_(std::log(1e-2)) {
+  if (!kernel_) throw std::invalid_argument("GaussianProcess: null kernel");
+}
+
+GaussianProcess::GaussianProcess(const GaussianProcess& other)
+    : kernel_(other.kernel_->clone()),
+      log_noise_(other.log_noise_),
+      x_(other.x_),
+      y_std_(other.y_std_),
+      y_mean_(other.y_mean_),
+      y_sd_(other.y_sd_),
+      post_(other.post_) {}
+
+GaussianProcess& GaussianProcess::operator=(const GaussianProcess& other) {
+  if (this == &other) return *this;
+  kernel_ = other.kernel_->clone();
+  log_noise_ = other.log_noise_;
+  x_ = other.x_;
+  y_std_ = other.y_std_;
+  y_mean_ = other.y_mean_;
+  y_sd_ = other.y_sd_;
+  post_ = other.post_;
+  return *this;
+}
+
+double GaussianProcess::noise_var() const { return std::exp(log_noise_); }
+
+void GaussianProcess::set_data(la::Matrix x, la::Vector y) {
+  if (x.rows() != y.size())
+    throw std::invalid_argument("GaussianProcess::set_data: n mismatch");
+  if (x.rows() == 0)
+    throw std::invalid_argument("GaussianProcess::set_data: empty data");
+  if (x.cols() != kernel_->input_dim())
+    throw std::invalid_argument("GaussianProcess::set_data: dim mismatch");
+  y_mean_ = util::mean(y);
+  y_sd_ = util::stddev(y);
+  if (y_sd_ < 1e-12) y_sd_ = 1.0;  // constant targets: keep scale identity
+  x_ = std::move(x);
+  y_std_.resize(y.size());
+  for (std::size_t i = 0; i < y.size(); ++i) y_std_[i] = (y[i] - y_mean_) / y_sd_;
+  refresh_posterior();
+}
+
+double GaussianProcess::nll_and_grad(const la::Matrix& x, const la::Vector& y,
+                                     std::vector<double>& grad) const {
+  const std::size_t n = x.rows();
+  la::Matrix k = kernel_->matrix(x);
+  const double noise = std::max(std::exp(log_noise_), 1e-12);
+  for (std::size_t i = 0; i < n; ++i) k(i, i) += noise;
+
+  const auto chol = la::cholesky_jittered(k);
+  const la::Vector alpha = la::cholesky_solve(chol.l, y);
+  const double logdet = la::cholesky_logdet(chol.l);
+  const double nll = 0.5 * la::dot(y, alpha) + 0.5 * logdet +
+                     0.5 * static_cast<double>(n) * std::log(k_two_pi);
+
+  // dNLL/dK = 0.5 (K^-1 - alpha alpha^T).
+  la::Matrix dk = la::cholesky_inverse(chol.l);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      dk(i, j) = 0.5 * (dk(i, j) - alpha[i] * alpha[j]);
+
+  grad.assign(kernel_->n_params() + 1, 0.0);
+  kernel_->backward(x, dk, std::span<double>(grad.data(), kernel_->n_params()));
+  double trace = 0.0;
+  for (std::size_t i = 0; i < n; ++i) trace += dk(i, i);
+  grad[kernel_->n_params()] = trace * noise;  // dK/d log sigma^2 = sigma^2 I
+  return nll;
+}
+
+void GaussianProcess::fit(const GpFitOptions& opts, util::Rng& rng) {
+  if (x_.empty()) throw std::logic_error("GaussianProcess::fit: no data");
+
+  // Hyper-training subset (full posterior still uses all points).
+  la::Matrix xs = x_;
+  la::Vector ys = y_std_;
+  if (x_.rows() > opts.max_train_points) {
+    const auto idx = rng.choice(x_.rows(), opts.max_train_points);
+    xs = la::Matrix(opts.max_train_points, x_.cols());
+    ys.resize(opts.max_train_points);
+    for (std::size_t i = 0; i < idx.size(); ++i) {
+      xs.set_row(i, x_.row(idx[i]));
+      ys[i] = y_std_[idx[i]];
+    }
+  }
+
+  const std::size_t np = kernel_->n_params() + 1;
+  nn::Adam adam(np, opts.lr);
+  std::vector<double> grad;
+  std::vector<double> best_params(np);
+  double best_nll = std::numeric_limits<double>::infinity();
+
+  auto pack = [&](std::vector<double>& out) {
+    auto kp = kernel_->params();
+    std::copy(kp.begin(), kp.end(), out.begin());
+    out[np - 1] = log_noise_;
+  };
+  auto unpack = [&](const std::vector<double>& in) {
+    auto kp = kernel_->params();
+    std::copy(in.begin(), in.begin() + kp.size(), kp.begin());
+    log_noise_ = in[np - 1];
+  };
+
+  std::vector<double> theta(np);
+  pack(theta);
+  for (int it = 0; it < opts.iterations; ++it) {
+    unpack(theta);
+    double nll;
+    try {
+      nll = nll_and_grad(xs, ys, grad);
+    } catch (const std::runtime_error&) {
+      break;  // kernel degenerated beyond the jitter ladder; keep best so far
+    }
+    if (nll < best_nll) {
+      best_nll = nll;
+      best_params = theta;
+    }
+    adam.step(theta, grad);
+    // Noise floor keeps the posterior numerically sane.
+    theta[np - 1] = std::max(theta[np - 1], std::log(opts.min_noise));
+  }
+  if (std::isfinite(best_nll)) unpack(best_params);
+  refresh_posterior();
+}
+
+void GaussianProcess::refresh_posterior() {
+  const std::size_t n = x_.rows();
+  la::Matrix k = kernel_->matrix(x_);
+  const double noise = std::max(std::exp(log_noise_), 1e-12);
+  for (std::size_t i = 0; i < n; ++i) k(i, i) += noise;
+  auto chol = la::cholesky_jittered(k);
+  Posterior p;
+  p.alpha = la::cholesky_solve(chol.l, y_std_);
+  p.kinv = la::cholesky_inverse(chol.l);
+  p.chol_l = std::move(chol.l);
+  post_ = std::move(p);
+}
+
+const GaussianProcess::Posterior& GaussianProcess::posterior() const {
+  if (!post_) throw std::logic_error("GaussianProcess: posterior not ready");
+  return *post_;
+}
+
+GpPrediction GaussianProcess::predict_std(std::span<const double> x) const {
+  const auto& p = posterior();
+  const std::size_t n = x_.rows();
+  la::Matrix xq(1, x.size());
+  xq.set_row(0, x);
+  const la::Matrix kx = kernel_->cross(xq, x_);  // 1 x n
+  double mean = 0.0;
+  for (std::size_t i = 0; i < n; ++i) mean += kx(0, i) * p.alpha[i];
+  // v = k(x,x) - k^T K^-1 k.
+  la::Vector kv(n);
+  for (std::size_t i = 0; i < n; ++i) kv[i] = kx(0, i);
+  const la::Vector kinv_k = la::matvec(p.kinv, kv);
+  double var = kernel_->diag(x) - la::dot(kv, kinv_k);
+  var = std::max(var, 1e-12);
+  return {mean, var};
+}
+
+GpPrediction GaussianProcess::predict(std::span<const double> x) const {
+  GpPrediction p = predict_std(x);
+  p.mean = p.mean * y_sd_ + y_mean_;
+  p.var *= y_sd_ * y_sd_;
+  return p;
+}
+
+void GaussianProcess::predict_std_grad(std::span<const double> x,
+                                       GpPrediction& pred, la::Vector& dmean_dx,
+                                       la::Vector& dvar_dx) const {
+  const auto& p = posterior();
+  const std::size_t n = x_.rows();
+  const std::size_t d = x.size();
+  la::Matrix xq(1, d);
+  xq.set_row(0, x);
+  const la::Matrix kx = kernel_->cross(xq, x_);
+  la::Vector kv(n);
+  for (std::size_t i = 0; i < n; ++i) kv[i] = kx(0, i);
+
+  double mean = la::dot(kv, p.alpha);
+  const la::Vector kinv_k = la::matvec(p.kinv, kv);
+  double var = std::max(kernel_->diag(x) - la::dot(kv, kinv_k), 1e-12);
+  pred = {mean, var};
+
+  // d mean/dx = (dk/dx)^T alpha ; d var/dx = -2 (dk/dx)^T K^-1 k.
+  // (k(x,x) is constant in x for the stationary and Neuk kernels used here.)
+  const la::Matrix dk_dx = kernel_->input_grad(x, x_);  // n x d
+  dmean_dx.assign(d, 0.0);
+  dvar_dx.assign(d, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < d; ++j) {
+      dmean_dx[j] += dk_dx(i, j) * p.alpha[i];
+      dvar_dx[j] += -2.0 * dk_dx(i, j) * kinv_k[i];
+    }
+  }
+}
+
+double GaussianProcess::nll() const {
+  std::vector<double> grad;
+  // Reuse the training path on the full data (gradient discarded).
+  return nll_and_grad(x_, y_std_, grad);
+}
+
+MultiGp::MultiGp(std::size_t n_metrics,
+                 const std::function<std::unique_ptr<kern::Kernel>()>& make_kernel) {
+  if (n_metrics == 0) throw std::invalid_argument("MultiGp: need >= 1 metric");
+  gps_.reserve(n_metrics);
+  for (std::size_t i = 0; i < n_metrics; ++i)
+    gps_.emplace_back(make_kernel());
+}
+
+void MultiGp::set_data(const la::Matrix& x, const la::Matrix& y) {
+  if (y.cols() != gps_.size())
+    throw std::invalid_argument("MultiGp::set_data: metric count mismatch");
+  for (std::size_t m = 0; m < gps_.size(); ++m) {
+    la::Vector col(y.rows());
+    for (std::size_t i = 0; i < y.rows(); ++i) col[i] = y(i, m);
+    gps_[m].set_data(x, std::move(col));
+  }
+}
+
+void MultiGp::fit(const GpFitOptions& opts, util::Rng& rng) {
+  for (auto& g : gps_) g.fit(opts, rng);
+}
+
+std::vector<GpPrediction> MultiGp::predict(std::span<const double> x) const {
+  std::vector<GpPrediction> out;
+  out.reserve(gps_.size());
+  for (const auto& g : gps_) out.push_back(g.predict(x));
+  return out;
+}
+
+}  // namespace kato::gp

@@ -1,0 +1,119 @@
+#pragma once
+// Gaussian-process regression with exact marginal-likelihood training.
+//
+// Implements Eqs. (3)-(4) of the paper.  Hyperparameters (kernel parameters
+// plus observation noise) are trained by Adam on the exact negative log
+// marginal likelihood; the gradient splits at the kernel-matrix boundary:
+//   dNLL/dK = 0.5 (K^-1 - alpha alpha^T),  alpha = K^-1 y,
+// which is analytic, and each kernel provides backward() for dK/dtheta.
+//
+// Targets are standardized internally; predictions are returned in raw units
+// unless the *_std variants are used (the KAT-GP transfer path works in
+// standardized space so the encoder/decoder see O(1) values).
+
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "kernel/kernel.hpp"
+#include "linalg/cholesky.hpp"
+#include "util/rng.hpp"
+
+namespace kato::gp {
+
+struct GpFitOptions {
+  int iterations = 100;             ///< Adam steps on the NLL
+  double lr = 0.05;                 ///< Adam learning rate
+  std::size_t max_train_points = 192;  ///< subsample cap for hyper-training
+  double min_noise = 1e-6;          ///< noise floor (standardized space)
+};
+
+struct GpPrediction {
+  double mean = 0.0;
+  double var = 0.0;
+};
+
+class GaussianProcess {
+ public:
+  explicit GaussianProcess(std::unique_ptr<kern::Kernel> kernel);
+
+  GaussianProcess(const GaussianProcess& other);
+  GaussianProcess& operator=(const GaussianProcess& other);
+  GaussianProcess(GaussianProcess&&) = default;
+  GaussianProcess& operator=(GaussianProcess&&) = default;
+
+  /// Replace the training set (inputs in the unit box, raw-unit targets)
+  /// and refresh the posterior with current hyperparameters.
+  void set_data(la::Matrix x, la::Vector y);
+
+  /// Maximum-likelihood hyperparameter training (warm-started from current
+  /// values).  `rng` drives the hyper-training subsample when n exceeds
+  /// GpFitOptions::max_train_points.
+  void fit(const GpFitOptions& opts, util::Rng& rng);
+
+  /// Predictive posterior (Eq. 4) in raw target units.
+  GpPrediction predict(std::span<const double> x) const;
+  /// Predictive posterior in standardized-target space.
+  GpPrediction predict_std(std::span<const double> x) const;
+  /// Standardized posterior plus gradients d mean/dx and d var/dx
+  /// (used by KAT-GP to backpropagate through the source GP).
+  void predict_std_grad(std::span<const double> x, GpPrediction& pred,
+                        la::Vector& dmean_dx, la::Vector& dvar_dx) const;
+
+  /// Exact NLL of the current hyperparameters on the full training set.
+  double nll() const;
+
+  std::size_t n_data() const { return x_.rows(); }
+  std::size_t input_dim() const { return kernel_->input_dim(); }
+  const la::Matrix& train_x() const { return x_; }
+  kern::Kernel& kernel() { return *kernel_; }
+  const kern::Kernel& kernel() const { return *kernel_; }
+  double y_mean() const { return y_mean_; }
+  double y_std() const { return y_sd_; }
+  double noise_var() const;  ///< standardized-space sigma^2
+
+ private:
+  struct Posterior {
+    la::Matrix chol_l;
+    la::Vector alpha;
+    la::Matrix kinv;
+  };
+
+  /// NLL and gradient (kernel params then log-noise) on the given subset.
+  double nll_and_grad(const la::Matrix& x, const la::Vector& y,
+                      std::vector<double>& grad) const;
+  void refresh_posterior();
+  const Posterior& posterior() const;
+
+  std::unique_ptr<kern::Kernel> kernel_;
+  double log_noise_;
+  la::Matrix x_;
+  la::Vector y_std_;  ///< standardized targets
+  double y_mean_ = 0.0;
+  double y_sd_ = 1.0;
+  std::optional<Posterior> post_;
+};
+
+/// Independent per-metric GPs sharing one input set — the surrogate layout
+/// used for constrained sizing (one GP for the objective, one per constraint).
+class MultiGp {
+ public:
+  /// `make_kernel` builds a fresh kernel per metric.
+  MultiGp(std::size_t n_metrics,
+          const std::function<std::unique_ptr<kern::Kernel>()>& make_kernel);
+
+  /// y has one column per metric.
+  void set_data(const la::Matrix& x, const la::Matrix& y);
+  void fit(const GpFitOptions& opts, util::Rng& rng);
+
+  std::vector<GpPrediction> predict(std::span<const double> x) const;
+
+  std::size_t n_metrics() const { return gps_.size(); }
+  GaussianProcess& metric(std::size_t i) { return gps_[i]; }
+  const GaussianProcess& metric(std::size_t i) const { return gps_[i]; }
+
+ private:
+  std::vector<GaussianProcess> gps_;
+};
+
+}  // namespace kato::gp

@@ -1,0 +1,400 @@
+#include "gp/kat_gp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/stats.hpp"
+
+namespace kato::gp {
+
+namespace {
+constexpr double k_log_two_pi = 1.8378770664093453;
+
+/// Inverse of a small SPD matrix via Cholesky (m_t is 1-4 here).
+la::Matrix small_spd_inverse(const la::Matrix& a) {
+  const auto chol = la::cholesky_jittered(a);
+  return la::cholesky_inverse(chol.l);
+}
+
+double small_spd_logdet(const la::Matrix& a) {
+  const auto chol = la::cholesky_jittered(a);
+  return la::cholesky_logdet(chol.l);
+}
+}  // namespace
+
+KatGp::KatGp(const MultiGp* source, std::size_t target_dim,
+             std::size_t target_metrics, const KatGpConfig& config,
+             util::Rng& rng)
+    : source_(source),
+      d_t_(target_dim),
+      m_t_(target_metrics),
+      config_(config),
+      encoder_({target_dim, config.hidden, source->metric(0).input_dim()},
+               nn::Activation::sigmoid, rng),
+      decoder_({source->n_metrics(), config.hidden, target_metrics},
+               nn::Activation::sigmoid, rng),
+      log_noise_(std::log(config.init_noise)) {
+  if (!source_) throw std::invalid_argument("KatGp: null source model");
+  if (target_dim == 0 || target_metrics == 0)
+    throw std::invalid_argument("KatGp: zero target dimension");
+
+  // Identity-biased initialization: start from "target behaves like source".
+  // Matching design variables (i < min(d_t, d_s)) are wired through so that
+  // E(x) ~= x, and matching metrics so that D(u) ~= u; surplus dimensions
+  // start at the box/metric center.  This is the natural prior for node
+  // transfer (same topology, same variable order) and a harmless starting
+  // point for topology transfer, where training reshapes the maps.  Xavier
+  // noise left by the Mlp constructor provides the symmetry breaking.
+  {
+    const std::size_t d_s = source_->metric(0).input_dim();
+    auto scale_block = [](std::span<double> w, double s) {
+      for (auto& v : w) v *= s;
+    };
+    scale_block(encoder_.weight(0), 0.1);
+    scale_block(encoder_.weight(1), 0.1);
+    // 8 sigmoid(x/2 - 1/4) - 3.5 ~= x on [0,1] to within 3e-3 (the sigmoid
+    // stays in its linear region), so E starts as a near-exact identity on
+    // the shared dimensions; surplus source dimensions start near the box
+    // center (sigmoid of small noise scaled into [0,1] via the bias).
+    auto ew1 = encoder_.weight(0);
+    auto eb1 = encoder_.bias(0);
+    auto ew2 = encoder_.weight(1);
+    auto eb2 = encoder_.bias(1);
+    const std::size_t eh = encoder_.layer_out(0);
+    for (std::size_t i = 0; i < std::min(d_t_, d_s); ++i) {
+      ew1[i * d_t_ + i] = 0.5;
+      eb1[i] = -0.25;
+      ew2[i * eh + i] = 8.0;
+      eb2[i] = -3.5;
+    }
+    for (std::size_t i = std::min(d_t_, d_s); i < d_s; ++i) eb2[i] = 0.5;
+    scale_block(decoder_.weight(0), 0.1);
+    scale_block(decoder_.weight(1), 0.1);
+    // 8(sigmoid(u/2) - 1/2) ~= u on the standardized range |u| <~ 2.
+    const std::size_t m_s = source_->n_metrics();
+    auto dw1 = decoder_.weight(0);
+    auto db1 = decoder_.bias(0);
+    auto dw2 = decoder_.weight(1);
+    auto db2 = decoder_.bias(1);
+    const std::size_t dh = decoder_.layer_out(0);
+    for (std::size_t i = 0; i < std::min(m_t_, m_s); ++i) {
+      dw1[i * m_s + i] = 0.5;
+      db1[i] = 0.0;
+      dw2[i * dh + i] = 8.0;
+      db2[i] = -4.0;
+    }
+  }
+}
+
+void KatGp::set_target_data(const la::Matrix& x, const la::Matrix& y) {
+  if (x.rows() != y.rows())
+    throw std::invalid_argument("KatGp::set_target_data: n mismatch");
+  if (x.cols() != d_t_ || y.cols() != m_t_)
+    throw std::invalid_argument("KatGp::set_target_data: dim mismatch");
+  x_t_ = x;
+  y_mean_.assign(m_t_, 0.0);
+  y_sd_.assign(m_t_, 1.0);
+  y_t_std_ = la::Matrix(y.rows(), m_t_);
+  for (std::size_t m = 0; m < m_t_; ++m) {
+    la::Vector col(y.rows());
+    for (std::size_t i = 0; i < y.rows(); ++i) col[i] = y(i, m);
+    y_mean_[m] = util::mean(col);
+    y_sd_[m] = util::stddev(col);
+    if (y_sd_[m] < 1e-12) y_sd_[m] = 1.0;
+    for (std::size_t i = 0; i < y.rows(); ++i)
+      y_t_std_(i, m) = (y(i, m) - y_mean_[m]) / y_sd_[m];
+  }
+}
+
+KatGp::Forward KatGp::forward(std::span<const double> x) const {
+  Forward f;
+  la::Vector xin(x.begin(), x.end());
+  f.enc_out = encoder_.forward(xin, f.enc_cache);
+
+  const std::size_t m_s = source_->n_metrics();
+  f.mu_s.resize(m_s);
+  f.v_s.resize(m_s);
+  for (std::size_t k = 0; k < m_s; ++k) {
+    const GpPrediction p = source_->metric(k).predict_std(f.enc_out);
+    f.mu_s[k] = p.mean;
+    f.v_s[k] = p.var;
+  }
+  f.mean_t = decoder_.forward(f.mu_s, f.dec_cache);
+  f.jac = decoder_.jacobian(f.mu_s);
+  return f;
+}
+
+double KatGp::point_nll(const Forward& f, std::size_t row) const {
+  const double noise = std::exp(log_noise_);
+  la::Matrix sigma(m_t_, m_t_);
+  for (std::size_t a = 0; a < m_t_; ++a)
+    for (std::size_t b = 0; b < m_t_; ++b) {
+      double s = 0.0;
+      for (std::size_t k = 0; k < f.v_s.size(); ++k)
+        s += f.jac(a, k) * f.v_s[k] * f.jac(b, k);
+      sigma(a, b) = s + (a == b ? noise : 0.0);
+    }
+  la::Vector r(m_t_);
+  for (std::size_t m = 0; m < m_t_; ++m) r[m] = y_t_std_(row, m) - f.mean_t[m];
+  const la::Matrix sigma_inv = small_spd_inverse(sigma);
+  const la::Vector w = la::matvec(sigma_inv, r);
+  return 0.5 * la::dot(r, w) + 0.5 * small_spd_logdet(sigma) +
+         0.5 * static_cast<double>(m_t_) * k_log_two_pi;
+}
+
+double KatGp::point_backward(const Forward& f, std::size_t row, bool mean_only) {
+  const std::size_t m_s = f.v_s.size();
+  const double noise = std::exp(log_noise_);
+
+  if (mean_only) {
+    // Warmup phase: L = 0.5 ||y - mean_t||^2.
+    la::Vector dmean(m_t_);
+    double loss = 0.0;
+    for (std::size_t m = 0; m < m_t_; ++m) {
+      const double r = y_t_std_(row, m) - f.mean_t[m];
+      loss += 0.5 * r * r;
+      dmean[m] = -r;
+    }
+    la::Vector dmu = decoder_.backward(f.dec_cache, dmean);
+    const std::size_t d_s = f.enc_out.size();
+    la::Vector dxs(d_s, 0.0);
+    for (std::size_t k = 0; k < m_s; ++k) {
+      gp::GpPrediction pred;
+      la::Vector dmean_dx;
+      la::Vector dvar_dx;
+      source_->metric(k).predict_std_grad(f.enc_out, pred, dmean_dx, dvar_dx);
+      for (std::size_t j = 0; j < d_s; ++j) dxs[j] += dmu[k] * dmean_dx[j];
+    }
+    (void)encoder_.backward(f.enc_cache, dxs);
+    return loss;
+  }
+
+  la::Matrix sigma(m_t_, m_t_);
+  for (std::size_t a = 0; a < m_t_; ++a)
+    for (std::size_t b = 0; b < m_t_; ++b) {
+      double s = 0.0;
+      for (std::size_t k = 0; k < m_s; ++k)
+        s += f.jac(a, k) * f.v_s[k] * f.jac(b, k);
+      sigma(a, b) = s + (a == b ? noise : 0.0);
+    }
+  la::Vector r(m_t_);
+  for (std::size_t m = 0; m < m_t_; ++m) r[m] = y_t_std_(row, m) - f.mean_t[m];
+
+  const la::Matrix sigma_inv = small_spd_inverse(sigma);
+  const la::Vector w = la::matvec(sigma_inv, r);
+  const double nll = 0.5 * la::dot(r, w) + 0.5 * small_spd_logdet(sigma) +
+                     0.5 * static_cast<double>(m_t_) * k_log_two_pi;
+
+  // dNLL/dSigma = 0.5 (Sigma^-1 - w w^T).
+  la::Matrix dsigma(m_t_, m_t_);
+  for (std::size_t a = 0; a < m_t_; ++a)
+    for (std::size_t b = 0; b < m_t_; ++b)
+      dsigma(a, b) = 0.5 * (sigma_inv(a, b) - w[a] * w[b]);
+
+  double trace = 0.0;
+  for (std::size_t a = 0; a < m_t_; ++a) trace += dsigma(a, a);
+  noise_grad_ += trace * noise;
+
+  // dNLL/dv_k = J[:,k]^T dSigma J[:,k].
+  la::Vector dv(m_s, 0.0);
+  for (std::size_t k = 0; k < m_s; ++k) {
+    double acc = 0.0;
+    for (std::size_t a = 0; a < m_t_; ++a)
+      for (std::size_t b = 0; b < m_t_; ++b)
+        acc += f.jac(a, k) * dsigma(a, b) * f.jac(b, k);
+    dv[k] = acc;
+  }
+
+  // Decoder: upstream dNLL/dmean_t = -w.
+  la::Vector dmean(m_t_);
+  for (std::size_t m = 0; m < m_t_; ++m) dmean[m] = -w[m];
+  la::Vector dmu = decoder_.backward(f.dec_cache, dmean);  // dNLL/dmu_s
+
+  // ---- Exact gradient through the Delta-method Jacobian ----
+  // J = W2 diag(s'(a)) W1 with a = W1 mu_s + b1 (one hidden layer).
+  // dNLL/dJ = (P + P^T) J S = 2 P J S with P = dsigma (symmetric), S = diag(v).
+  {
+    const std::size_t h = decoder_.layer_out(0);
+    const auto w1 = decoder_.weight(0);  // h x m_s
+    const auto w2 = decoder_.weight(1);  // m_t x h
+    const auto& a_pre = f.dec_cache.pre_act[0];
+    const nn::Activation act = decoder_.activation_of(0);
+
+    la::Matrix dj(m_t_, m_s);
+    for (std::size_t p = 0; p < m_t_; ++p)
+      for (std::size_t j = 0; j < m_s; ++j) {
+        double s = 0.0;
+        for (std::size_t b = 0; b < m_t_; ++b) s += dsigma(p, b) * f.jac(b, j);
+        dj(p, j) = 2.0 * s * f.v_s[j];
+      }
+
+    // T = W2^T dJ (h x m_s).
+    la::Matrix t(h, m_s);
+    for (std::size_t k = 0; k < h; ++k)
+      for (std::size_t j = 0; j < m_s; ++j) {
+        double s = 0.0;
+        for (std::size_t p = 0; p < m_t_; ++p) s += w2[p * h + k] * dj(p, j);
+        t(k, j) = s;
+      }
+
+    auto w1g = decoder_.weight_grad(0);
+    auto w2g = decoder_.weight_grad(1);
+    auto b1g = decoder_.bias_grad(0);
+    for (std::size_t k = 0; k < h; ++k) {
+      const double sp = nn::activate_deriv(act, a_pre[k]);
+      const double spp = nn::activate_second_deriv(act, a_pre[k]);
+      // dW2[p,k] += sum_j dJ[p,j] s'(a_k) W1[k,j].
+      for (std::size_t p = 0; p < m_t_; ++p) {
+        double s = 0.0;
+        for (std::size_t j = 0; j < m_s; ++j) s += dj(p, j) * w1[k * m_s + j];
+        w2g[p * h + k] += sp * s;
+      }
+      // g_k = sum_j T[k,j] W1[k,j]; da_k = g_k s''(a_k).
+      double g = 0.0;
+      for (std::size_t j = 0; j < m_s; ++j) g += t(k, j) * w1[k * m_s + j];
+      const double da = g * spp;
+      b1g[k] += da;
+      for (std::size_t j = 0; j < m_s; ++j) {
+        // explicit-W1 path + activation path.
+        w1g[k * m_s + j] += sp * t(k, j) + da * f.mu_s[j];
+        // a depends on the decoder input mu_s as well.
+        dmu[j] += da * w1[k * m_s + j];
+      }
+    }
+  }
+
+  // Source GP posterior: chain d mu/dx_s and d var/dx_s into the encoder.
+  const std::size_t d_s = f.enc_out.size();
+  la::Vector dxs(d_s, 0.0);
+  for (std::size_t k = 0; k < m_s; ++k) {
+    GpPrediction pred;
+    la::Vector dmean_dx;
+    la::Vector dvar_dx;
+    source_->metric(k).predict_std_grad(f.enc_out, pred, dmean_dx, dvar_dx);
+    for (std::size_t j = 0; j < d_s; ++j)
+      dxs[j] += dmu[k] * dmean_dx[j] + dv[k] * dvar_dx[j];
+  }
+  (void)encoder_.backward(f.enc_cache, dxs);
+  return nll;
+}
+
+void KatGp::fit(util::Rng& rng) {
+  if (x_t_.empty()) throw std::logic_error("KatGp::fit: no target data");
+  const int iters =
+      fitted_once_ ? config_.refit_iterations : config_.init_iterations;
+  const std::size_t n = x_t_.rows();
+  const std::size_t batch = config_.batch_size == 0
+                                ? n
+                                : std::min<std::size_t>(config_.batch_size, n);
+
+  const std::size_t np = encoder_.n_params() + decoder_.n_params() + 1;
+  nn::Adam adam(np, config_.lr);
+  std::vector<double> theta(np);
+  std::vector<double> grad(np);
+
+  auto pack = [&] {
+    auto ep = encoder_.params();
+    auto dp = decoder_.params();
+    std::copy(ep.begin(), ep.end(), theta.begin());
+    std::copy(dp.begin(), dp.end(), theta.begin() + ep.size());
+    theta[np - 1] = log_noise_;
+  };
+  auto unpack = [&] {
+    auto ep = encoder_.params();
+    auto dp = decoder_.params();
+    std::copy(theta.begin(), theta.begin() + ep.size(), ep.begin());
+    std::copy(theta.begin() + ep.size(), theta.begin() + ep.size() + dp.size(),
+              dp.begin());
+    log_noise_ = theta[np - 1];
+  };
+
+  // Mean-only warmup applies to the first fit only (see header).
+  const int warmup =
+      fitted_once_ ? 0
+                   : static_cast<int>(config_.warmup_frac *
+                                      static_cast<double>(iters));
+
+  // Track the best parameters by exact full-data NLL so a diverging run can
+  // never leave the model worse than its starting point.
+  std::vector<double> best_theta(np);
+  double best_nll = std::numeric_limits<double>::infinity();
+  auto consider_best = [&] {
+    const double cur = nll();
+    if (cur < best_nll) {
+      best_nll = cur;
+      best_theta = theta;
+    }
+  };
+
+  pack();
+  consider_best();
+  // The regularizer anchors to the parameters at the start of this fit —
+  // the identity-biased init on the first call, the previous optimum on
+  // refits — so transfer stays conservative unless the data insists.
+  const std::vector<double> anchor = theta;
+  for (int it = 0; it < iters; ++it) {
+    unpack();
+    encoder_.zero_grad();
+    decoder_.zero_grad();
+    noise_grad_ = 0.0;
+    const auto idx = batch < n ? rng.choice(n, batch) : rng.permutation(n);
+    for (std::size_t i : idx) {
+      const Forward f = forward(x_t_.row(i));
+      (void)point_backward(f, i, it < warmup);
+    }
+    const double scale = 1.0 / static_cast<double>(idx.size());
+    auto eg = encoder_.grads();
+    auto dg = decoder_.grads();
+    for (std::size_t i = 0; i < eg.size(); ++i) grad[i] = eg[i] * scale;
+    for (std::size_t i = 0; i < dg.size(); ++i) grad[eg.size() + i] = dg[i] * scale;
+    grad[np - 1] = noise_grad_ * scale;
+    if (config_.reg_to_init > 0.0)
+      for (std::size_t i = 0; i + 1 < np; ++i)  // noise is not anchored
+        grad[i] += config_.reg_to_init * (theta[i] - anchor[i]);
+    if (config_.grad_clip > 0.0) {
+      const double norm = la::norm2(grad);
+      if (norm > config_.grad_clip) {
+        const double s = config_.grad_clip / norm;
+        for (auto& g : grad) g *= s;
+      }
+    }
+    adam.step(theta, grad);
+    theta[np - 1] = std::max(theta[np - 1], std::log(config_.min_noise));
+    if (it >= warmup &&
+        (config_.eval_every > 0 && (it + 1) % config_.eval_every == 0)) {
+      unpack();
+      consider_best();
+    }
+  }
+  unpack();
+  consider_best();
+  theta = best_theta;
+  unpack();
+  fitted_once_ = true;
+}
+
+std::vector<GpPrediction> KatGp::predict(std::span<const double> x) const {
+  const Forward f = forward(x);
+  const double noise = std::exp(log_noise_);
+  std::vector<GpPrediction> out(m_t_);
+  for (std::size_t m = 0; m < m_t_; ++m) {
+    double var = noise;
+    for (std::size_t k = 0; k < f.v_s.size(); ++k)
+      var += f.jac(m, k) * f.jac(m, k) * f.v_s[k];
+    out[m].mean = f.mean_t[m] * y_sd_[m] + y_mean_[m];
+    out[m].var = var * y_sd_[m] * y_sd_[m];
+  }
+  return out;
+}
+
+double KatGp::nll() const {
+  double total = 0.0;
+  for (std::size_t i = 0; i < x_t_.rows(); ++i) {
+    const Forward f = forward(x_t_.row(i));
+    total += point_nll(f, i);
+  }
+  return total / static_cast<double>(x_t_.rows());
+}
+
+}  // namespace kato::gp

@@ -1,0 +1,115 @@
+#pragma once
+// Knowledge Alignment and Transfer GP (KAT-GP) — paper Sec. 3.2.
+//
+// Structure (Fig. 2):
+//   encoder E : target design space  -> source design space   (MLP d_t-32-d_s)
+//   source GP : frozen MultiGp trained on the source circuit's data
+//   decoder D : source metric space  -> target metric space   (MLP m_s-32-m_t)
+//
+// Predictive distribution via the Delta method (Eq. 11):
+//   mu_t(x)    = D( mu_s(E(x)) )
+//   Sigma_t(x) = J diag(v_s(E(x))) J^T + sigma_t^2 I,
+// where J is the decoder Jacobian at mu_s (the source GPs are independent per
+// metric, so the source covariance S is diagonal).
+//
+// Training maximizes the Gaussian likelihood of the target data (Eq. 12) with
+// Adam over encoder weights, decoder weights and the target noise.  Gradients
+// flow through the decoder (backprop), through the source GP posterior
+// (analytic d mean/dx, d var/dx from GaussianProcess::predict_std_grad) and
+// into the encoder (backprop).  The gradient through the Jacobian J inside
+// the Delta-method covariance is computed exactly for the paper's one-hidden-
+// layer decoder: with D(u) = W2 s(W1 u + b1) + b2 the Jacobian factors as
+// J = W2 diag(s'(a)) W1, whose parameter- and input-derivatives are closed
+// form (they involve s'').  All gradients are finite-difference checked in
+// tests/gp_test.cpp.
+//
+// The first fit begins with a mean-warmup phase (squared-error loss on the
+// predictive mean only).  Without it, Adam reliably falls into the variance-
+// sink local optimum of Eq. 12 — inflate sigma_t to "explain" the residuals
+// and leave the encoder untrained — because the mean path needs coordinated
+// encoder+decoder progress while the variance path has an easy one-parameter
+// fix.  Warmup removes that shortcut while the alignment forms.
+//
+// All alignment happens in standardized spaces: inputs live in unit boxes,
+// the decoder consumes standardized source-GP outputs and produces
+// standardized target outputs.
+
+#include <memory>
+
+#include "gp/gp.hpp"
+#include "nn/mlp.hpp"
+
+namespace kato::gp {
+
+struct KatGpConfig {
+  std::size_t hidden = 32;      ///< hidden width of encoder/decoder (paper: 32)
+  int init_iterations = 400;    ///< Adam steps for the first fit
+  int refit_iterations = 60;    ///< Adam steps for warm-started refits
+  double lr = 1e-2;
+  double warmup_frac = 0.4;     ///< fraction of the first fit spent on mean-only loss
+  double grad_clip = 10.0;      ///< global-norm gradient clip (0 = off)
+  double reg_to_init = 1e-3;    ///< L2 pull toward the identity-biased init
+  int eval_every = 10;          ///< full-NLL evaluation cadence for best-param tracking
+  std::size_t batch_size = 128; ///< minibatch size (0 = full batch)
+  double init_noise = 1e-2;     ///< initial target noise (standardized)
+  double min_noise = 1e-6;
+};
+
+class KatGp {
+ public:
+  /// `source` must outlive this object and already be fitted on source data.
+  KatGp(const MultiGp* source, std::size_t target_dim,
+        std::size_t target_metrics, const KatGpConfig& config, util::Rng& rng);
+
+  /// Replace target data: x (n x d_t, unit box), y (n x m_t, raw units).
+  void set_target_data(const la::Matrix& x, const la::Matrix& y);
+
+  /// Train encoder/decoder/noise.  First call uses init_iterations, later
+  /// calls warm-start with refit_iterations.
+  void fit(util::Rng& rng);
+
+  /// Delta-method predictive per target metric, raw units.
+  std::vector<GpPrediction> predict(std::span<const double> x) const;
+
+  /// Exact Eq. 12 negative log likelihood of the current parameters on the
+  /// full target set (used by tests and diagnostics).
+  double nll() const;
+
+  std::size_t n_metrics() const { return m_t_; }
+  std::size_t n_target_data() const { return x_t_.rows(); }
+
+ private:
+  struct Forward {
+    la::Vector enc_out;          ///< E(x), d_s
+    la::Vector mu_s;             ///< standardized source means, m_s
+    la::Vector v_s;              ///< standardized source variances, m_s
+    la::Vector mean_t;           ///< decoder output (standardized target), m_t
+    la::Matrix jac;              ///< decoder Jacobian m_t x m_s
+    nn::Mlp::Cache enc_cache;
+    nn::Mlp::Cache dec_cache;
+  };
+
+  Forward forward(std::span<const double> x) const;
+  /// NLL of one target point given a forward pass.
+  double point_nll(const Forward& f, std::size_t row) const;
+  /// Accumulate gradients for one point into encoder/decoder grads and
+  /// d/d log sigma_t^2; returns the point loss.  With mean_only the loss is
+  /// the squared error of the predictive mean (warmup phase).
+  double point_backward(const Forward& f, std::size_t row, bool mean_only);
+
+  const MultiGp* source_;
+  std::size_t d_t_;
+  std::size_t m_t_;
+  KatGpConfig config_;
+  mutable nn::Mlp encoder_;   // mutable: forward() caches are external, but
+  mutable nn::Mlp decoder_;   // jacobian() is const-logical
+  double log_noise_;
+  double noise_grad_ = 0.0;  ///< scratch accumulator for d NLL / d log sigma^2
+  la::Matrix x_t_;
+  la::Matrix y_t_std_;
+  la::Vector y_mean_;
+  la::Vector y_sd_;
+  bool fitted_once_ = false;
+};
+
+}  // namespace kato::gp

@@ -1,0 +1,60 @@
+#pragma once
+// Kernel interface for the GP stack.
+//
+// Kernels expose three things beyond evaluation:
+//  * params()   — a flat unconstrained parameter vector (positive quantities
+//                 are stored in log space) so a generic optimizer can train
+//                 any kernel;
+//  * backward() — accumulate dL/dparams given the upstream gradient dL/dK of
+//                 a scalar loss w.r.t. the kernel matrix.  The GP's marginal
+//                 likelihood gradient dL/dK is analytic (see gp.cpp), so the
+//                 chain rule splits cleanly at the kernel-matrix boundary;
+//  * input_grad() — d k(x, x2_j)/dx, needed by KAT-GP to backpropagate
+//                 through the source GP's posterior into the encoder.
+//
+// All gradients are finite-difference checked in tests/kernel_test.cpp.
+
+#include <memory>
+#include <span>
+#include <string>
+
+#include "linalg/matrix.hpp"
+
+namespace kato::kern {
+
+class Kernel {
+ public:
+  virtual ~Kernel() = default;
+
+  virtual std::string name() const = 0;
+  virtual std::size_t input_dim() const = 0;
+  virtual std::size_t n_params() const = 0;
+  virtual std::span<double> params() = 0;
+  virtual std::span<const double> params() const = 0;
+
+  /// Cross-covariance K(X1, X2), shape n1 x n2.
+  virtual la::Matrix cross(const la::Matrix& x1, const la::Matrix& x2) const = 0;
+
+  /// Symmetric covariance K(X, X).  Default forwards to cross().
+  virtual la::Matrix matrix(const la::Matrix& x) const { return cross(x, x); }
+
+  /// k(x, x) for a single point.
+  virtual double diag(std::span<const double> x) const = 0;
+
+  /// Accumulate dL/dparams into `grad` given dL/dK for K(X, X).
+  virtual void backward(const la::Matrix& x, const la::Matrix& dk,
+                        std::span<double> grad) const = 0;
+
+  /// Rows j = d k(x, x2_j) / dx; shape n2 x d.
+  virtual la::Matrix input_grad(std::span<const double> x,
+                                const la::Matrix& x2) const = 0;
+
+  virtual std::unique_ptr<Kernel> clone() const = 0;
+};
+
+/// Numerically safe softplus and its derivative (used for positivity
+/// constraints on Neuk mixing weights).
+double softplus(double x);
+double softplus_deriv(double x);
+
+}  // namespace kato::kern

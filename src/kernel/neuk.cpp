@@ -1,0 +1,322 @@
+#include "kernel/neuk.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace kato::kern {
+
+NeukKernel::NeukKernel(std::size_t dim, const NeukConfig& config, util::Rng& rng)
+    : dim_(dim), mix_width_(config.mix_width) {
+  if (dim == 0) throw std::invalid_argument("NeukKernel: dim must be > 0");
+  if (config.primitives.empty())
+    throw std::invalid_argument("NeukKernel: need at least one primitive");
+  latent_ = config.latent_dim > 0 ? config.latent_dim : std::min<std::size_t>(dim, 4);
+
+  std::size_t offset = 0;
+  for (Primitive p : config.primitives) {
+    PrimBlock blk;
+    blk.type = p;
+    blk.w_offset = offset;
+    offset += latent_ * dim_;
+    blk.b_offset = offset;
+    offset += latent_;
+    blk.shape_offset = (p == Primitive::rbf) ? k_npos : offset;
+    if (p != Primitive::rbf) offset += 1;
+    prims_.push_back(blk);
+  }
+  wz_offset_ = offset;
+  offset += mix_width_ * prims_.size();
+  bz_offset_ = offset;
+  offset += mix_width_;
+  bk_offset_ = offset;
+  offset += 1;
+  params_.assign(offset, 0.0);
+
+  // Initialization: transforms scaled so distances between unit-cube inputs
+  // are O(1); mixing weights start near 1/n_prims; b_k centers the diagonal
+  // of K at ~1 (outputs are standardized by the GP).
+  const double w_scale = 1.0 / std::sqrt(static_cast<double>(dim_));
+  for (const auto& blk : prims_) {
+    for (std::size_t i = 0; i < latent_ * dim_; ++i)
+      params_[blk.w_offset + i] = rng.normal(0.0, w_scale);
+    for (std::size_t i = 0; i < latent_; ++i)
+      params_[blk.b_offset + i] = 0.1 * rng.normal();
+    if (blk.shape_offset != k_npos) params_[blk.shape_offset] = 0.0;  // alpha=p=1
+  }
+  for (std::size_t i = 0; i < mix_width_ * prims_.size(); ++i)
+    params_[wz_offset_ + i] = -1.0 + 0.1 * rng.normal();
+  double a_sum = 0.0;
+  for (std::size_t i = 0; i < prims_.size(); ++i) a_sum += mix_weight(i);
+  params_[bk_offset_] = -a_sum;  // diag(K) = exp(sum_i a_i + c) ~= 1
+}
+
+la::Matrix NeukKernel::transform(std::size_t i, const la::Matrix& x) const {
+  const auto& blk = prims_[i];
+  la::Matrix u(x.rows(), latent_);
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    for (std::size_t l = 0; l < latent_; ++l) {
+      double s = params_[blk.b_offset + l];
+      const double* w = params_.data() + blk.w_offset + l * dim_;
+      for (std::size_t j = 0; j < dim_; ++j) s += w[j] * x(r, j);
+      u(r, l) = s;
+    }
+  }
+  return u;
+}
+
+la::Vector NeukKernel::transform_point(std::size_t i, std::span<const double> x) const {
+  const auto& blk = prims_[i];
+  la::Vector u(latent_);
+  for (std::size_t l = 0; l < latent_; ++l) {
+    double s = params_[blk.b_offset + l];
+    const double* w = params_.data() + blk.w_offset + l * dim_;
+    for (std::size_t j = 0; j < dim_; ++j) s += w[j] * x[j];
+    u[l] = s;
+  }
+  return u;
+}
+
+double NeukKernel::prim_value(std::size_t i, std::span<const double> u,
+                              std::span<const double> v) const {
+  const auto& blk = prims_[i];
+  switch (blk.type) {
+    case Primitive::rbf:
+      return std::exp(-la::sq_dist(u, v));
+    case Primitive::rq: {
+      const double alpha = std::exp(params_[blk.shape_offset]);
+      return std::pow(1.0 + la::sq_dist(u, v) / (2.0 * alpha), -alpha);
+    }
+    case Primitive::periodic: {
+      const double p = std::exp(params_[blk.shape_offset]);
+      double e = 0.0;
+      for (std::size_t m = 0; m < u.size(); ++m) {
+        const double s = std::sin(M_PI * (u[m] - v[m]) / p);
+        e += s * s;
+      }
+      return std::exp(-2.0 * e);
+    }
+  }
+  throw std::logic_error("NeukKernel::prim_value: unknown primitive");
+}
+
+la::Vector NeukKernel::prim_input_grad(std::size_t i, std::span<const double> u,
+                                       std::span<const double> v) const {
+  const auto& blk = prims_[i];
+  la::Vector g(latent_, 0.0);
+  switch (blk.type) {
+    case Primitive::rbf: {
+      const double h = std::exp(-la::sq_dist(u, v));
+      for (std::size_t m = 0; m < latent_; ++m)
+        g[m] = -2.0 * h * (u[m] - v[m]);
+      return g;
+    }
+    case Primitive::rq: {
+      const double alpha = std::exp(params_[blk.shape_offset]);
+      const double r2 = la::sq_dist(u, v);
+      const double dh_dr2 = -0.5 * std::pow(1.0 + r2 / (2.0 * alpha), -alpha - 1.0);
+      for (std::size_t m = 0; m < latent_; ++m)
+        g[m] = dh_dr2 * 2.0 * (u[m] - v[m]);
+      return g;
+    }
+    case Primitive::periodic: {
+      const double p = std::exp(params_[blk.shape_offset]);
+      double e = 0.0;
+      for (std::size_t m = 0; m < latent_; ++m) {
+        const double s = std::sin(M_PI * (u[m] - v[m]) / p);
+        e += s * s;
+      }
+      const double h = std::exp(-2.0 * e);
+      for (std::size_t m = 0; m < latent_; ++m) {
+        const double de = std::sin(2.0 * M_PI * (u[m] - v[m]) / p) * M_PI / p;
+        g[m] = -2.0 * h * de;
+      }
+      return g;
+    }
+  }
+  throw std::logic_error("NeukKernel::prim_input_grad: unknown primitive");
+}
+
+double NeukKernel::prim_shape_grad(std::size_t i, std::span<const double> u,
+                                   std::span<const double> v) const {
+  const auto& blk = prims_[i];
+  switch (blk.type) {
+    case Primitive::rbf:
+      return 0.0;
+    case Primitive::rq: {
+      const double alpha = std::exp(params_[blk.shape_offset]);
+      const double t = la::sq_dist(u, v) / (2.0 * alpha);
+      const double base = 1.0 + t;
+      // d h/d alpha * alpha (log-space chain).
+      return std::pow(base, -alpha) * (-std::log(base) + t / base) * alpha;
+    }
+    case Primitive::periodic: {
+      const double p = std::exp(params_[blk.shape_offset]);
+      double e = 0.0;
+      double de_dp = 0.0;
+      for (std::size_t m = 0; m < latent_; ++m) {
+        const double diff = u[m] - v[m];
+        const double s = std::sin(M_PI * diff / p);
+        e += s * s;
+        de_dp += -std::sin(2.0 * M_PI * diff / p) * M_PI * diff / (p * p);
+      }
+      const double h = std::exp(-2.0 * e);
+      return h * (-2.0) * de_dp * p;  // log-space chain
+    }
+  }
+  throw std::logic_error("NeukKernel::prim_shape_grad: unknown primitive");
+}
+
+double NeukKernel::mix_weight(std::size_t i) const {
+  double a = 0.0;
+  for (std::size_t j = 0; j < mix_width_; ++j)
+    a += softplus(params_[wz_offset_ + j * prims_.size() + i]);
+  return a;
+}
+
+double NeukKernel::mix_bias() const {
+  double c = params_[bk_offset_];
+  for (std::size_t j = 0; j < mix_width_; ++j) c += params_[bz_offset_ + j];
+  return c;
+}
+
+la::Matrix NeukKernel::cross(const la::Matrix& x1, const la::Matrix& x2) const {
+  const double c = mix_bias();
+  la::Matrix s(x1.rows(), x2.rows(), c);
+  for (std::size_t i = 0; i < prims_.size(); ++i) {
+    const double a = mix_weight(i);
+    const la::Matrix u1 = transform(i, x1);
+    const la::Matrix u2 = transform(i, x2);
+    for (std::size_t p = 0; p < x1.rows(); ++p)
+      for (std::size_t q = 0; q < x2.rows(); ++q)
+        s(p, q) += a * prim_value(i, u1.row(p), u2.row(q));
+  }
+  for (auto& v : s.data()) v = std::exp(std::min(v, k_log_clamp));
+  return s;
+}
+
+double NeukKernel::diag(std::span<const double>) const {
+  // Every primitive evaluates to 1 at zero distance, so k(x,x) is constant.
+  double s = mix_bias();
+  for (std::size_t i = 0; i < prims_.size(); ++i) s += mix_weight(i);
+  return std::exp(std::min(s, k_log_clamp));
+}
+
+void NeukKernel::backward(const la::Matrix& x, const la::Matrix& dk,
+                          std::span<double> grad) const {
+  if (grad.size() != params_.size())
+    throw std::invalid_argument("NeukKernel::backward: grad size mismatch");
+  const std::size_t n = x.rows();
+  const double c = mix_bias();
+
+  // Forward caches.
+  std::vector<la::Matrix> u(prims_.size());
+  std::vector<la::Matrix> h(prims_.size());
+  std::vector<double> a(prims_.size());
+  la::Matrix s(n, n, c);
+  for (std::size_t i = 0; i < prims_.size(); ++i) {
+    a[i] = mix_weight(i);
+    u[i] = transform(i, x);
+    h[i] = la::Matrix(n, n);
+    for (std::size_t p = 0; p < n; ++p)
+      for (std::size_t q = 0; q < n; ++q) {
+        h[i](p, q) = prim_value(i, u[i].row(p), u[i].row(q));
+        s(p, q) += a[i] * h[i](p, q);
+      }
+  }
+
+  // dL/dS = dL/dK * K (zero where the exp clamp is active).
+  la::Matrix ds(n, n);
+  double ds_sum = 0.0;
+  for (std::size_t p = 0; p < n; ++p)
+    for (std::size_t q = 0; q < n; ++q) {
+      const double sv = s(p, q);
+      const double kv = sv < k_log_clamp ? std::exp(sv) : 0.0;
+      ds(p, q) = dk(p, q) * kv;
+      ds_sum += ds(p, q);
+    }
+
+  grad[bk_offset_] += ds_sum;
+  for (std::size_t j = 0; j < mix_width_; ++j) grad[bz_offset_ + j] += ds_sum;
+
+  for (std::size_t i = 0; i < prims_.size(); ++i) {
+    const auto& blk = prims_[i];
+    // Mixing weights: dL/d w_z[j,i] = (sum_pq dS * H_i) * softplus'.
+    double dot_dh = 0.0;
+    for (std::size_t p = 0; p < n; ++p)
+      for (std::size_t q = 0; q < n; ++q) dot_dh += ds(p, q) * h[i](p, q);
+    for (std::size_t j = 0; j < mix_width_; ++j) {
+      const std::size_t idx = wz_offset_ + j * prims_.size() + i;
+      grad[idx] += dot_dh * softplus_deriv(params_[idx]);
+    }
+
+    // Through the primitive into its transform and shape parameter.
+    la::Matrix du(n, latent_);
+    double dshape = 0.0;
+    for (std::size_t p = 0; p < n; ++p)
+      for (std::size_t q = 0; q < n; ++q) {
+        const double up_grad = a[i] * ds(p, q);
+        if (up_grad == 0.0) continue;
+        // Both arguments share the transform: dh/d(second arg) = -dh/d(first)
+        // for these stationary primitives, so each ordered pair contributes
+        // to du at rows p and q.
+        const la::Vector dgu = prim_input_grad(i, u[i].row(p), u[i].row(q));
+        for (std::size_t m = 0; m < latent_; ++m) {
+          du(p, m) += up_grad * dgu[m];
+          du(q, m) -= up_grad * dgu[m];
+        }
+        if (blk.shape_offset != k_npos)
+          dshape += up_grad * prim_shape_grad(i, u[i].row(p), u[i].row(q));
+      }
+    if (blk.shape_offset != k_npos) grad[blk.shape_offset] += dshape;
+    // dL/dW_i = dU^T X ; dL/db_i = column sums of dU.
+    for (std::size_t m = 0; m < latent_; ++m) {
+      double db = 0.0;
+      for (std::size_t p = 0; p < n; ++p) {
+        db += du(p, m);
+        for (std::size_t j = 0; j < dim_; ++j)
+          grad[blk.w_offset + m * dim_ + j] += du(p, m) * x(p, j);
+      }
+      grad[blk.b_offset + m] += db;
+    }
+  }
+}
+
+la::Matrix NeukKernel::input_grad(std::span<const double> x,
+                                  const la::Matrix& x2) const {
+  const std::size_t n2 = x2.rows();
+  la::Matrix out(n2, dim_);
+  const double c = mix_bias();
+
+  std::vector<la::Vector> ux(prims_.size());
+  std::vector<la::Matrix> u2(prims_.size());
+  std::vector<double> a(prims_.size());
+  for (std::size_t i = 0; i < prims_.size(); ++i) {
+    a[i] = mix_weight(i);
+    ux[i] = transform_point(i, x);
+    u2[i] = transform(i, x2);
+  }
+  for (std::size_t q = 0; q < n2; ++q) {
+    double s = c;
+    for (std::size_t i = 0; i < prims_.size(); ++i)
+      s += a[i] * prim_value(i, ux[i], u2[i].row(q));
+    const double kv = s < k_log_clamp ? std::exp(s) : 0.0;
+    for (std::size_t i = 0; i < prims_.size(); ++i) {
+      const la::Vector dgu = prim_input_grad(i, ux[i], u2[i].row(q));
+      const auto& blk = prims_[i];
+      // chain: dk/dx = k * a_i * W_i^T (dh/du).
+      for (std::size_t m = 0; m < latent_; ++m) {
+        const double coeff = kv * a[i] * dgu[m];
+        if (coeff == 0.0) continue;
+        const double* w = params_.data() + blk.w_offset + m * dim_;
+        for (std::size_t j = 0; j < dim_; ++j) out(q, j) += coeff * w[j];
+      }
+    }
+  }
+  return out;
+}
+
+std::unique_ptr<Kernel> NeukKernel::clone() const {
+  return std::make_unique<NeukKernel>(*this);
+}
+
+}  // namespace kato::kern

@@ -1,0 +1,91 @@
+#pragma once
+// Neural Kernel (Neuk) — paper Sec. 3.1, Eqs. (8)-(10).
+//
+// Architecture (one Neuk unit, as used in the paper):
+//   u_i   = W_i x + b_i                    (per-primitive linear transform)
+//   H_i   = h_i(u_i, u_i')                 (primitive kernels: RBF, RQ, PER)
+//   z_j   = sum_i softplus(w_z[j,i]) H_i + b_z[j]   (mixing linear layer)
+//   k     = exp( sum_j z_j + b_k )         (Eq. 10)
+//
+// Positive semidefiniteness: each primitive is a valid kernel; composing with
+// the linear input map preserves PSD; nonnegative mixing weights (enforced by
+// softplus, as in the NKN construction of Sun et al. 2018 that the paper
+// follows) keep the sum PSD; and elementwise exp of a PSD kernel is PSD by
+// the Schur product theorem applied to its power series.  The bias terms only
+// contribute a positive global scale exp(b).
+
+#include "kernel/kernel.hpp"
+#include "util/rng.hpp"
+
+namespace kato::kern {
+
+enum class Primitive { rbf, rq, periodic };
+
+struct NeukConfig {
+  std::vector<Primitive> primitives{Primitive::rbf, Primitive::rq,
+                                    Primitive::periodic};
+  std::size_t latent_dim = 4;  ///< d_h: rows of each W_i (0 = min(dim, 4))
+  std::size_t mix_width = 2;   ///< d_l: width of the mixing layer z
+};
+
+class NeukKernel final : public Kernel {
+ public:
+  NeukKernel(std::size_t dim, const NeukConfig& config, util::Rng& rng);
+
+  std::string name() const override { return "neuk"; }
+  std::size_t input_dim() const override { return dim_; }
+  std::size_t n_params() const override { return params_.size(); }
+  std::span<double> params() override { return params_; }
+  std::span<const double> params() const override { return params_; }
+
+  la::Matrix cross(const la::Matrix& x1, const la::Matrix& x2) const override;
+  double diag(std::span<const double> x) const override;
+  void backward(const la::Matrix& x, const la::Matrix& dk,
+                std::span<double> grad) const override;
+  la::Matrix input_grad(std::span<const double> x,
+                        const la::Matrix& x2) const override;
+  std::unique_ptr<Kernel> clone() const override;
+
+  std::size_t n_primitives() const { return prims_.size(); }
+
+ private:
+  struct PrimBlock {
+    Primitive type;
+    std::size_t w_offset;      ///< W_i, row-major latent x dim
+    std::size_t b_offset;      ///< b_i, latent
+    std::size_t shape_offset;  ///< log alpha (RQ) / log p (PER); npos if none
+  };
+
+  /// Transform all rows of x through primitive i: U = X W^T + b.
+  la::Matrix transform(std::size_t i, const la::Matrix& x) const;
+  la::Vector transform_point(std::size_t i, std::span<const double> x) const;
+
+  /// Primitive kernel value between transformed points.
+  double prim_value(std::size_t i, std::span<const double> u,
+                    std::span<const double> v) const;
+  /// d h / d u (first argument) between transformed points.
+  la::Vector prim_input_grad(std::size_t i, std::span<const double> u,
+                             std::span<const double> v) const;
+  /// d h / d (log shape param); 0 when the primitive has none.
+  double prim_shape_grad(std::size_t i, std::span<const double> u,
+                         std::span<const double> v) const;
+
+  /// Effective mixing weight a_i = sum_j softplus(w_z[j,i]).
+  double mix_weight(std::size_t i) const;
+  /// Constant part c = sum_j b_z[j] + b_k (enters k as global scale exp(c)).
+  double mix_bias() const;
+
+  std::size_t dim_;
+  std::size_t latent_;
+  std::size_t mix_width_;
+  std::vector<PrimBlock> prims_;
+  std::size_t wz_offset_ = 0;  ///< mixing weights, row-major mix_width x n_prims
+  std::size_t bz_offset_ = 0;  ///< b_z, mix_width
+  std::size_t bk_offset_ = 0;  ///< scalar b_k
+  std::vector<double> params_;
+
+  static constexpr double k_log_clamp = 30.0;  ///< guard on exp argument
+  static constexpr std::size_t k_npos = static_cast<std::size_t>(-1);
+};
+
+}  // namespace kato::kern

@@ -1,0 +1,256 @@
+#include "kernel/stationary.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace kato::kern {
+
+namespace {
+constexpr double k_sqrt3 = 1.7320508075688772;
+constexpr double k_sqrt5 = 2.23606797749979;
+
+double ard_r2(std::span<const double> a, std::span<const double> b,
+              const std::vector<double>& params, std::size_t dim) {
+  double r2 = 0.0;
+  for (std::size_t j = 0; j < dim; ++j) {
+    const double w = std::exp(params[1 + j]);
+    const double diff = a[j] - b[j];
+    r2 += w * diff * diff;
+  }
+  return r2;
+}
+}  // namespace
+
+double softplus(double x) {
+  if (x > 30.0) return x;
+  if (x < -30.0) return std::exp(x);
+  return std::log1p(std::exp(x));
+}
+
+double softplus_deriv(double x) {
+  if (x > 30.0) return 1.0;
+  if (x < -30.0) return std::exp(x);
+  return 1.0 / (1.0 + std::exp(-x));
+}
+
+StationaryArd::StationaryArd(StationaryType type, std::size_t dim)
+    : type_(type), dim_(dim) {
+  if (dim == 0) throw std::invalid_argument("StationaryArd: dim must be > 0");
+  // log sigma^2 = 0, log w_j = 0, RQ: log alpha = 0.
+  params_.assign(1 + dim + (type == StationaryType::rq ? 1 : 0), 0.0);
+}
+
+std::string StationaryArd::name() const {
+  switch (type_) {
+    case StationaryType::rbf: return "rbf";
+    case StationaryType::rq: return "rq";
+    case StationaryType::matern32: return "matern32";
+    case StationaryType::matern52: return "matern52";
+  }
+  return "stationary";
+}
+
+double StationaryArd::amplitude2() const { return std::exp(params_[0]); }
+double StationaryArd::weight(std::size_t j) const { return std::exp(params_[1 + j]); }
+double StationaryArd::alpha() const { return std::exp(params_[1 + dim_]); }
+
+double StationaryArd::g(double r2) const {
+  switch (type_) {
+    case StationaryType::rbf:
+      return std::exp(-r2);
+    case StationaryType::rq: {
+      const double a = alpha();
+      return std::pow(1.0 + r2 / (2.0 * a), -a);
+    }
+    case StationaryType::matern32: {
+      const double r = std::sqrt(r2);
+      return (1.0 + k_sqrt3 * r) * std::exp(-k_sqrt3 * r);
+    }
+    case StationaryType::matern52: {
+      const double r = std::sqrt(r2);
+      return (1.0 + k_sqrt5 * r + 5.0 * r2 / 3.0) * std::exp(-k_sqrt5 * r);
+    }
+  }
+  throw std::logic_error("StationaryArd::g: unknown type");
+}
+
+double StationaryArd::dg_dr2(double r2) const {
+  switch (type_) {
+    case StationaryType::rbf:
+      return -std::exp(-r2);
+    case StationaryType::rq: {
+      const double a = alpha();
+      return -0.5 * std::pow(1.0 + r2 / (2.0 * a), -a - 1.0);
+    }
+    case StationaryType::matern32: {
+      // dg/dr2 = dg/dr * 1/(2r); analytic limit 3/2*... at r->0 is -3/2.
+      const double r = std::sqrt(r2);
+      if (r < 1e-12) return -1.5;
+      const double dg_dr = -3.0 * r * std::exp(-k_sqrt3 * r);
+      return dg_dr / (2.0 * r);
+    }
+    case StationaryType::matern52: {
+      const double r = std::sqrt(r2);
+      if (r < 1e-12) return -5.0 / 6.0;
+      const double dg_dr =
+          -(5.0 / 3.0) * r * (1.0 + k_sqrt5 * r) * std::exp(-k_sqrt5 * r);
+      return dg_dr / (2.0 * r);
+    }
+  }
+  throw std::logic_error("StationaryArd::dg_dr2: unknown type");
+}
+
+double StationaryArd::dg_dalpha(double r2) const {
+  if (type_ != StationaryType::rq) return 0.0;
+  const double a = alpha();
+  const double t = r2 / (2.0 * a);
+  const double base = 1.0 + t;
+  // d/da [ exp(-a ln(1+t)) ] with t depending on a.
+  return std::pow(base, -a) * (-std::log(base) + t / base);
+}
+
+la::Matrix StationaryArd::cross(const la::Matrix& x1, const la::Matrix& x2) const {
+  const double s2 = amplitude2();
+  la::Matrix k(x1.rows(), x2.rows());
+  for (std::size_t i = 0; i < x1.rows(); ++i)
+    for (std::size_t j = 0; j < x2.rows(); ++j)
+      k(i, j) = s2 * g(ard_r2(x1.row(i), x2.row(j), params_, dim_));
+  return k;
+}
+
+double StationaryArd::diag(std::span<const double>) const { return amplitude2(); }
+
+void StationaryArd::backward(const la::Matrix& x, const la::Matrix& dk,
+                             std::span<double> grad) const {
+  if (grad.size() != params_.size())
+    throw std::invalid_argument("StationaryArd::backward: grad size mismatch");
+  const double s2 = amplitude2();
+  const std::size_t n = x.rows();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const double up = dk(i, j);
+      if (up == 0.0) continue;
+      const double r2 = ard_r2(x.row(i), x.row(j), params_, dim_);
+      const double gv = g(r2);
+      // d k / d log sigma^2 = k.
+      grad[0] += up * s2 * gv;
+      const double dgr2 = dg_dr2(r2);
+      for (std::size_t m = 0; m < dim_; ++m) {
+        const double w = weight(m);
+        const double diff = x(i, m) - x(j, m);
+        // d r2 / d log w_m = w_m diff^2.
+        grad[1 + m] += up * s2 * dgr2 * w * diff * diff;
+      }
+      if (type_ == StationaryType::rq) {
+        const double a = alpha();
+        grad[1 + dim_] += up * s2 * dg_dalpha(r2) * a;
+      }
+    }
+  }
+}
+
+la::Matrix StationaryArd::input_grad(std::span<const double> x,
+                                     const la::Matrix& x2) const {
+  const double s2 = amplitude2();
+  la::Matrix out(x2.rows(), dim_);
+  for (std::size_t j = 0; j < x2.rows(); ++j) {
+    const double r2 = ard_r2(x, x2.row(j), params_, dim_);
+    const double dgr2 = dg_dr2(r2);
+    for (std::size_t m = 0; m < dim_; ++m) {
+      const double w = weight(m);
+      // d r2/dx_m = 2 w (x_m - x2_m).
+      out(j, m) = s2 * dgr2 * 2.0 * w * (x[m] - x2(j, m));
+    }
+  }
+  return out;
+}
+
+std::unique_ptr<Kernel> StationaryArd::clone() const {
+  return std::make_unique<StationaryArd>(*this);
+}
+
+PeriodicArd::PeriodicArd(std::size_t dim) : dim_(dim) {
+  if (dim == 0) throw std::invalid_argument("PeriodicArd: dim must be > 0");
+  params_.assign(1 + dim + 1, 0.0);  // log s2, log w_j, log p
+}
+
+double PeriodicArd::amplitude2() const { return std::exp(params_[0]); }
+double PeriodicArd::weight(std::size_t j) const { return std::exp(params_[1 + j]); }
+double PeriodicArd::period() const { return std::exp(params_[1 + dim_]); }
+
+la::Matrix PeriodicArd::cross(const la::Matrix& x1, const la::Matrix& x2) const {
+  const double s2 = amplitude2();
+  const double p = period();
+  la::Matrix k(x1.rows(), x2.rows());
+  for (std::size_t i = 0; i < x1.rows(); ++i)
+    for (std::size_t j = 0; j < x2.rows(); ++j) {
+      double e = 0.0;
+      for (std::size_t m = 0; m < dim_; ++m) {
+        const double s = std::sin(M_PI * (x1(i, m) - x2(j, m)) / p);
+        e += weight(m) * s * s;
+      }
+      k(i, j) = s2 * std::exp(-2.0 * e);
+    }
+  return k;
+}
+
+double PeriodicArd::diag(std::span<const double>) const { return amplitude2(); }
+
+void PeriodicArd::backward(const la::Matrix& x, const la::Matrix& dk,
+                           std::span<double> grad) const {
+  if (grad.size() != params_.size())
+    throw std::invalid_argument("PeriodicArd::backward: grad size mismatch");
+  const double s2 = amplitude2();
+  const double p = period();
+  const std::size_t n = x.rows();
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      const double up = dk(i, j);
+      if (up == 0.0) continue;
+      double e = 0.0;
+      for (std::size_t m = 0; m < dim_; ++m) {
+        const double s = std::sin(M_PI * (x(i, m) - x(j, m)) / p);
+        e += weight(m) * s * s;
+      }
+      const double kv = s2 * std::exp(-2.0 * e);
+      grad[0] += up * kv;  // d/d log s2
+      double de_dp = 0.0;
+      for (std::size_t m = 0; m < dim_; ++m) {
+        const double diff = x(i, m) - x(j, m);
+        const double s = std::sin(M_PI * diff / p);
+        // d e / d log w_m = w_m sin^2.
+        grad[1 + m] += up * kv * (-2.0) * weight(m) * s * s;
+        // d sin^2(pi diff/p) / dp = -sin(2 pi diff / p) * pi diff / p^2.
+        de_dp += weight(m) * (-std::sin(2.0 * M_PI * diff / p)) * M_PI * diff / (p * p);
+      }
+      grad[1 + dim_] += up * kv * (-2.0) * de_dp * p;  // chain to log p
+    }
+}
+
+la::Matrix PeriodicArd::input_grad(std::span<const double> x,
+                                   const la::Matrix& x2) const {
+  const double s2 = amplitude2();
+  const double p = period();
+  la::Matrix out(x2.rows(), dim_);
+  for (std::size_t j = 0; j < x2.rows(); ++j) {
+    double e = 0.0;
+    for (std::size_t m = 0; m < dim_; ++m) {
+      const double s = std::sin(M_PI * (x[m] - x2(j, m)) / p);
+      e += weight(m) * s * s;
+    }
+    const double kv = s2 * std::exp(-2.0 * e);
+    for (std::size_t m = 0; m < dim_; ++m) {
+      const double diff = x[m] - x2(j, m);
+      // d e/dx_m = w_m sin(2 pi diff / p) * pi / p.
+      const double de = weight(m) * std::sin(2.0 * M_PI * diff / p) * M_PI / p;
+      out(j, m) = kv * (-2.0) * de;
+    }
+  }
+  return out;
+}
+
+std::unique_ptr<Kernel> PeriodicArd::clone() const {
+  return std::make_unique<PeriodicArd>(*this);
+}
+
+}  // namespace kato::kern

@@ -1,0 +1,100 @@
+#include "linalg/cholesky.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace kato::la {
+
+std::optional<Matrix> cholesky(const Matrix& a) {
+  if (a.rows() != a.cols())
+    throw std::invalid_argument("cholesky: matrix must be square");
+  const std::size_t n = a.rows();
+  Matrix l(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    for (std::size_t k = 0; k < j; ++k) diag -= l(j, k) * l(j, k);
+    if (!(diag > 0.0) || !std::isfinite(diag)) return std::nullopt;
+    const double ljj = std::sqrt(diag);
+    l(j, j) = ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double s = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) s -= l(i, k) * l(j, k);
+      l(i, j) = s / ljj;
+    }
+  }
+  return l;
+}
+
+JitteredCholesky cholesky_jittered(const Matrix& a) {
+  const std::size_t n = a.rows();
+  double mean_diag = 0.0;
+  for (std::size_t i = 0; i < n; ++i) mean_diag += a(i, i);
+  mean_diag = n > 0 ? mean_diag / static_cast<double>(n) : 1.0;
+  if (mean_diag <= 0.0) mean_diag = 1.0;
+
+  double jitter = 0.0;
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    Matrix shifted = a;
+    for (std::size_t i = 0; i < n; ++i) shifted(i, i) += jitter;
+    if (auto l = cholesky(shifted)) return {std::move(*l), jitter};
+    jitter = (jitter == 0.0) ? 1e-10 * mean_diag : jitter * 10.0;
+  }
+  throw std::runtime_error("cholesky_jittered: matrix not PD at max jitter");
+}
+
+Vector solve_lower(const Matrix& l, const Vector& b) {
+  const std::size_t n = l.rows();
+  if (b.size() != n) throw std::invalid_argument("solve_lower: size mismatch");
+  Vector x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    for (std::size_t k = 0; k < i; ++k) s -= l(i, k) * x[k];
+    x[i] = s / l(i, i);
+  }
+  return x;
+}
+
+Vector solve_lower_transposed(const Matrix& l, const Vector& b) {
+  const std::size_t n = l.rows();
+  if (b.size() != n)
+    throw std::invalid_argument("solve_lower_transposed: size mismatch");
+  Vector x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = b[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) s -= l(k, ii) * x[k];
+    x[ii] = s / l(ii, ii);
+  }
+  return x;
+}
+
+Vector cholesky_solve(const Matrix& l, const Vector& b) {
+  return solve_lower_transposed(l, solve_lower(l, b));
+}
+
+Matrix cholesky_inverse(const Matrix& l) {
+  const std::size_t n = l.rows();
+  Matrix inv(n, n);
+  Vector e(n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    e[j] = 1.0;
+    Vector col = cholesky_solve(l, e);
+    for (std::size_t i = 0; i < n; ++i) inv(i, j) = col[i];
+    e[j] = 0.0;
+  }
+  // Symmetrize to remove round-off asymmetry.
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double avg = 0.5 * (inv(i, j) + inv(j, i));
+      inv(i, j) = avg;
+      inv(j, i) = avg;
+    }
+  return inv;
+}
+
+double cholesky_logdet(const Matrix& l) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < l.rows(); ++i) s += std::log(l(i, i));
+  return 2.0 * s;
+}
+
+}  // namespace kato::la

@@ -1,0 +1,40 @@
+#pragma once
+// Cholesky factorization and solves for symmetric positive-definite systems.
+//
+// The GP stack relies on these for the marginal likelihood (Eq. 3 in the
+// paper) and the predictive posterior (Eq. 4).  `cholesky_jittered` walks a
+// jitter ladder so that nearly-singular kernel matrices (duplicated designs,
+// tiny lengthscales) still factor.
+
+#include <optional>
+
+#include "linalg/matrix.hpp"
+
+namespace kato::la {
+
+/// Lower-triangular Cholesky factor of an SPD matrix, or nullopt if the
+/// matrix is not numerically positive definite.
+std::optional<Matrix> cholesky(const Matrix& a);
+
+struct JitteredCholesky {
+  Matrix l;        ///< lower factor of (a + jitter * I)
+  double jitter;   ///< jitter actually applied (0 when none was needed)
+};
+
+/// Cholesky with an escalating diagonal jitter ladder (0, 1e-10, ... 1e-4,
+/// scaled by the mean diagonal).  Throws std::runtime_error if the matrix
+/// cannot be factored even at the largest jitter.
+JitteredCholesky cholesky_jittered(const Matrix& a);
+
+/// Solve L x = b (forward substitution) with L lower triangular.
+Vector solve_lower(const Matrix& l, const Vector& b);
+/// Solve L^T x = b (back substitution) with L lower triangular.
+Vector solve_lower_transposed(const Matrix& l, const Vector& b);
+/// Solve (L L^T) x = b.
+Vector cholesky_solve(const Matrix& l, const Vector& b);
+/// Inverse of (L L^T) formed explicitly (used for dL/dK in GP training).
+Matrix cholesky_inverse(const Matrix& l);
+/// log det(L L^T) = 2 * sum(log diag L).
+double cholesky_logdet(const Matrix& l);
+
+}  // namespace kato::la

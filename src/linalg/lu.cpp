@@ -1,0 +1,96 @@
+#include "linalg/lu.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace kato::la {
+
+namespace {
+constexpr double k_singular_tol = 1e-300;
+}
+
+std::optional<Vector> lu_solve(Matrix a, Vector b) {
+  const std::size_t n = a.rows();
+  if (a.cols() != n || b.size() != n)
+    throw std::invalid_argument("lu_solve: shape mismatch");
+  std::vector<std::size_t> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    std::size_t pivot = col;
+    double best = std::abs(a(col, col));
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double mag = std::abs(a(r, col));
+      if (mag > best) {
+        best = mag;
+        pivot = r;
+      }
+    }
+    if (best < k_singular_tol || !std::isfinite(best)) return std::nullopt;
+    if (pivot != col) {
+      for (std::size_t j = 0; j < n; ++j) std::swap(a(col, j), a(pivot, j));
+      std::swap(b[col], b[pivot]);
+    }
+    const double inv_piv = 1.0 / a(col, col);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double factor = a(r, col) * inv_piv;
+      if (factor == 0.0) continue;
+      a(r, col) = 0.0;
+      for (std::size_t j = col + 1; j < n; ++j) a(r, j) -= factor * a(col, j);
+      b[r] -= factor * b[col];
+    }
+  }
+  // Back substitution.
+  Vector x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = b[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) s -= a(ii, j) * x[j];
+    x[ii] = s / a(ii, ii);
+  }
+  for (double v : x)
+    if (!std::isfinite(v)) return std::nullopt;
+  return x;
+}
+
+std::optional<CVector> lu_solve_complex(CMatrix a, CVector b) {
+  const std::size_t n = a.rows();
+  if (a.cols() != n || b.size() != n)
+    throw std::invalid_argument("lu_solve_complex: shape mismatch");
+
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    double best = std::abs(a(col, col));
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double mag = std::abs(a(r, col));
+      if (mag > best) {
+        best = mag;
+        pivot = r;
+      }
+    }
+    if (best < k_singular_tol || !std::isfinite(best)) return std::nullopt;
+    if (pivot != col) {
+      for (std::size_t j = 0; j < n; ++j) std::swap(a(col, j), a(pivot, j));
+      std::swap(b[col], b[pivot]);
+    }
+    const std::complex<double> inv_piv = 1.0 / a(col, col);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const std::complex<double> factor = a(r, col) * inv_piv;
+      if (factor == std::complex<double>(0.0, 0.0)) continue;
+      a(r, col) = 0.0;
+      for (std::size_t j = col + 1; j < n; ++j) a(r, j) -= factor * a(col, j);
+      b[r] -= factor * b[col];
+    }
+  }
+  CVector x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    std::complex<double> s = b[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) s -= a(ii, j) * x[j];
+    x[ii] = s / a(ii, ii);
+  }
+  for (const auto& v : x)
+    if (!std::isfinite(v.real()) || !std::isfinite(v.imag())) return std::nullopt;
+  return x;
+}
+
+}  // namespace kato::la

@@ -1,0 +1,50 @@
+#pragma once
+// LU factorization with partial pivoting, real and complex variants.
+//
+// The complex solver backs the AC small-signal analysis in the circuit
+// simulator (MNA matrices are complex at each frequency point); the real
+// solver backs the DC Newton iterations.
+
+#include <complex>
+#include <optional>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace kato::la {
+
+/// Solve a x = b for a general square real matrix.  Returns nullopt when the
+/// matrix is numerically singular.
+std::optional<Vector> lu_solve(Matrix a, Vector b);
+
+/// Dense complex matrix in row-major order (small: circuit-node count).
+class CMatrix {
+ public:
+  using value_type = std::complex<double>;
+
+  CMatrix() = default;
+  CMatrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  value_type& operator()(std::size_t i, std::size_t j) {
+    return data_[i * cols_ + j];
+  }
+  value_type operator()(std::size_t i, std::size_t j) const {
+    return data_[i * cols_ + j];
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<value_type> data_;
+};
+
+using CVector = std::vector<std::complex<double>>;
+
+/// Solve a x = b for a general square complex matrix (partial pivoting).
+std::optional<CVector> lu_solve_complex(CMatrix a, CVector b);
+
+}  // namespace kato::la

@@ -1,0 +1,149 @@
+#include "moo/nsga2.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "moo/pareto.hpp"
+
+namespace kato::moo {
+
+namespace {
+
+struct Member {
+  std::vector<double> x;
+  std::vector<double> f;
+  std::size_t rank = 0;
+  double crowding = 0.0;
+};
+
+/// Binary tournament on (rank, crowding).
+const Member& tournament(const std::vector<Member>& pop, util::Rng& rng) {
+  const auto& a = pop[static_cast<std::size_t>(rng.randint(0, static_cast<int>(pop.size()) - 1))];
+  const auto& b = pop[static_cast<std::size_t>(rng.randint(0, static_cast<int>(pop.size()) - 1))];
+  if (a.rank != b.rank) return a.rank < b.rank ? a : b;
+  return a.crowding > b.crowding ? a : b;
+}
+
+/// Simulated binary crossover on one gene pair, clipped to [0,1].
+void sbx_gene(double& c1, double& c2, double eta, util::Rng& rng) {
+  const double u = rng.uniform();
+  const double beta = u <= 0.5 ? std::pow(2.0 * u, 1.0 / (eta + 1.0))
+                               : std::pow(1.0 / (2.0 * (1.0 - u)), 1.0 / (eta + 1.0));
+  const double p1 = c1;
+  const double p2 = c2;
+  c1 = 0.5 * ((1.0 + beta) * p1 + (1.0 - beta) * p2);
+  c2 = 0.5 * ((1.0 - beta) * p1 + (1.0 + beta) * p2);
+  c1 = std::clamp(c1, 0.0, 1.0);
+  c2 = std::clamp(c2, 0.0, 1.0);
+}
+
+/// Polynomial mutation of one gene, clipped to [0,1].
+void poly_mutate_gene(double& g, double eta, util::Rng& rng) {
+  const double u = rng.uniform();
+  double delta;
+  if (u < 0.5)
+    delta = std::pow(2.0 * u, 1.0 / (eta + 1.0)) - 1.0;
+  else
+    delta = 1.0 - std::pow(2.0 * (1.0 - u), 1.0 / (eta + 1.0));
+  g = std::clamp(g + delta, 0.0, 1.0);
+}
+
+void assign_rank_and_crowding(std::vector<Member>& pop) {
+  std::vector<std::vector<double>> f;
+  f.reserve(pop.size());
+  for (const auto& m : pop) f.push_back(m.f);
+  const auto fronts = non_dominated_sort(f);
+  for (std::size_t r = 0; r < fronts.size(); ++r) {
+    const auto crowd = crowding_distance(f, fronts[r]);
+    for (std::size_t i = 0; i < fronts[r].size(); ++i) {
+      pop[fronts[r][i]].rank = r;
+      pop[fronts[r][i]].crowding = crowd[i];
+    }
+  }
+}
+
+}  // namespace
+
+ParetoSet nsga2(const ObjectiveFn& fn, std::size_t dim, std::size_t n_obj,
+                const Nsga2Options& opts, util::Rng& rng,
+                const std::vector<std::vector<double>>& seeds) {
+  if (dim == 0) throw std::invalid_argument("nsga2: dim must be > 0");
+  if (opts.population < 4) throw std::invalid_argument("nsga2: population too small");
+  const double pm = opts.mutation_prob > 0.0
+                        ? opts.mutation_prob
+                        : 1.0 / static_cast<double>(dim);
+
+  auto evaluate = [&](Member& m) {
+    m.f = fn(m.x);
+    if (m.f.size() != n_obj)
+      throw std::invalid_argument("nsga2: objective count mismatch");
+  };
+
+  // Initial population: injected seeds first, uniform random for the rest.
+  std::vector<Member> pop(opts.population);
+  for (std::size_t i = 0; i < pop.size(); ++i) {
+    if (i < seeds.size() && seeds[i].size() == dim)
+      pop[i].x = seeds[i];
+    else
+      pop[i].x = rng.uniform_vec(dim);
+    evaluate(pop[i]);
+  }
+  assign_rank_and_crowding(pop);
+
+  for (std::size_t gen = 0; gen < opts.generations; ++gen) {
+    // Variation: tournament -> SBX -> polynomial mutation.
+    std::vector<Member> offspring;
+    offspring.reserve(opts.population);
+    while (offspring.size() < opts.population) {
+      Member c1;
+      Member c2;
+      c1.x = tournament(pop, rng).x;
+      c2.x = tournament(pop, rng).x;
+      if (rng.uniform() < opts.crossover_prob) {
+        for (std::size_t g = 0; g < dim; ++g)
+          if (rng.uniform() < 0.5) sbx_gene(c1.x[g], c2.x[g], opts.eta_crossover, rng);
+      }
+      for (std::size_t g = 0; g < dim; ++g) {
+        if (rng.uniform() < pm) poly_mutate_gene(c1.x[g], opts.eta_mutation, rng);
+        if (rng.uniform() < pm) poly_mutate_gene(c2.x[g], opts.eta_mutation, rng);
+      }
+      evaluate(c1);
+      offspring.push_back(std::move(c1));
+      if (offspring.size() < opts.population) {
+        evaluate(c2);
+        offspring.push_back(std::move(c2));
+      }
+    }
+
+    // Environmental selection on the combined population.
+    std::vector<Member> combined;
+    combined.reserve(pop.size() + offspring.size());
+    std::move(pop.begin(), pop.end(), std::back_inserter(combined));
+    std::move(offspring.begin(), offspring.end(), std::back_inserter(combined));
+    assign_rank_and_crowding(combined);
+
+    std::vector<std::size_t> order(combined.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      if (combined[a].rank != combined[b].rank)
+        return combined[a].rank < combined[b].rank;
+      return combined[a].crowding > combined[b].crowding;
+    });
+    pop.clear();
+    for (std::size_t i = 0; i < opts.population; ++i)
+      pop.push_back(std::move(combined[order[i]]));
+    assign_rank_and_crowding(pop);
+  }
+
+  ParetoSet result;
+  for (const auto& m : pop) {
+    if (m.rank == 0) {
+      result.x.push_back(m.x);
+      result.f.push_back(m.f);
+    }
+  }
+  return result;
+}
+
+}  // namespace kato::moo

@@ -1,0 +1,40 @@
+#pragma once
+// NSGA-II multi-objective genetic search (Deb et al. 2002).
+//
+// MACE (paper Sec. 3.3) proposes BO batch candidates from the Pareto front of
+// several acquisition functions; this NSGA-II is the Pareto-front searcher.
+// Genes live in the unit hypercube; objectives are minimized.
+
+#include <functional>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace kato::moo {
+
+struct Nsga2Options {
+  std::size_t population = 48;
+  std::size_t generations = 30;
+  double crossover_prob = 0.9;
+  double eta_crossover = 15.0;  ///< SBX distribution index
+  double eta_mutation = 20.0;   ///< polynomial-mutation distribution index
+  double mutation_prob = -1.0;  ///< per-gene probability (< 0 means 1/dim)
+};
+
+/// Maps a unit-cube point to the objective vector to be minimized.
+using ObjectiveFn =
+    std::function<std::vector<double>(const std::vector<double>&)>;
+
+struct ParetoSet {
+  std::vector<std::vector<double>> x;  ///< non-dominated designs
+  std::vector<std::vector<double>> f;  ///< their objective vectors
+};
+
+/// Run NSGA-II and return the final non-dominated set.  `seeds` (optional)
+/// injects known-good designs into the initial population — MACE seeds the
+/// acquisition search with the incumbent best designs.
+ParetoSet nsga2(const ObjectiveFn& fn, std::size_t dim, std::size_t n_obj,
+                const Nsga2Options& opts, util::Rng& rng,
+                const std::vector<std::vector<double>>& seeds = {});
+
+}  // namespace kato::moo

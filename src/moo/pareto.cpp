@@ -1,0 +1,102 @@
+#include "moo/pareto.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace kato::moo {
+
+bool dominates(std::span<const double> a, std::span<const double> b) {
+  if (a.size() != b.size())
+    throw std::invalid_argument("dominates: objective count mismatch");
+  bool strictly_better = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] > b[i]) return false;
+    if (a[i] < b[i]) strictly_better = true;
+  }
+  return strictly_better;
+}
+
+std::vector<std::vector<std::size_t>> non_dominated_sort(
+    const std::vector<std::vector<double>>& f) {
+  const std::size_t n = f.size();
+  std::vector<std::vector<std::size_t>> dominated_by(n);
+  std::vector<std::size_t> domination_count(n, 0);
+  std::vector<std::vector<std::size_t>> fronts(1);
+
+  for (std::size_t p = 0; p < n; ++p) {
+    for (std::size_t q = 0; q < n; ++q) {
+      if (p == q) continue;
+      if (dominates(f[p], f[q]))
+        dominated_by[p].push_back(q);
+      else if (dominates(f[q], f[p]))
+        ++domination_count[p];
+    }
+    if (domination_count[p] == 0) fronts[0].push_back(p);
+  }
+
+  std::size_t i = 0;
+  while (!fronts[i].empty()) {
+    std::vector<std::size_t> next;
+    for (std::size_t p : fronts[i]) {
+      for (std::size_t q : dominated_by[p]) {
+        if (--domination_count[q] == 0) next.push_back(q);
+      }
+    }
+    ++i;
+    fronts.push_back(std::move(next));
+  }
+  fronts.pop_back();  // last front is empty
+  return fronts;
+}
+
+std::vector<double> crowding_distance(const std::vector<std::vector<double>>& f,
+                                      const std::vector<std::size_t>& front) {
+  const std::size_t n = front.size();
+  std::vector<double> dist(n, 0.0);
+  if (n == 0) return dist;
+  const std::size_t n_obj = f[front[0]].size();
+  std::vector<std::size_t> order(n);
+  for (std::size_t m = 0; m < n_obj; ++m) {
+    for (std::size_t i = 0; i < n; ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return f[front[a]][m] < f[front[b]][m];
+    });
+    dist[order.front()] = std::numeric_limits<double>::infinity();
+    dist[order.back()] = std::numeric_limits<double>::infinity();
+    const double span = f[front[order.back()]][m] - f[front[order.front()]][m];
+    if (span <= 0.0) continue;
+    for (std::size_t i = 1; i + 1 < n; ++i)
+      dist[order[i]] +=
+          (f[front[order[i + 1]]][m] - f[front[order[i - 1]]][m]) / span;
+  }
+  return dist;
+}
+
+std::vector<std::size_t> pareto_front(const std::vector<std::vector<double>>& f) {
+  if (f.empty()) return {};
+  return non_dominated_sort(f).front();
+}
+
+double hypervolume_2d(std::vector<std::vector<double>> pts,
+                      const std::vector<double>& ref) {
+  if (ref.size() != 2) throw std::invalid_argument("hypervolume_2d: ref dim != 2");
+  // Keep points strictly inside the reference box.
+  std::erase_if(pts, [&](const std::vector<double>& p) {
+    return p.size() != 2 || p[0] >= ref[0] || p[1] >= ref[1];
+  });
+  if (pts.empty()) return 0.0;
+  std::sort(pts.begin(), pts.end());  // ascending f0
+  double hv = 0.0;
+  double prev_f1 = ref[1];
+  // Sweep left to right, only counting the staircase of non-dominated points.
+  for (const auto& p : pts) {
+    if (p[1] < prev_f1) {
+      hv += (ref[0] - p[0]) * (prev_f1 - p[1]);
+      prev_f1 = p[1];
+    }
+  }
+  return hv;
+}
+
+}  // namespace kato::moo

@@ -1,0 +1,33 @@
+#pragma once
+// Pareto-dominance utilities shared by NSGA-II and the MACE batch selection.
+// Convention throughout: objectives are MINIMIZED.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace kato::moo {
+
+/// True iff a dominates b: a is no worse in every objective and strictly
+/// better in at least one (minimization).
+bool dominates(std::span<const double> a, std::span<const double> b);
+
+/// Fast non-dominated sort (Deb et al. 2002).  Returns fronts of indices into
+/// `f`, front 0 being the non-dominated set.
+std::vector<std::vector<std::size_t>> non_dominated_sort(
+    const std::vector<std::vector<double>>& f);
+
+/// Crowding distance of each member of `front` (indices into `f`); boundary
+/// points get +infinity.
+std::vector<double> crowding_distance(const std::vector<std::vector<double>>& f,
+                                      const std::vector<std::size_t>& front);
+
+/// Indices of the non-dominated subset of `f`.
+std::vector<std::size_t> pareto_front(const std::vector<std::vector<double>>& f);
+
+/// Hypervolume dominated by a 2-D point set relative to `ref` (minimization;
+/// points outside the reference box are clipped away).
+double hypervolume_2d(std::vector<std::vector<double>> pts,
+                      const std::vector<double>& ref);
+
+}  // namespace kato::moo

@@ -1,0 +1,138 @@
+#include "rf/random_forest.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace kato::rf {
+
+namespace {
+
+double sse(const std::vector<double>& y, const std::vector<std::size_t>& idx) {
+  if (idx.empty()) return 0.0;
+  double mean = 0.0;
+  for (auto i : idx) mean += y[i];
+  mean /= static_cast<double>(idx.size());
+  double s = 0.0;
+  for (auto i : idx) s += (y[i] - mean) * (y[i] - mean);
+  return s;
+}
+
+}  // namespace
+
+double RandomForest::leaf_value(const std::vector<double>& y,
+                                const std::vector<std::size_t>& idx) {
+  double mean = 0.0;
+  for (auto i : idx) mean += y[i];
+  return idx.empty() ? 0.0 : mean / static_cast<double>(idx.size());
+}
+
+int RandomForest::build_node(Tree& tree, const std::vector<std::vector<double>>& x,
+                             const std::vector<double>& y,
+                             std::vector<std::size_t>& idx, std::size_t depth,
+                             util::Rng& rng) {
+  const int node_id = static_cast<int>(tree.size());
+  tree.emplace_back();
+
+  const bool stop = idx.size() < 2 * options_.min_leaf ||
+                    depth >= options_.max_depth || sse(y, idx) < 1e-12;
+  if (stop) {
+    tree[node_id].value = leaf_value(y, idx);
+    return node_id;
+  }
+
+  // Best split over a random feature subset with random thresholds.
+  const std::size_t n_feat = std::max<std::size_t>(
+      1, static_cast<std::size_t>(options_.feature_fraction *
+                                  static_cast<double>(dim_)));
+  const auto features = rng.choice(dim_, n_feat);
+  double best_gain = -1.0;
+  int best_feature = -1;
+  double best_threshold = 0.0;
+  const double parent_sse = sse(y, idx);
+
+  std::vector<std::size_t> left;
+  std::vector<std::size_t> right;
+  for (auto f : features) {
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -lo;
+    for (auto i : idx) {
+      lo = std::min(lo, x[i][f]);
+      hi = std::max(hi, x[i][f]);
+    }
+    if (!(hi > lo)) continue;
+    for (std::size_t t = 0; t < options_.n_thresholds; ++t) {
+      const double thr = rng.uniform(lo, hi);
+      left.clear();
+      right.clear();
+      for (auto i : idx) (x[i][f] <= thr ? left : right).push_back(i);
+      if (left.size() < options_.min_leaf || right.size() < options_.min_leaf)
+        continue;
+      const double gain = parent_sse - sse(y, left) - sse(y, right);
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = static_cast<int>(f);
+        best_threshold = thr;
+      }
+    }
+  }
+  if (best_feature < 0) {
+    tree[node_id].value = leaf_value(y, idx);
+    return node_id;
+  }
+
+  left.clear();
+  right.clear();
+  for (auto i : idx)
+    (x[i][static_cast<std::size_t>(best_feature)] <= best_threshold ? left
+                                                                    : right)
+        .push_back(i);
+  tree[node_id].feature = best_feature;
+  tree[node_id].threshold = best_threshold;
+  const int l = build_node(tree, x, y, left, depth + 1, rng);
+  const int r = build_node(tree, x, y, right, depth + 1, rng);
+  tree[node_id].left = l;
+  tree[node_id].right = r;
+  return node_id;
+}
+
+void RandomForest::fit(const std::vector<std::vector<double>>& x,
+                       const std::vector<double>& y, util::Rng& rng) {
+  if (x.empty() || x.size() != y.size())
+    throw std::invalid_argument("RandomForest::fit: bad data");
+  dim_ = x.front().size();
+  trees_.clear();
+  trees_.reserve(options_.n_trees);
+  const std::size_t n = x.size();
+  for (std::size_t t = 0; t < options_.n_trees; ++t) {
+    std::vector<std::size_t> idx(n);
+    for (auto& i : idx) i = static_cast<std::size_t>(rng.randint(0, static_cast<int>(n) - 1));
+    Tree tree;
+    (void)build_node(tree, x, y, idx, 0, rng);
+    trees_.push_back(std::move(tree));
+  }
+}
+
+RfPrediction RandomForest::predict(std::span<const double> x) const {
+  if (trees_.empty()) throw std::logic_error("RandomForest::predict: not fitted");
+  double mean = 0.0;
+  double m2 = 0.0;
+  for (const auto& tree : trees_) {
+    int node = 0;
+    while (tree[static_cast<std::size_t>(node)].feature >= 0) {
+      const auto& nd = tree[static_cast<std::size_t>(node)];
+      node = x[static_cast<std::size_t>(nd.feature)] <= nd.threshold ? nd.left
+                                                                     : nd.right;
+    }
+    const double v = tree[static_cast<std::size_t>(node)].value;
+    mean += v;
+    m2 += v * v;
+  }
+  const double nt = static_cast<double>(trees_.size());
+  mean /= nt;
+  const double var = std::max(m2 / nt - mean * mean, 1e-8);
+  return {mean, var};
+}
+
+}  // namespace kato::rf

@@ -1,0 +1,64 @@
+#pragma once
+// Random-forest regressor backing the SMAC-RF baseline (Sec. 4.1 compares
+// KATO against SMAC-RF).  CART trees with variance-reduction splits, trained
+// on bootstrap resamples with per-split feature subsampling; the ensemble
+// mean/variance across trees provides the surrogate used by expected
+// improvement, mirroring SMAC's RF mode.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace kato::rf {
+
+struct RfOptions {
+  std::size_t n_trees = 40;
+  std::size_t min_leaf = 3;       ///< minimum samples per leaf
+  std::size_t max_depth = 24;
+  double feature_fraction = 0.8;  ///< features considered per split
+  std::size_t n_thresholds = 12;  ///< candidate thresholds per feature
+};
+
+struct RfPrediction {
+  double mean = 0.0;
+  double var = 0.0;
+};
+
+class RandomForest {
+ public:
+  explicit RandomForest(RfOptions options = {}) : options_(options) {}
+
+  /// Fit on rows of x (n x d) with targets y.
+  void fit(const std::vector<std::vector<double>>& x,
+           const std::vector<double>& y, util::Rng& rng);
+
+  /// Ensemble mean and across-tree variance (plus a small floor so EI stays
+  /// defined at training points).
+  RfPrediction predict(std::span<const double> x) const;
+
+  bool trained() const { return !trees_.empty(); }
+
+ private:
+  struct Node {
+    int feature = -1;      ///< -1 marks a leaf
+    double threshold = 0.0;
+    double value = 0.0;    ///< leaf mean
+    int left = -1;
+    int right = -1;
+  };
+  using Tree = std::vector<Node>;
+
+  int build_node(Tree& tree, const std::vector<std::vector<double>>& x,
+                 const std::vector<double>& y, std::vector<std::size_t>& idx,
+                 std::size_t depth, util::Rng& rng);
+  static double leaf_value(const std::vector<double>& y,
+                           const std::vector<std::size_t>& idx);
+
+  RfOptions options_;
+  std::vector<Tree> trees_;
+  std::size_t dim_ = 0;
+};
+
+}  // namespace kato::rf

@@ -1,0 +1,211 @@
+#include "sim/ac.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace kato::sim {
+
+namespace {
+constexpr double k_two_pi = 6.283185307179586;
+
+using cd = std::complex<double>;
+
+/// Stamp the frequency-independent (conductance) part shared by all points.
+void stamp_conductances(const Circuit& ckt, const DcResult& op, la::CMatrix& g) {
+  const std::size_t n = ckt.n_nodes() - 1;
+  auto idx = [](int node) { return static_cast<std::size_t>(node) - 1; };
+  auto stamp = [&](int a, int b, double val) {
+    if (a != 0 && b != 0) g(idx(a), idx(b)) += val;
+  };
+  auto stamp_pair = [&](int a, int b, double val) {
+    stamp(a, a, val);
+    stamp(b, b, val);
+    stamp(a, b, -val);
+    stamp(b, a, -val);
+  };
+
+  for (const auto& r : ckt.resistors()) stamp_pair(r.a, r.b, 1.0 / r.r);
+  for (const auto& c : ckt.vccs()) {
+    stamp(c.p, c.cp, c.gm);
+    stamp(c.p, c.cn, -c.gm);
+    stamp(c.n, c.cp, -c.gm);
+    stamp(c.n, c.cn, c.gm);
+  }
+  for (std::size_t i = 0; i < ckt.diodes().size(); ++i) {
+    const auto& d = ckt.diodes()[i];
+    stamp_pair(d.a, d.c, op.diode_gd[i]);
+  }
+  for (std::size_t i = 0; i < ckt.mosfets().size(); ++i) {
+    const auto& mos = ckt.mosfets()[i];
+    const auto& mop = op.mosfet_op[i];
+    // gm: current into drain controlled by vgs.
+    stamp(mos.d, mos.g, mop.gm);
+    stamp(mos.d, mos.s, -mop.gm);
+    stamp(mos.s, mos.g, -mop.gm);
+    stamp(mos.s, mos.s, mop.gm);
+    // gds between drain and source.
+    stamp_pair(mos.d, mos.s, mop.gds);
+  }
+  // Voltage-source branch equations.
+  const auto& vs = ckt.vsources();
+  for (std::size_t k = 0; k < vs.size(); ++k) {
+    const std::size_t bi = n + k;
+    if (vs[k].p != 0) {
+      g(idx(vs[k].p), bi) += 1.0;
+      g(bi, idx(vs[k].p)) += 1.0;
+    }
+    if (vs[k].n != 0) {
+      g(idx(vs[k].n), bi) -= 1.0;
+      g(bi, idx(vs[k].n)) -= 1.0;
+    }
+  }
+}
+
+/// Gather all capacitor stamps (explicit caps + MOSFET parasitics) once.
+struct CapStamp {
+  int a;
+  int b;
+  double c;
+};
+std::vector<CapStamp> gather_caps(const Circuit& ckt) {
+  std::vector<CapStamp> caps;
+  for (const auto& c : ckt.capacitors()) caps.push_back({c.a, c.b, c.c});
+  for (const auto& mos : ckt.mosfets()) {
+    const MosCaps mc = mosfet_caps(mos.model, mos.w, mos.l);
+    caps.push_back({mos.g, mos.s, mc.cgs});
+    caps.push_back({mos.g, mos.d, mc.cgd});
+    caps.push_back({mos.d, 0, mc.cdb});
+  }
+  return caps;
+}
+
+}  // namespace
+
+std::vector<double> log_freq_grid(double f_lo, double f_hi, int per_decade) {
+  if (!(f_lo > 0.0) || !(f_hi > f_lo) || per_decade < 1)
+    throw std::invalid_argument("log_freq_grid: bad range");
+  std::vector<double> freqs;
+  const double step = 1.0 / per_decade;
+  for (double e = std::log10(f_lo); e <= std::log10(f_hi) + 1e-12; e += step)
+    freqs.push_back(std::pow(10.0, e));
+  return freqs;
+}
+
+AcSweep solve_ac(const Circuit& ckt, const DcResult& op,
+                 const std::vector<double>& freqs) {
+  AcSweep sweep;
+  sweep.freq = freqs;
+  if (!op.converged) return sweep;
+
+  const std::size_t n = ckt.n_nodes() - 1;
+  const std::size_t size = ckt.mna_size();
+
+  la::CMatrix g(size, size);
+  stamp_conductances(ckt, op, g);
+  const auto caps = gather_caps(ckt);
+
+  la::CVector rhs_template(size, cd(0.0, 0.0));
+  const auto& vs = ckt.vsources();
+  for (std::size_t k = 0; k < vs.size(); ++k)
+    rhs_template[n + k] = cd(vs[k].ac, 0.0);
+
+  auto idx = [](int node) { return static_cast<std::size_t>(node) - 1; };
+  sweep.node_voltage.reserve(freqs.size());
+  for (double f : freqs) {
+    la::CMatrix y = g;
+    const double w = k_two_pi * f;
+    for (const auto& c : caps) {
+      const cd jwc(0.0, w * c.c);
+      if (c.a != 0) y(idx(c.a), idx(c.a)) += jwc;
+      if (c.b != 0) y(idx(c.b), idx(c.b)) += jwc;
+      if (c.a != 0 && c.b != 0) {
+        y(idx(c.a), idx(c.b)) -= jwc;
+        y(idx(c.b), idx(c.a)) -= jwc;
+      }
+    }
+    auto x = la::lu_solve_complex(std::move(y), rhs_template);
+    if (!x) return sweep;  // ok stays false
+    la::CVector nodes(ckt.n_nodes(), cd(0.0, 0.0));
+    for (std::size_t i = 0; i < n; ++i) nodes[i + 1] = (*x)[i];
+    sweep.node_voltage.push_back(std::move(nodes));
+  }
+  sweep.ok = true;
+  return sweep;
+}
+
+double dc_gain_db(const AcSweep& sweep, int out_node) {
+  if (!sweep.ok || sweep.freq.empty()) return -300.0;
+  const double mag = std::abs(sweep.v(0, out_node));
+  return 20.0 * std::log10(std::max(mag, 1e-15));
+}
+
+double unity_gain_freq(const AcSweep& sweep, int out_node) {
+  if (!sweep.ok) return 0.0;
+  for (std::size_t i = 1; i < sweep.freq.size(); ++i) {
+    const double m0 = std::abs(sweep.v(i - 1, out_node));
+    const double m1 = std::abs(sweep.v(i, out_node));
+    if (m0 >= 1.0 && m1 < 1.0) {
+      // Log-log interpolation of the crossing.
+      const double l0 = std::log10(std::max(m0, 1e-15));
+      const double l1 = std::log10(std::max(m1, 1e-15));
+      const double t = l0 / (l0 - l1);
+      return std::pow(10.0, std::log10(sweep.freq[i - 1]) +
+                                t * (std::log10(sweep.freq[i]) -
+                                     std::log10(sweep.freq[i - 1])));
+    }
+  }
+  return 0.0;
+}
+
+double phase_margin_deg(const AcSweep& sweep, int out_node) {
+  if (!sweep.ok) return 0.0;
+  // Unwrap the phase starting from the DC point; the DC phase of a
+  // positive-gain amplifier is ~0 (or 180 for inverting — unwrapping from
+  // the actual start handles both).
+  std::vector<double> phase(sweep.freq.size());
+  double prev = std::arg(sweep.v(0, out_node));
+  phase[0] = prev;
+  for (std::size_t i = 1; i < phase.size(); ++i) {
+    double p = std::arg(sweep.v(i, out_node));
+    while (p - prev > M_PI) p -= 2.0 * M_PI;
+    while (p - prev < -M_PI) p += 2.0 * M_PI;
+    phase[i] = p;
+    prev = p;
+  }
+  // Snap the reference to the nearest multiple of pi so an inverting output
+  // (DC phase ~180) and small residual phase at the first grid point do not
+  // corrupt the margin.
+  const double ref = std::round(phase[0] / M_PI) * M_PI;
+  for (std::size_t i = 1; i < sweep.freq.size(); ++i) {
+    const double m0 = std::abs(sweep.v(i - 1, out_node));
+    const double m1 = std::abs(sweep.v(i, out_node));
+    if (m0 >= 1.0 && m1 < 1.0) {
+      const double l0 = std::log10(std::max(m0, 1e-15));
+      const double l1 = std::log10(std::max(m1, 1e-15));
+      const double t = l0 / (l0 - l1);
+      const double ph = phase[i - 1] + t * (phase[i] - phase[i - 1]);
+      const double lag = (ph - ref) * 180.0 / M_PI;  // negative for stable amps
+      return 180.0 + lag;
+    }
+  }
+  return 0.0;
+}
+
+double gain_db_at(const AcSweep& sweep, int out_node, double f) {
+  if (!sweep.ok || sweep.freq.empty()) return -300.0;
+  std::size_t best = 0;
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < sweep.freq.size(); ++i) {
+    const double d = std::abs(std::log10(sweep.freq[i]) - std::log10(f));
+    if (d < best_dist) {
+      best_dist = d;
+      best = i;
+    }
+  }
+  const double mag = std::abs(sweep.v(best, out_node));
+  return 20.0 * std::log10(std::max(mag, 1e-15));
+}
+
+}  // namespace kato::sim

@@ -1,0 +1,54 @@
+#pragma once
+// AC small-signal analysis: the circuit is linearized at a DC operating point
+// (MOSFETs become gm/gds + gate caps, diodes become gd) and the complex MNA
+// system (G + jwC) x = b is solved per frequency point.  Voltage sources with
+// a nonzero `ac` field form the stimulus; everything else is quiet.
+
+#include <complex>
+#include <vector>
+
+#include "linalg/lu.hpp"
+#include "sim/circuit.hpp"
+#include "sim/dc.hpp"
+
+namespace kato::sim {
+
+struct AcSweep {
+  std::vector<double> freq;                ///< Hz
+  std::vector<la::CVector> node_voltage;   ///< per frequency, indexed by node
+  bool ok = false;
+
+  std::complex<double> v(std::size_t fi, int node) const {
+    return node == 0 ? std::complex<double>(0.0, 0.0)
+                     : node_voltage[fi][static_cast<std::size_t>(node)];
+  }
+};
+
+/// Logarithmic frequency grid [f_lo, f_hi] with `per_decade` points/decade.
+std::vector<double> log_freq_grid(double f_lo, double f_hi, int per_decade);
+
+/// Run the sweep.  `op` must come from a converged solve_dc on `ckt`.
+AcSweep solve_ac(const Circuit& ckt, const DcResult& op,
+                 const std::vector<double>& freqs);
+
+// --- Transfer-function metric extraction (used for gain/GBW/PM/PSRR) ------
+
+/// |H| in dB at the lowest frequency point.
+double dc_gain_db(const AcSweep& sweep, int out_node);
+
+/// Unity-gain frequency of |H(f)| = 1 (log-interpolated), or 0 when the
+/// magnitude never crosses unity.
+double unity_gain_freq(const AcSweep& sweep, int out_node);
+
+/// Phase margin in degrees: 180 minus the unwrapped phase lag accumulated
+/// between DC and the unity-gain crossing.  The sweep must start below the
+/// dominant pole so the first grid point carries the DC phase; that
+/// reference is snapped to the nearest multiple of 180 degrees, making the
+/// result independent of output polarity.  Returns 0 when |H| never crosses
+/// unity.
+double phase_margin_deg(const AcSweep& sweep, int out_node);
+
+/// |H| in dB at frequency f (nearest grid point).
+double gain_db_at(const AcSweep& sweep, int out_node, double f);
+
+}  // namespace kato::sim

@@ -1,0 +1,78 @@
+#include "sim/circuit.hpp"
+
+#include <stdexcept>
+
+namespace kato::sim {
+
+int Circuit::new_node(std::string name) {
+  names_.push_back(std::move(name));
+  return static_cast<int>(names_.size());  // ground is 0
+}
+
+const std::string& Circuit::node_name(int node) const {
+  static const std::string ground_name = "gnd";
+  if (node == ground) return ground_name;
+  check_node(node);
+  return names_[static_cast<std::size_t>(node) - 1];
+}
+
+void Circuit::check_node(int node) const {
+  if (node < 0 || static_cast<std::size_t>(node) >= n_nodes())
+    throw std::invalid_argument("Circuit: unknown node " + std::to_string(node));
+}
+
+void Circuit::add_resistor(int a, int b, double ohms) {
+  check_node(a);
+  check_node(b);
+  if (!(ohms > 0.0)) throw std::invalid_argument("Circuit: resistance must be > 0");
+  resistors_.push_back({a, b, ohms});
+}
+
+void Circuit::add_capacitor(int a, int b, double farads) {
+  check_node(a);
+  check_node(b);
+  if (!(farads >= 0.0)) throw std::invalid_argument("Circuit: capacitance must be >= 0");
+  capacitors_.push_back({a, b, farads});
+}
+
+int Circuit::add_vsource(int p, int n, double dc, double ac) {
+  check_node(p);
+  check_node(n);
+  vsources_.push_back({p, n, dc, ac});
+  return static_cast<int>(vsources_.size()) - 1;
+}
+
+void Circuit::add_isource(int p, int n, double dc) {
+  check_node(p);
+  check_node(n);
+  isources_.push_back({p, n, dc});
+}
+
+void Circuit::add_vccs(int p, int n, int cp, int cn, double gm) {
+  check_node(p);
+  check_node(n);
+  check_node(cp);
+  check_node(cn);
+  vccs_.push_back({p, n, cp, cn, gm});
+}
+
+void Circuit::add_diode(const Diode& d) {
+  check_node(d.a);
+  check_node(d.c);
+  if (!(d.is_sat > 0.0) || !(d.area > 0.0))
+    throw std::invalid_argument("Circuit: diode is/area must be > 0");
+  diodes_.push_back(d);
+}
+
+int Circuit::add_mosfet(int d, int g, int s, double w, double l,
+                        const MosModel& model) {
+  check_node(d);
+  check_node(g);
+  check_node(s);
+  if (!(w > 0.0) || !(l > 0.0))
+    throw std::invalid_argument("Circuit: mosfet W and L must be > 0");
+  mosfets_.push_back({d, g, s, w, l, model});
+  return static_cast<int>(mosfets_.size()) - 1;
+}
+
+}  // namespace kato::sim

@@ -1,0 +1,118 @@
+#pragma once
+// Circuit netlist container for the MNA solvers.
+//
+// Node 0 is ground.  The MNA unknown vector is [v_1 .. v_{N-1}, i_V1 ..] —
+// node voltages plus one branch current per voltage source.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sim/mosfet.hpp"
+
+namespace kato::sim {
+
+struct Resistor {
+  int a;
+  int b;
+  double r;
+};
+
+struct Capacitor {
+  int a;
+  int b;
+  double c;
+};
+
+struct VSource {
+  int p;
+  int n;
+  double dc;
+  double ac;  ///< AC stimulus magnitude (0 for quiet supplies)
+};
+
+/// DC current flowing out of node p, through the source, into node n.
+struct ISource {
+  int p;
+  int n;
+  double dc;
+};
+
+/// Voltage-controlled current source: i = gm (v_cp - v_cn) from p to n.
+struct Vccs {
+  int p;
+  int n;
+  int cp;
+  int cn;
+  double gm;
+};
+
+/// Junction diode (also used diode-connected-BJT style in the bandgap):
+/// i = area * is * (exp(v / (n vt)) - 1), with saturation-current temperature
+/// scaling is(T) = is (T/300)^xti exp(eg/vt(300) - eg/vt(T)).
+struct Diode {
+  int a;  ///< anode
+  int c;  ///< cathode
+  double is_sat = 1e-16;
+  double ideality = 1.0;
+  double area = 1.0;
+  double xti = 3.0;
+  double eg = 1.12;
+};
+
+struct MosInstance {
+  int d;
+  int g;
+  int s;
+  double w;
+  double l;
+  MosModel model;
+};
+
+class Circuit {
+ public:
+  Circuit() = default;
+
+  static constexpr int ground = 0;
+
+  /// Allocate a new node; `name` is for diagnostics only.
+  int new_node(std::string name = "");
+
+  std::size_t n_nodes() const { return names_.size() + 1; }  ///< incl. ground
+  const std::string& node_name(int node) const;
+
+  void add_resistor(int a, int b, double ohms);
+  void add_capacitor(int a, int b, double farads);
+  /// Returns the voltage-source index (for reading its branch current).
+  int add_vsource(int p, int n, double dc, double ac = 0.0);
+  void add_isource(int p, int n, double dc);
+  void add_vccs(int p, int n, int cp, int cn, double gm);
+  void add_diode(const Diode& d);
+  /// Returns the MOSFET index (for reading its operating point).
+  int add_mosfet(int d, int g, int s, double w, double l, const MosModel& model);
+
+  const std::vector<Resistor>& resistors() const { return resistors_; }
+  const std::vector<Capacitor>& capacitors() const { return capacitors_; }
+  const std::vector<VSource>& vsources() const { return vsources_; }
+  const std::vector<ISource>& isources() const { return isources_; }
+  const std::vector<Vccs>& vccs() const { return vccs_; }
+  const std::vector<Diode>& diodes() const { return diodes_; }
+  const std::vector<MosInstance>& mosfets() const { return mosfets_; }
+
+  /// Size of the MNA system: (n_nodes - 1) + n_vsources.
+  std::size_t mna_size() const { return n_nodes() - 1 + vsources_.size(); }
+
+ private:
+  void check_node(int node) const;
+
+  std::vector<std::string> names_;
+  std::vector<Resistor> resistors_;
+  std::vector<Capacitor> capacitors_;
+  std::vector<VSource> vsources_;
+  std::vector<ISource> isources_;
+  std::vector<Vccs> vccs_;
+  std::vector<Diode> diodes_;
+  std::vector<MosInstance> mosfets_;
+};
+
+}  // namespace kato::sim

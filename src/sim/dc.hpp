@@ -1,0 +1,42 @@
+#pragma once
+// DC operating-point analysis: Newton-Raphson on the MNA equations with
+// voltage-step damping and gmin continuation for robustness across the whole
+// sizing box (badly-sized candidates must still converge or fail cleanly —
+// the BO drivers treat non-convergence as an infeasible design).
+
+#include <optional>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "sim/circuit.hpp"
+
+namespace kato::sim {
+
+struct DcOptions {
+  int max_iterations = 200;
+  double v_tol = 1e-9;        ///< convergence on max |dV|
+  double max_step = 0.5;      ///< damping: max voltage change per iteration [V]
+  double temp = 300.0;        ///< simulation temperature [K]
+  /// gmin continuation ladder: solve with each gmin in order, warm-starting.
+  /// The dense ladder matters: high-loop-gain circuits (the bandgap's
+  /// cascoded regulation loop) fail to track coarser continuation.
+  std::vector<double> gmin_ladder{1e-2, 1e-3, 1e-4, 1e-5, 1e-6, 1e-7,
+                                  1e-8, 1e-9, 1e-10, 1e-11, 1e-12};
+};
+
+struct DcResult {
+  bool converged = false;
+  la::Vector node_voltage;          ///< index by node id (entry 0 = ground = 0)
+  std::vector<double> vsource_current;  ///< branch current per voltage source
+  std::vector<MosOp> mosfet_op;     ///< operating point per MOSFET
+  std::vector<double> diode_gd;     ///< small-signal conductance per diode
+
+  double v(int node) const { return node_voltage[static_cast<std::size_t>(node)]; }
+};
+
+/// Solve the DC operating point.  `initial` (optional) warm-starts the node
+/// voltages (used by temperature sweeps).
+DcResult solve_dc(const Circuit& ckt, const DcOptions& opts = {},
+                  const la::Vector* initial = nullptr);
+
+}  // namespace kato::sim

@@ -1,0 +1,97 @@
+#include "sim/mosfet.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace kato::sim {
+
+namespace {
+constexpr double k_boltzmann_over_q = 8.617333262e-5;  // V/K
+
+/// Numerically safe softplus.
+double softplus(double x) {
+  if (x > 30.0) return x;
+  if (x < -30.0) return std::exp(x);
+  return std::log1p(std::exp(x));
+}
+double logistic(double x) {
+  if (x > 30.0) return 1.0;
+  if (x < -30.0) return std::exp(x);
+  return 1.0 / (1.0 + std::exp(-x));
+}
+
+/// NMOS-sense evaluation with vds >= 0 guaranteed by the caller.
+MosOp eval_forward(const MosModel& m, double w, double l, double vgs,
+                   double vds, double temp) {
+  const double vt = thermal_voltage(temp);
+  const double nvt = m.subthreshold_n * vt;
+  const double vth = m.vth0 - 2e-3 * (temp - 300.0);
+  const double kp_t = m.kp * std::pow(temp / 300.0, -1.5);
+  const double beta = kp_t * w / l;
+  const double lambda = m.lambda_coef / l;
+
+  // Smoothed effective overdrive: veff -> vov in strong inversion,
+  // veff -> 2 n vt exp(vov / 2 n vt) in subthreshold.
+  const double vov = vgs - vth;
+  const double veff = 2.0 * nvt * softplus(vov / (2.0 * nvt));
+  const double dveff_dvgs = logistic(vov / (2.0 * nvt));
+
+  MosOp op;
+  const double clm = 1.0 + lambda * vds;
+  if (vds >= veff) {
+    // Saturation.
+    op.ids = 0.5 * beta * veff * veff * clm;
+    op.gm = beta * veff * dveff_dvgs * clm;
+    op.gds = 0.5 * beta * veff * veff * lambda;
+    op.saturated = true;
+  } else {
+    // Triode.
+    op.ids = beta * (veff - 0.5 * vds) * vds * clm;
+    op.gm = beta * vds * dveff_dvgs * clm;
+    op.gds = beta * ((veff - vds) * clm + (veff - 0.5 * vds) * vds * lambda);
+    op.saturated = false;
+  }
+  // Floor conductances to keep the Newton Jacobian nonsingular when off.
+  op.gds = std::max(op.gds, 1e-12);
+  op.gm = std::max(op.gm, 0.0);
+  return op;
+}
+
+}  // namespace
+
+double thermal_voltage(double temp) { return k_boltzmann_over_q * temp; }
+
+MosOp eval_mosfet(const MosModel& m, double w, double l, double vgs,
+                  double vds, double temp) {
+  // PMOS: evaluate the mirrored NMOS (vsg, vsd) and flip the current sign.
+  if (!m.nmos) {
+    MosOp op = eval_mosfet(MosModel{true, m.vth0, m.kp, m.lambda_coef, m.cox,
+                                    m.cgdo, m.cj_w, m.subthreshold_n},
+                           w, l, -vgs, -vds, temp);
+    op.ids = -op.ids;
+    return op;
+  }
+  if (vds >= 0.0) return eval_forward(m, w, l, vgs, vds, temp);
+  // Drain/source swap for reverse operation: vgs' = vgd = vgs - vds.
+  MosOp op = eval_forward(m, w, l, vgs - vds, -vds, temp);
+  op.ids = -op.ids;
+  // gm/gds transform back to (vgs, vds) sensitivities:
+  //   ids(vgs, vds) = -ids'(vgs - vds, -vds)
+  //   d ids/d vgs = -gm'
+  //   d ids/d vds = gm' + gds'
+  const double gm_p = op.gm;
+  const double gds_p = op.gds;
+  op.gm = -gm_p;
+  op.gds = gm_p + gds_p;
+  return op;
+}
+
+MosCaps mosfet_caps(const MosModel& m, double w, double l) {
+  MosCaps c;
+  c.cgs = (2.0 / 3.0) * w * l * m.cox + m.cgdo * w;
+  c.cgd = m.cgdo * w;
+  c.cdb = m.cj_w * w;
+  return c;
+}
+
+}  // namespace kato::sim

@@ -1,0 +1,53 @@
+#pragma once
+// Level-1-style MOSFET model with EKV-like smoothing.
+//
+// The square law is augmented with (a) a softplus-smoothed overdrive so the
+// device transitions continuously from subthreshold (exponential) to strong
+// inversion — this keeps DC Newton iterations differentiable everywhere —
+// and (b) channel-length modulation lambda = lambda_coef / L, which captures
+// the first-order sizing trade-off the paper's circuits optimize over
+// (longer L -> smaller gds -> more gain; wider W -> more gm and more
+// capacitance).  Temperature enters through Vt = kT/q, mobility scaling
+// (T/300)^-1.5 and a -2 mV/K threshold drift, which is what the bandgap
+// experiment exercises.
+
+namespace kato::sim {
+
+struct MosModel {
+  bool nmos = true;
+  double vth0 = 0.5;          ///< zero-bias threshold [V]
+  double kp = 200e-6;         ///< mu Cox [A/V^2]
+  double lambda_coef = 0.05e-6;  ///< channel-length modulation [V^-1 * m]
+  double cox = 8e-3;          ///< gate capacitance per area [F/m^2]
+  double cgdo = 0.3e-9;       ///< gate-drain overlap cap per width [F/m]
+  double cj_w = 0.8e-9;       ///< drain junction cap per width [F/m]
+  double subthreshold_n = 1.4;  ///< subthreshold slope factor
+};
+
+/// Small-signal operating point of one device.
+struct MosOp {
+  double ids = 0.0;  ///< drain current, positive into the drain (NMOS sense)
+  double gm = 0.0;   ///< d ids / d vgs
+  double gds = 0.0;  ///< d ids / d vds
+  bool saturated = false;
+};
+
+/// Evaluate drain current and conductances.  Voltages are the *device*
+/// terminal voltages (vgs, vds as seen at the nodes); PMOS and reversed-vds
+/// operation are handled internally.  temp in Kelvin.
+MosOp eval_mosfet(const MosModel& m, double w, double l, double vgs,
+                  double vds, double temp = 300.0);
+
+/// Gate-source / gate-drain / drain-bulk small-signal capacitances used by
+/// the AC analysis (saturation-region approximations).
+struct MosCaps {
+  double cgs = 0.0;
+  double cgd = 0.0;
+  double cdb = 0.0;
+};
+MosCaps mosfet_caps(const MosModel& m, double w, double l);
+
+/// Thermal voltage kT/q.
+double thermal_voltage(double temp);
+
+}  // namespace kato::sim

@@ -1,0 +1,35 @@
+#include "util/rng.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace kato::util {
+
+std::vector<double> Rng::uniform_vec(std::size_t n, double lo, double hi) {
+  std::vector<double> v(n);
+  for (auto& x : v) x = uniform(lo, hi);
+  return v;
+}
+
+std::vector<double> Rng::normal_vec(std::size_t n) {
+  std::vector<double> v(n);
+  for (auto& x : v) x = normal();
+  return v;
+}
+
+std::vector<std::size_t> Rng::permutation(std::size_t n) {
+  std::vector<std::size_t> p(n);
+  std::iota(p.begin(), p.end(), std::size_t{0});
+  std::shuffle(p.begin(), p.end(), engine_);
+  return p;
+}
+
+std::vector<std::size_t> Rng::choice(std::size_t n, std::size_t k) {
+  if (k > n) throw std::invalid_argument("Rng::choice: k > n");
+  auto p = permutation(n);
+  p.resize(k);
+  return p;
+}
+
+}  // namespace kato::util

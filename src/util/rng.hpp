@@ -1,0 +1,63 @@
+#pragma once
+// Deterministic random number generation for reproducible experiments.
+//
+// Every stochastic component in the library takes an explicit Rng (or a seed)
+// so that a given seed always reproduces the same optimization trace.
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace kato::util {
+
+/// Seeded random generator with the distributions the library needs.
+///
+/// Wraps std::mt19937_64.  `split()` derives an independent child stream so
+/// that sub-components (e.g. NSGA-II inside a BO iteration) cannot perturb the
+/// draw sequence of their parent.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo = 0.0, double hi = 1.0) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Standard normal (or scaled/shifted) draw.
+  double normal(double mean = 0.0, double stddev = 1.0) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  int randint(int lo, int hi) {
+    return std::uniform_int_distribution<int>(lo, hi)(engine_);
+  }
+
+  /// Bernoulli draw with probability p of true.
+  bool bernoulli(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Vector of n uniform draws in [lo, hi).
+  std::vector<double> uniform_vec(std::size_t n, double lo = 0.0, double hi = 1.0);
+
+  /// Vector of n standard-normal draws.
+  std::vector<double> normal_vec(std::size_t n);
+
+  /// Random permutation of 0..n-1.
+  std::vector<std::size_t> permutation(std::size_t n);
+
+  /// Sample k distinct indices from 0..n-1 (k <= n).
+  std::vector<std::size_t> choice(std::size_t n, std::size_t k);
+
+  /// Derive an independent child stream.
+  Rng split() { return Rng(engine_() ^ 0x9e3779b97f4a7c15ULL); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace kato::util

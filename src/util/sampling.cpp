@@ -1,0 +1,49 @@
+#include "util/sampling.hpp"
+
+#include <stdexcept>
+
+namespace kato::util {
+
+DesignMatrix latin_hypercube(std::size_t n, std::size_t d, Rng& rng) {
+  DesignMatrix m{n, d, std::vector<double>(n * d)};
+  for (std::size_t j = 0; j < d; ++j) {
+    auto order = rng.permutation(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double jitter = rng.uniform();
+      m.data[i * d + j] = (static_cast<double>(order[i]) + jitter) /
+                          static_cast<double>(n);
+    }
+  }
+  return m;
+}
+
+DesignMatrix uniform_design(std::size_t n, std::size_t d, Rng& rng) {
+  DesignMatrix m{n, d, rng.uniform_vec(n * d)};
+  return m;
+}
+
+std::vector<double> scale_to_box(const std::vector<double>& unit,
+                                 const std::vector<double>& lo,
+                                 const std::vector<double>& hi) {
+  if (unit.size() != lo.size() || lo.size() != hi.size())
+    throw std::invalid_argument("scale_to_box: dimension mismatch");
+  std::vector<double> x(unit.size());
+  for (std::size_t i = 0; i < x.size(); ++i)
+    x[i] = lo[i] + unit[i] * (hi[i] - lo[i]);
+  return x;
+}
+
+std::vector<double> scale_to_unit(const std::vector<double>& x,
+                                  const std::vector<double>& lo,
+                                  const std::vector<double>& hi) {
+  if (x.size() != lo.size() || lo.size() != hi.size())
+    throw std::invalid_argument("scale_to_unit: dimension mismatch");
+  std::vector<double> u(x.size());
+  for (std::size_t i = 0; i < u.size(); ++i) {
+    const double span = hi[i] - lo[i];
+    u[i] = span > 0.0 ? (x[i] - lo[i]) / span : 0.0;
+  }
+  return u;
+}
+
+}  // namespace kato::util

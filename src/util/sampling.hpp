@@ -1,0 +1,41 @@
+#pragma once
+// Space-filling initial designs for Bayesian optimization.
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace kato::util {
+
+/// n points in the unit hypercube [0,1]^d, row-major (point i at [i*d .. i*d+d)).
+struct DesignMatrix {
+  std::size_t n = 0;
+  std::size_t d = 0;
+  std::vector<double> data;
+
+  double* row(std::size_t i) { return data.data() + i * d; }
+  const double* row(std::size_t i) const { return data.data() + i * d; }
+  std::vector<double> point(std::size_t i) const {
+    return {row(i), row(i) + d};
+  }
+};
+
+/// Latin hypercube sample: each dimension stratified into n equal bins,
+/// one point per bin, bins shuffled independently per dimension.
+DesignMatrix latin_hypercube(std::size_t n, std::size_t d, Rng& rng);
+
+/// Plain uniform sample in the unit hypercube.
+DesignMatrix uniform_design(std::size_t n, std::size_t d, Rng& rng);
+
+/// Affine map of a unit-cube point into [lo_i, hi_i] per dimension.
+std::vector<double> scale_to_box(const std::vector<double>& unit,
+                                 const std::vector<double>& lo,
+                                 const std::vector<double>& hi);
+
+/// Inverse of scale_to_box.
+std::vector<double> scale_to_unit(const std::vector<double>& x,
+                                  const std::vector<double>& lo,
+                                  const std::vector<double>& hi);
+
+}  // namespace kato::util

@@ -1,0 +1,87 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace kato::util {
+
+double mean(const std::vector<double>& v) {
+  if (v.empty()) throw std::invalid_argument("mean: empty vector");
+  return std::accumulate(v.begin(), v.end(), 0.0) / static_cast<double>(v.size());
+}
+
+double variance(const std::vector<double>& v) {
+  const double m = mean(v);
+  double acc = 0.0;
+  for (double x : v) acc += (x - m) * (x - m);
+  return acc / static_cast<double>(v.size());
+}
+
+double stddev(const std::vector<double>& v) { return std::sqrt(variance(v)); }
+
+double median(std::vector<double> v) { return quantile(std::move(v), 0.5); }
+
+double quantile(std::vector<double> v, double q) {
+  if (v.empty()) throw std::invalid_argument("quantile: empty vector");
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("quantile: q out of [0,1]");
+  std::sort(v.begin(), v.end());
+  const double pos = q * static_cast<double>(v.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, v.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+double min_of(const std::vector<double>& v) {
+  if (v.empty()) throw std::invalid_argument("min_of: empty vector");
+  return *std::min_element(v.begin(), v.end());
+}
+
+double max_of(const std::vector<double>& v) {
+  if (v.empty()) throw std::invalid_argument("max_of: empty vector");
+  return *std::max_element(v.begin(), v.end());
+}
+
+std::vector<double> running_max(const std::vector<double>& v) {
+  std::vector<double> out(v.size());
+  double best = -std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    best = std::max(best, v[i]);
+    out[i] = best;
+  }
+  return out;
+}
+
+std::vector<double> running_min(const std::vector<double>& v) {
+  std::vector<double> out(v.size());
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    best = std::min(best, v[i]);
+    out[i] = best;
+  }
+  return out;
+}
+
+SeriesBand aggregate_traces(const std::vector<std::vector<double>>& traces) {
+  if (traces.empty()) throw std::invalid_argument("aggregate_traces: no traces");
+  const std::size_t len = traces.front().size();
+  for (const auto& t : traces)
+    if (t.size() != len)
+      throw std::invalid_argument("aggregate_traces: unequal trace lengths");
+  SeriesBand band;
+  band.median.resize(len);
+  band.q25.resize(len);
+  band.q75.resize(len);
+  std::vector<double> column(traces.size());
+  for (std::size_t i = 0; i < len; ++i) {
+    for (std::size_t s = 0; s < traces.size(); ++s) column[s] = traces[s][i];
+    band.median[i] = quantile(column, 0.5);
+    band.q25[i] = quantile(column, 0.25);
+    band.q75[i] = quantile(column, 0.75);
+  }
+  return band;
+}
+
+}  // namespace kato::util

@@ -1,0 +1,35 @@
+#pragma once
+// Small statistics helpers used for training-data standardization and for
+// aggregating optimization traces across random seeds.
+
+#include <cstddef>
+#include <vector>
+
+namespace kato::util {
+
+double mean(const std::vector<double>& v);
+double variance(const std::vector<double>& v);  // population variance
+double stddev(const std::vector<double>& v);
+double median(std::vector<double> v);  // by value: sorts a copy
+
+/// Linear-interpolated quantile, q in [0,1].
+double quantile(std::vector<double> v, double q);
+
+double min_of(const std::vector<double>& v);
+double max_of(const std::vector<double>& v);
+
+/// Element-wise running best (max) of a sequence: out[i] = max(v[0..i]).
+std::vector<double> running_max(const std::vector<double>& v);
+/// Element-wise running best (min) of a sequence: out[i] = min(v[0..i]).
+std::vector<double> running_min(const std::vector<double>& v);
+
+/// Aggregate equal-length traces from several seeds into median and
+/// inter-quartile band, index by index.  Used to print Fig. 4/5/6 series.
+struct SeriesBand {
+  std::vector<double> median;
+  std::vector<double> q25;
+  std::vector<double> q75;
+};
+SeriesBand aggregate_traces(const std::vector<std::vector<double>>& traces);
+
+}  // namespace kato::util

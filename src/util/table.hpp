@@ -1,0 +1,35 @@
+#pragma once
+// Aligned console tables and CSV emission for the benchmark harness.
+
+#include <string>
+#include <vector>
+
+namespace kato::util {
+
+/// Column-aligned text table.  Rows may be added as strings or doubles
+/// (formatted with a fixed precision).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: first cell label, remaining cells numeric.
+  void add_row(const std::string& label, const std::vector<double>& values,
+               int precision = 3);
+
+  /// Render with padded columns and a separator under the header.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Comma-separated form (no alignment), suitable for plotting scripts.
+  [[nodiscard]] std::string to_csv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with the given precision (fixed notation).
+std::string fmt(double v, int precision = 3);
+
+}  // namespace kato::util

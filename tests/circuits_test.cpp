@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuits/factory.hpp"
+#include "circuits/sizing_problem.hpp"
+#include "util/rng.hpp"
+
+namespace ckt = kato::ckt;
+
+TEST(Pdk, NodesDiffer) {
+  const auto& p180 = ckt::pdk_180nm();
+  const auto& p40 = ckt::pdk_40nm();
+  EXPECT_GT(p180.vdd, p40.vdd);
+  EXPECT_GT(p180.lmin, p40.lmin);
+  EXPECT_LT(p180.nmos.kp, p40.nmos.kp);
+  EXPECT_THROW(ckt::pdk_by_name("7nm"), std::invalid_argument);
+}
+
+TEST(DesignSpace, LogAndLinearMapping) {
+  ckt::DesignSpace s;
+  s.add("log", 1.0, 100.0, true);
+  s.add("lin", 0.0, 10.0, false);
+  auto x = s.to_physical({0.5, 0.5});
+  EXPECT_NEAR(x[0], 10.0, 1e-9);  // geometric midpoint
+  EXPECT_NEAR(x[1], 5.0, 1e-9);   // arithmetic midpoint
+  // Clamping out-of-box inputs.
+  auto lo = s.to_physical({-1.0, -1.0});
+  EXPECT_NEAR(lo[0], 1.0, 1e-12);
+  EXPECT_NEAR(lo[1], 0.0, 1e-12);
+}
+
+TEST(DesignSpace, RejectsBadRanges) {
+  ckt::DesignSpace s;
+  EXPECT_THROW(s.add("bad", 5.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(s.add("bad-log", -1.0, 1.0, true), std::invalid_argument);
+}
+
+TEST(MetricSpec, DirectionsAndViolation) {
+  ckt::MetricSpec lower{"Gain", "dB", 60.0, true};
+  EXPECT_TRUE(lower.satisfied(65.0));
+  EXPECT_FALSE(lower.satisfied(55.0));
+  EXPECT_DOUBLE_EQ(lower.violation(55.0), 5.0);
+  EXPECT_DOUBLE_EQ(lower.violation(65.0), 0.0);
+  ckt::MetricSpec upper{"I", "uA", 6.0, false};
+  EXPECT_TRUE(upper.satisfied(5.0));
+  EXPECT_FALSE(upper.satisfied(7.5));
+  EXPECT_DOUBLE_EQ(upper.violation(7.5), 1.5);
+}
+
+class CircuitFixture
+    : public ::testing::TestWithParam<std::pair<const char*, const char*>> {};
+
+TEST_P(CircuitFixture, ExpertDesignIsFeasible) {
+  auto c = ckt::make_circuit(GetParam().first, GetParam().second);
+  const auto m = c->evaluate(c->expert_design());
+  ASSERT_TRUE(m.has_value()) << c->name();
+  EXPECT_EQ(m->size(), c->n_metrics());
+  EXPECT_TRUE(c->feasible(*m)) << c->name();
+}
+
+TEST_P(CircuitFixture, EvaluationIsDeterministic) {
+  auto c = ckt::make_circuit(GetParam().first, GetParam().second);
+  kato::util::Rng rng(3);
+  const auto x = rng.uniform_vec(c->dim());
+  const auto a = c->evaluate(x);
+  const auto b = c->evaluate(x);
+  ASSERT_EQ(a.has_value(), b.has_value());
+  if (a) {
+    for (std::size_t i = 0; i < a->size(); ++i)
+      EXPECT_DOUBLE_EQ((*a)[i], (*b)[i]);
+  }
+}
+
+TEST_P(CircuitFixture, RandomSamplingMostlySimulates) {
+  auto c = ckt::make_circuit(GetParam().first, GetParam().second);
+  kato::util::Rng rng(9);
+  int ok = 0;
+  const int n = 60;
+  for (int i = 0; i < n; ++i)
+    if (c->evaluate(rng.uniform_vec(c->dim()))) ++ok;
+  // The drivers rely on a healthy success rate for surrogate fitting.
+  EXPECT_GT(ok, n / 2) << c->name();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCircuits, CircuitFixture,
+    ::testing::Values(std::make_pair("opamp2", "180nm"),
+                      std::make_pair("opamp2", "40nm"),
+                      std::make_pair("opamp3", "180nm"),
+                      std::make_pair("opamp3", "40nm"),
+                      std::make_pair("bandgap", "180nm"),
+                      std::make_pair("stage2", "180nm")));
+
+TEST(TwoStage, MoreCurrentBuysBandwidth) {
+  // Sizing trend: raising both stage currents from the expert point should
+  // raise GBW (gm grows with I).
+  auto c = ckt::make_circuit("opamp2", "180nm");
+  auto x = c->expert_design();
+  const auto base = c->evaluate(x);
+  ASSERT_TRUE(base);
+  auto x_hot = x;
+  x_hot[6] = std::min(1.0, x[6] + 0.2);  // I1
+  x_hot[7] = std::min(1.0, x[7] + 0.2);  // I2
+  const auto hot = c->evaluate(x_hot);
+  ASSERT_TRUE(hot);
+  EXPECT_GT((*hot)[0], (*base)[0]);  // more current drawn
+  EXPECT_GT((*hot)[3], (*base)[3]);  // more GBW
+}
+
+TEST(TwoStage, BiggerCompensationCapSlowsAmplifier) {
+  auto c = ckt::make_circuit("opamp2", "180nm");
+  auto x = c->expert_design();
+  const auto base = c->evaluate(x);
+  ASSERT_TRUE(base);
+  auto x_cc = x;
+  x_cc[4] = std::min(1.0, x[4] + 0.3);  // Cc up
+  const auto slow = c->evaluate(x_cc);
+  ASSERT_TRUE(slow);
+  EXPECT_LT((*slow)[3], (*base)[3]);  // GBW drops
+}
+
+TEST(Bandgap, TcNullsNearRatioTen) {
+  // The classic bandgap property: TC has a sharp minimum where the PTAT
+  // gain R2/R1 cancels the CTAT slope (ratio ~10 for ln(8) area ratio).
+  auto c = ckt::make_circuit("bandgap", "180nm");
+  const auto& sp = c->space();
+  auto unit_of = [&](std::size_t i, double v) {
+    return std::log(v / sp.lo[i]) / std::log(sp.hi[i] / sp.lo[i]);
+  };
+  std::vector<double> base{0.5, 0.5, 0.6, 0.6, 0.0, 0.0, 0.5};
+  base[4] = unit_of(4, 60e3);
+  auto tc_at = [&](double ratio) {
+    auto x = base;
+    x[5] = unit_of(5, ratio * 60e3);
+    const auto m = c->evaluate(x);
+    return m ? (*m)[0] : 1e9;
+  };
+  const double at6 = tc_at(6.0);
+  const double at10 = tc_at(10.0);
+  const double at14 = tc_at(14.0);
+  EXPECT_LT(at10, at6);
+  EXPECT_LT(at10, at14);
+  EXPECT_LT(at10, 200.0);  // near-nulled
+}
+
+TEST(Fom, CalibrationAndValue) {
+  auto c = ckt::make_circuit("opamp2", "180nm");
+  kato::util::Rng rng(17);
+  const auto norm = ckt::calibrate_fom(*c, 120, rng);
+  ASSERT_EQ(norm.weight.size(), c->n_metrics());
+  EXPECT_DOUBLE_EQ(norm.weight[0], -1.0);  // objective minimized
+  for (std::size_t i = 0; i < norm.weight.size(); ++i)
+    EXPECT_LT(norm.f_min[i], norm.f_max[i]);
+
+  // The expert design (feasible, moderate current) must score higher than a
+  // random infeasible design on average.
+  const auto expert = c->evaluate(c->expert_design());
+  ASSERT_TRUE(expert);
+  const double expert_fom = ckt::fom_value(norm, *expert);
+  double worse = 0.0;
+  int n_rand = 0;
+  for (int i = 0; i < 20; ++i) {
+    const auto m = c->evaluate(rng.uniform_vec(c->dim()));
+    if (!m || c->feasible(*m)) continue;
+    worse += ckt::fom_value(norm, *m);
+    ++n_rand;
+  }
+  ASSERT_GT(n_rand, 0);
+  EXPECT_GT(expert_fom, worse / n_rand);
+}
+
+TEST(Fom, ClipsAtBound) {
+  ckt::FomNormalization norm;
+  norm.f_min = {0.0, 0.0};
+  norm.f_max = {10.0, 100.0};
+  norm.bound = {10.0, 60.0};
+  norm.weight = {-1.0, 1.0};
+  // Above the bound, extra constraint margin must not increase the FOM.
+  const double at_bound = ckt::fom_value(norm, {5.0, 60.0});
+  const double over = ckt::fom_value(norm, {5.0, 90.0});
+  EXPECT_DOUBLE_EQ(at_bound, over);
+}

@@ -1,0 +1,283 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "kernel/neuk.hpp"
+#include "kernel/stationary.hpp"
+#include "linalg/cholesky.hpp"
+#include "nn/mlp.hpp"
+#include "util/rng.hpp"
+
+namespace kern = kato::kern;
+namespace la = kato::la;
+
+namespace {
+
+la::Matrix random_points(std::size_t n, std::size_t d, kato::util::Rng& rng) {
+  la::Matrix x(n, d);
+  for (auto& v : x.data()) v = rng.uniform();
+  return x;
+}
+
+/// Scalar loss L = sum_ij W_ij K_ij with a fixed random weight matrix — a
+/// generic linear functional of the kernel matrix for gradient checking.
+double weighted_sum(const la::Matrix& k, const la::Matrix& w) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < k.rows(); ++i)
+    for (std::size_t j = 0; j < k.cols(); ++j) s += w(i, j) * k(i, j);
+  return s;
+}
+
+void check_param_gradient(kern::Kernel& k, const la::Matrix& x,
+                          kato::util::Rng& rng, double tol) {
+  la::Matrix w(x.rows(), x.rows());
+  for (auto& v : w.data()) v = rng.normal();
+
+  std::vector<double> analytic(k.n_params(), 0.0);
+  k.backward(x, w, analytic);
+
+  auto loss = [&] { return weighted_sum(k.matrix(x), w); };
+  auto numeric = kato::nn::numeric_gradient(loss, k.params(), 1e-6);
+  for (std::size_t i = 0; i < analytic.size(); ++i)
+    EXPECT_NEAR(analytic[i], numeric[i], tol) << k.name() << " param " << i;
+}
+
+void check_input_gradient(kern::Kernel& k, const la::Matrix& x2,
+                          kato::util::Rng& rng, double tol) {
+  std::vector<double> x = rng.uniform_vec(k.input_dim());
+  const la::Matrix g = k.input_grad(x, x2);
+  la::Matrix xq(1, x.size());
+  const double h = 1e-6;
+  for (std::size_t m = 0; m < x.size(); ++m) {
+    auto xp = x;
+    auto xm = x;
+    xp[m] += h;
+    xm[m] -= h;
+    la::Matrix q(1, x.size());
+    q.set_row(0, xp);
+    const la::Matrix kp = k.cross(q, x2);
+    q.set_row(0, xm);
+    const la::Matrix km = k.cross(q, x2);
+    for (std::size_t j = 0; j < x2.rows(); ++j)
+      EXPECT_NEAR(g(j, m), (kp(0, j) - km(0, j)) / (2 * h), tol)
+          << k.name() << " dim " << m << " point " << j;
+  }
+}
+
+void check_psd(const kern::Kernel& k, const la::Matrix& x) {
+  la::Matrix m = k.matrix(x);
+  // Symmetric?
+  for (std::size_t i = 0; i < m.rows(); ++i)
+    for (std::size_t j = 0; j < m.cols(); ++j)
+      ASSERT_NEAR(m(i, j), m(j, i), 1e-10);
+  // PSD: jittered Cholesky must succeed with tiny jitter.
+  const auto jc = la::cholesky_jittered(m);
+  EXPECT_LE(jc.jitter, 1e-6 * m(0, 0));
+}
+
+std::unique_ptr<kern::NeukKernel> make_neuk(std::size_t d, kato::util::Rng& rng) {
+  kern::NeukConfig cfg;
+  cfg.latent_dim = 3;
+  cfg.mix_width = 2;
+  return std::make_unique<kern::NeukKernel>(d, cfg, rng);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Stationary kernels: parameterized over type.
+
+class StationaryTest : public ::testing::TestWithParam<kern::StationaryType> {};
+
+TEST_P(StationaryTest, DiagonalEqualsAmplitude) {
+  kern::StationaryArd k(GetParam(), 3);
+  k.params()[0] = std::log(2.5);
+  std::vector<double> x{0.1, 0.5, 0.9};
+  EXPECT_NEAR(k.diag(x), 2.5, 1e-12);
+  la::Matrix xq(1, 3);
+  xq.set_row(0, x);
+  EXPECT_NEAR(k.cross(xq, xq)(0, 0), 2.5, 1e-9);
+}
+
+TEST_P(StationaryTest, DecaysWithDistance) {
+  kern::StationaryArd k(GetParam(), 2);
+  la::Matrix a(1, 2);
+  a.set_row(0, std::vector<double>{0.0, 0.0});
+  la::Matrix b(1, 2);
+  b.set_row(0, std::vector<double>{0.1, 0.1});
+  la::Matrix c(1, 2);
+  c.set_row(0, std::vector<double>{2.0, 2.0});
+  const double near = k.cross(a, b)(0, 0);
+  const double far = k.cross(a, c)(0, 0);
+  EXPECT_GT(near, far);
+  EXPECT_GT(near, 0.0);
+}
+
+TEST_P(StationaryTest, ParamGradientMatchesFiniteDifference) {
+  kato::util::Rng rng(21);
+  kern::StationaryArd k(GetParam(), 3);
+  // Nontrivial hyperparameters.
+  for (auto& p : k.params()) p = rng.uniform(-0.5, 0.5);
+  auto x = random_points(7, 3, rng);
+  check_param_gradient(k, x, rng, 1e-5);
+}
+
+TEST_P(StationaryTest, InputGradientMatchesFiniteDifference) {
+  kato::util::Rng rng(22);
+  kern::StationaryArd k(GetParam(), 3);
+  for (auto& p : k.params()) p = rng.uniform(-0.5, 0.5);
+  auto x2 = random_points(6, 3, rng);
+  check_input_gradient(k, x2, rng, 1e-6);
+}
+
+TEST_P(StationaryTest, MatrixIsPsd) {
+  kato::util::Rng rng(23);
+  kern::StationaryArd k(GetParam(), 4);
+  auto x = random_points(20, 4, rng);
+  check_psd(k, x);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTypes, StationaryTest,
+                         ::testing::Values(kern::StationaryType::rbf,
+                                           kern::StationaryType::rq,
+                                           kern::StationaryType::matern32,
+                                           kern::StationaryType::matern52));
+
+// ---------------------------------------------------------------------------
+// Periodic kernel.
+
+TEST(PeriodicKernel, PeriodicityHolds) {
+  kern::PeriodicArd k(1);
+  // period p = 0.5.
+  k.params()[2] = std::log(0.5);
+  la::Matrix a(1, 1);
+  a.set_row(0, std::vector<double>{0.1});
+  la::Matrix b(1, 1);
+  b.set_row(0, std::vector<double>{0.1 + 0.5});
+  EXPECT_NEAR(k.cross(a, b)(0, 0), k.diag(std::vector<double>{0.1}), 1e-9);
+}
+
+TEST(PeriodicKernel, ParamGradient) {
+  kato::util::Rng rng(24);
+  kern::PeriodicArd k(2);
+  for (auto& p : k.params()) p = rng.uniform(-0.3, 0.3);
+  auto x = random_points(6, 2, rng);
+  check_param_gradient(k, x, rng, 1e-5);
+}
+
+TEST(PeriodicKernel, InputGradient) {
+  kato::util::Rng rng(25);
+  kern::PeriodicArd k(2);
+  for (auto& p : k.params()) p = rng.uniform(-0.3, 0.3);
+  auto x2 = random_points(5, 2, rng);
+  check_input_gradient(k, x2, rng, 1e-6);
+}
+
+TEST(PeriodicKernel, MatrixIsPsd) {
+  kato::util::Rng rng(26);
+  kern::PeriodicArd k(3);
+  auto x = random_points(15, 3, rng);
+  check_psd(k, x);
+}
+
+// ---------------------------------------------------------------------------
+// Neural kernel (Neuk).
+
+TEST(NeukKernel, ConstantDiagonal) {
+  kato::util::Rng rng(31);
+  auto k = make_neuk(4, rng);
+  std::vector<double> x1 = rng.uniform_vec(4);
+  std::vector<double> x2 = rng.uniform_vec(4);
+  EXPECT_NEAR(k->diag(x1), k->diag(x2), 1e-12);
+  // diag matches cross(x,x).
+  la::Matrix xq(1, 4);
+  xq.set_row(0, x1);
+  EXPECT_NEAR(k->cross(xq, xq)(0, 0), k->diag(x1), 1e-9);
+}
+
+TEST(NeukKernel, InitialDiagonalNearOne) {
+  // Constructor calibrates b_k so that k(x,x) ~= 1 at init (standardized y).
+  kato::util::Rng rng(32);
+  auto k = make_neuk(5, rng);
+  EXPECT_NEAR(k->diag(std::vector<double>(5, 0.5)), 1.0, 1e-9);
+}
+
+TEST(NeukKernel, SymmetricAndPsd) {
+  kato::util::Rng rng(33);
+  auto k = make_neuk(3, rng);
+  // Perturb all parameters to a generic position.
+  for (auto& p : k->params()) p += rng.uniform(-0.4, 0.4);
+  auto x = random_points(18, 3, rng);
+  check_psd(*k, x);
+}
+
+TEST(NeukKernel, PsdSurvivesLargeMixingWeights) {
+  kato::util::Rng rng(34);
+  auto k = make_neuk(2, rng);
+  // Drive mixing weights up: softplus keeps them positive, so PSD must hold.
+  for (auto& p : k->params()) p += rng.uniform(0.0, 2.0);
+  auto x = random_points(12, 2, rng);
+  check_psd(*k, x);
+}
+
+TEST(NeukKernel, ParamGradientMatchesFiniteDifference) {
+  kato::util::Rng rng(35);
+  auto k = make_neuk(3, rng);
+  for (auto& p : k->params()) p += rng.uniform(-0.2, 0.2);
+  auto x = random_points(6, 3, rng);
+  check_param_gradient(*k, x, rng, 2e-5);
+}
+
+TEST(NeukKernel, InputGradientMatchesFiniteDifference) {
+  kato::util::Rng rng(36);
+  auto k = make_neuk(3, rng);
+  for (auto& p : k->params()) p += rng.uniform(-0.2, 0.2);
+  auto x2 = random_points(5, 3, rng);
+  check_input_gradient(*k, x2, rng, 1e-6);
+}
+
+TEST(NeukKernel, CloneIsIndependent) {
+  kato::util::Rng rng(37);
+  auto k = make_neuk(2, rng);
+  auto c = k->clone();
+  ASSERT_EQ(c->n_params(), k->n_params());
+  const double before = c->params()[0];
+  k->params()[0] += 1.0;
+  EXPECT_DOUBLE_EQ(c->params()[0], before);
+}
+
+TEST(NeukKernel, SimilarityDecreasesWithDistance) {
+  kato::util::Rng rng(38);
+  auto k = make_neuk(3, rng);
+  std::vector<double> base(3, 0.5);
+  la::Matrix xb(1, 3);
+  xb.set_row(0, base);
+  double prev = k->diag(base) + 1e-9;
+  for (double step : {0.05, 0.2, 0.6}) {
+    std::vector<double> moved{0.5 + step, 0.5 + step, 0.5 + step};
+    la::Matrix xm(1, 3);
+    xm.set_row(0, moved);
+    const double v = k->cross(xb, xm)(0, 0);
+    EXPECT_LT(v, prev);
+    prev = v;
+  }
+}
+
+TEST(NeukKernel, RejectsEmptyPrimitives) {
+  kato::util::Rng rng(39);
+  kern::NeukConfig cfg;
+  cfg.primitives.clear();
+  EXPECT_THROW(kern::NeukKernel(2, cfg, rng), std::invalid_argument);
+}
+
+TEST(Softplus, ValueAndDerivative) {
+  EXPECT_NEAR(kern::softplus(0.0), std::log(2.0), 1e-12);
+  EXPECT_NEAR(kern::softplus(40.0), 40.0, 1e-9);
+  EXPECT_NEAR(kern::softplus(-40.0), std::exp(-40.0), 1e-20);
+  for (double x : {-3.0, 0.0, 2.0}) {
+    const double h = 1e-6;
+    const double num = (kern::softplus(x + h) - kern::softplus(x - h)) / (2 * h);
+    EXPECT_NEAR(kern::softplus_deriv(x), num, 1e-8);
+  }
+}

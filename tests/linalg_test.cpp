@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+
+#include "linalg/cholesky.hpp"
+#include "linalg/lu.hpp"
+#include "linalg/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace la = kato::la;
+
+TEST(Matrix, ConstructionAndIndexing) {
+  la::Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 1) = -2.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), -2.0);
+}
+
+TEST(Matrix, FromRowsRejectsRagged) {
+  EXPECT_THROW(la::Matrix::from_rows({{1.0, 2.0}, {3.0}}), std::invalid_argument);
+}
+
+TEST(Matrix, Transpose) {
+  auto m = la::Matrix::from_rows({{1, 2, 3}, {4, 5, 6}});
+  auto t = m.transpose();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+  EXPECT_DOUBLE_EQ(t(0, 0), 1.0);
+}
+
+TEST(Matrix, MatmulAgainstKnown) {
+  auto a = la::Matrix::from_rows({{1, 2}, {3, 4}});
+  auto b = la::Matrix::from_rows({{5, 6}, {7, 8}});
+  auto c = la::matmul(a, b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matrix, MatmulVariantsConsistent) {
+  kato::util::Rng rng(1);
+  la::Matrix a(4, 3);
+  la::Matrix b(4, 5);
+  for (auto& v : a.data()) v = rng.normal();
+  for (auto& v : b.data()) v = rng.normal();
+  auto tn = la::matmul_tn(a, b);                    // a^T b : 3x5
+  auto ref = la::matmul(a.transpose(), b);
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 5; ++j) EXPECT_NEAR(tn(i, j), ref(i, j), 1e-12);
+
+  auto nt = la::matmul_nt(a.transpose(), b.transpose());  // (3x4)*(4x5)
+  auto ref2 = la::matmul(a.transpose(), b);
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 5; ++j) EXPECT_NEAR(nt(i, j), ref2(i, j), 1e-12);
+}
+
+TEST(Matrix, MatvecAndOuter) {
+  auto a = la::Matrix::from_rows({{1, 2}, {3, 4}});
+  la::Vector x{1.0, -1.0};
+  auto y = la::matvec(a, x);
+  EXPECT_DOUBLE_EQ(y[0], -1.0);
+  EXPECT_DOUBLE_EQ(y[1], -1.0);
+  auto yt = la::matvec_t(a, x);
+  EXPECT_DOUBLE_EQ(yt[0], -2.0);
+  EXPECT_DOUBLE_EQ(yt[1], -2.0);
+  auto o = la::outer(x, x);
+  EXPECT_DOUBLE_EQ(o(0, 1), -1.0);
+  EXPECT_DOUBLE_EQ(o(1, 1), 1.0);
+}
+
+TEST(Cholesky, FactorsSpdMatrix) {
+  auto a = la::Matrix::from_rows({{4, 2}, {2, 3}});
+  auto l = la::cholesky(a);
+  ASSERT_TRUE(l.has_value());
+  // Reconstruct.
+  auto rec = la::matmul_nt(*l, *l);
+  for (std::size_t i = 0; i < 2; ++i)
+    for (std::size_t j = 0; j < 2; ++j) EXPECT_NEAR(rec(i, j), a(i, j), 1e-12);
+}
+
+TEST(Cholesky, RejectsIndefinite) {
+  auto a = la::Matrix::from_rows({{1, 2}, {2, 1}});  // eigenvalues 3, -1
+  EXPECT_FALSE(la::cholesky(a).has_value());
+}
+
+TEST(Cholesky, JitterLadderRecoversSingular) {
+  // Rank-deficient PSD matrix: ones(3,3).
+  la::Matrix a(3, 3, 1.0);
+  auto jc = la::cholesky_jittered(a);
+  EXPECT_GT(jc.jitter, 0.0);
+  EXPECT_EQ(jc.l.rows(), 3u);
+}
+
+TEST(Cholesky, SolveMatchesDirect) {
+  kato::util::Rng rng(2);
+  const std::size_t n = 12;
+  la::Matrix b(n, n);
+  for (auto& v : b.data()) v = rng.normal();
+  la::Matrix a = la::matmul_nt(b, b);  // SPD
+  for (std::size_t i = 0; i < n; ++i) a(i, i) += 1.0;
+  la::Vector rhs = rng.normal_vec(n);
+  auto l = la::cholesky(a);
+  ASSERT_TRUE(l.has_value());
+  auto x = la::cholesky_solve(*l, rhs);
+  auto ax = la::matvec(a, x);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(ax[i], rhs[i], 1e-8);
+}
+
+TEST(Cholesky, InverseAndLogdet) {
+  auto a = la::Matrix::from_rows({{2, 0.5}, {0.5, 1}});
+  auto l = la::cholesky(a);
+  ASSERT_TRUE(l.has_value());
+  auto inv = la::cholesky_inverse(*l);
+  auto prod = la::matmul(a, inv);
+  EXPECT_NEAR(prod(0, 0), 1.0, 1e-12);
+  EXPECT_NEAR(prod(0, 1), 0.0, 1e-12);
+  EXPECT_NEAR(prod(1, 0), 0.0, 1e-12);
+  EXPECT_NEAR(prod(1, 1), 1.0, 1e-12);
+  EXPECT_NEAR(la::cholesky_logdet(*l), std::log(2.0 * 1.0 - 0.25), 1e-12);
+}
+
+TEST(Lu, SolvesGeneralSystem) {
+  auto a = la::Matrix::from_rows({{0, 2, 1}, {1, -2, -3}, {-1, 1, 2}});
+  la::Vector b{-8, 0, 3};
+  auto x = la::lu_solve(a, b);
+  ASSERT_TRUE(x.has_value());
+  auto ax = la::matvec(a, *x);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(ax[i], b[i], 1e-10);
+}
+
+TEST(Lu, DetectsSingular) {
+  auto a = la::Matrix::from_rows({{1, 2}, {2, 4}});
+  la::Vector b{1, 2};
+  EXPECT_FALSE(la::lu_solve(a, b).has_value());
+}
+
+TEST(Lu, ComplexSolve) {
+  using cd = std::complex<double>;
+  la::CMatrix a(2, 2);
+  a(0, 0) = cd(1, 1);
+  a(0, 1) = cd(0, -1);
+  a(1, 0) = cd(2, 0);
+  a(1, 1) = cd(1, -1);
+  la::CVector b{cd(1, 0), cd(0, 1)};
+  auto x = la::lu_solve_complex(a, b);
+  ASSERT_TRUE(x.has_value());
+  // Verify residual.
+  for (std::size_t i = 0; i < 2; ++i) {
+    cd r = -b[i];
+    for (std::size_t j = 0; j < 2; ++j) r += a(i, j) * (*x)[j];
+    EXPECT_NEAR(std::abs(r), 0.0, 1e-12);
+  }
+}
+
+TEST(Lu, ComplexSingularDetected) {
+  using cd = std::complex<double>;
+  la::CMatrix a(2, 2);
+  a(0, 0) = cd(1, 0);
+  a(0, 1) = cd(2, 0);
+  a(1, 0) = cd(2, 0);
+  a(1, 1) = cd(4, 0);
+  la::CVector b{cd(1, 0), cd(1, 0)};
+  EXPECT_FALSE(la::lu_solve_complex(a, b).has_value());
+}
+
+TEST(VectorOps, DotNormAxpySqdist) {
+  la::Vector a{1, 2, 3};
+  la::Vector b{4, 5, 6};
+  EXPECT_DOUBLE_EQ(la::dot(a, b), 32.0);
+  EXPECT_DOUBLE_EQ(la::norm2(a), std::sqrt(14.0));
+  la::axpy(2.0, a, b);
+  EXPECT_DOUBLE_EQ(b[2], 12.0);
+  EXPECT_DOUBLE_EQ(la::sq_dist(a, la::Vector{1, 2, 4}), 1.0);
+}

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "moo/nsga2.hpp"
+#include "moo/pareto.hpp"
+#include "util/rng.hpp"
+
+namespace moo = kato::moo;
+
+TEST(Dominance, BasicCases) {
+  std::vector<double> a{1.0, 2.0};
+  std::vector<double> b{2.0, 3.0};
+  std::vector<double> c{0.5, 4.0};
+  EXPECT_TRUE(moo::dominates(a, b));
+  EXPECT_FALSE(moo::dominates(b, a));
+  EXPECT_FALSE(moo::dominates(a, c));  // incomparable
+  EXPECT_FALSE(moo::dominates(c, a));
+  EXPECT_FALSE(moo::dominates(a, a));  // not strictly better anywhere
+}
+
+TEST(Dominance, MismatchThrows) {
+  std::vector<double> a{1.0, 2.0};
+  std::vector<double> b{1.0};
+  EXPECT_THROW(moo::dominates(a, b), std::invalid_argument);
+}
+
+TEST(NonDominatedSort, LayersCorrectly) {
+  // f0 layer: (0,0); f1 layer: (1,1); f2 layer: (2,2).
+  std::vector<std::vector<double>> f{{1, 1}, {0, 0}, {2, 2}, {0.5, 0.6}};
+  auto fronts = moo::non_dominated_sort(f);
+  ASSERT_GE(fronts.size(), 3u);
+  EXPECT_EQ(fronts[0], (std::vector<std::size_t>{1}));
+  EXPECT_EQ(fronts[1], (std::vector<std::size_t>{3}));
+  EXPECT_EQ(fronts[2], (std::vector<std::size_t>{0}));
+}
+
+TEST(NonDominatedSort, AllIncomparableIsOneFront) {
+  std::vector<std::vector<double>> f{{0, 3}, {1, 2}, {2, 1}, {3, 0}};
+  auto fronts = moo::non_dominated_sort(f);
+  ASSERT_EQ(fronts.size(), 1u);
+  EXPECT_EQ(fronts[0].size(), 4u);
+}
+
+TEST(CrowdingDistance, BoundariesInfinite) {
+  std::vector<std::vector<double>> f{{0, 3}, {1, 2}, {2, 1}, {3, 0}};
+  std::vector<std::size_t> front{0, 1, 2, 3};
+  auto d = moo::crowding_distance(f, front);
+  EXPECT_TRUE(std::isinf(d[0]));
+  EXPECT_TRUE(std::isinf(d[3]));
+  EXPECT_FALSE(std::isinf(d[1]));
+  EXPECT_GT(d[1], 0.0);
+}
+
+TEST(Hypervolume2d, KnownValues) {
+  // Single point (0,0) with ref (1,1): unit square.
+  EXPECT_DOUBLE_EQ(moo::hypervolume_2d({{0, 0}}, {1, 1}), 1.0);
+  // Staircase {(0, .5), (.5, 0)}: 1 - .25 ... compute: 0.75.
+  EXPECT_DOUBLE_EQ(moo::hypervolume_2d({{0.0, 0.5}, {0.5, 0.0}}, {1, 1}), 0.75);
+  // Dominated point adds nothing.
+  EXPECT_DOUBLE_EQ(moo::hypervolume_2d({{0.0, 0.5}, {0.5, 0.0}, {0.6, 0.6}}, {1, 1}),
+                   0.75);
+  // Points outside the ref box are ignored.
+  EXPECT_DOUBLE_EQ(moo::hypervolume_2d({{2.0, 2.0}}, {1, 1}), 0.0);
+}
+
+namespace {
+
+/// ZDT1: d-dimensional benchmark with Pareto front f1 = 1 - sqrt(f0), g = 1.
+std::vector<double> zdt1(const std::vector<double>& x) {
+  const double f0 = x[0];
+  double g = 0.0;
+  for (std::size_t i = 1; i < x.size(); ++i) g += x[i];
+  g = 1.0 + 9.0 * g / static_cast<double>(x.size() - 1);
+  const double f1 = g * (1.0 - std::sqrt(f0 / g));
+  return {f0, f1};
+}
+
+}  // namespace
+
+TEST(Nsga2, ConvergesOnZdt1) {
+  kato::util::Rng rng(77);
+  moo::Nsga2Options opts;
+  opts.population = 60;
+  opts.generations = 120;
+  auto result = moo::nsga2(zdt1, 6, 2, opts, rng);
+  ASSERT_GT(result.x.size(), 10u);
+  // Front quality: every returned point should be close to the true front
+  // f1 = 1 - sqrt(f0) (i.e., g close to 1).
+  double worst_gap = 0.0;
+  for (const auto& f : result.f) {
+    const double ideal = 1.0 - std::sqrt(std::min(f[0], 1.0));
+    worst_gap = std::max(worst_gap, f[1] - ideal);
+  }
+  EXPECT_LT(worst_gap, 0.15);
+  // Spread: the front should cover most of f0 in [0,1].
+  double min_f0 = 1.0;
+  double max_f0 = 0.0;
+  for (const auto& f : result.f) {
+    min_f0 = std::min(min_f0, f[0]);
+    max_f0 = std::max(max_f0, f[0]);
+  }
+  EXPECT_LT(min_f0, 0.1);
+  EXPECT_GT(max_f0, 0.7);
+}
+
+TEST(Nsga2, SeedsSurviveWhenOptimal) {
+  // Single-objective degenerate case: minimize distance to 0.25 per gene.
+  auto fn = [](const std::vector<double>& x) {
+    double s = 0.0;
+    for (double v : x) s += (v - 0.25) * (v - 0.25);
+    return std::vector<double>{s};
+  };
+  kato::util::Rng rng(78);
+  moo::Nsga2Options opts;
+  opts.population = 24;
+  opts.generations = 20;
+  std::vector<std::vector<double>> seeds{{0.25, 0.25, 0.25}};
+  auto result = moo::nsga2(fn, 3, 1, opts, rng, seeds);
+  ASSERT_FALSE(result.f.empty());
+  double best = 1e9;
+  for (const auto& f : result.f) best = std::min(best, f[0]);
+  EXPECT_LT(best, 1e-6);  // the seeded optimum cannot be lost
+}
+
+TEST(Nsga2, RespectsBounds) {
+  auto fn = [](const std::vector<double>& x) {
+    return std::vector<double>{x[0], 1.0 - x[1]};
+  };
+  kato::util::Rng rng(79);
+  moo::Nsga2Options opts;
+  opts.population = 20;
+  opts.generations = 15;
+  auto result = moo::nsga2(fn, 2, 2, opts, rng);
+  for (const auto& x : result.x)
+    for (double v : x) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+    }
+}
+
+TEST(Nsga2, DeterministicGivenSeed) {
+  kato::util::Rng rng1(123);
+  kato::util::Rng rng2(123);
+  moo::Nsga2Options opts;
+  opts.population = 16;
+  opts.generations = 10;
+  auto r1 = moo::nsga2(zdt1, 4, 2, opts, rng1);
+  auto r2 = moo::nsga2(zdt1, 4, 2, opts, rng2);
+  ASSERT_EQ(r1.x.size(), r2.x.size());
+  for (std::size_t i = 0; i < r1.x.size(); ++i)
+    for (std::size_t j = 0; j < r1.x[i].size(); ++j)
+      EXPECT_DOUBLE_EQ(r1.x[i][j], r2.x[i][j]);
+}
+
+TEST(Nsga2, ValidatesArguments) {
+  kato::util::Rng rng(1);
+  moo::Nsga2Options opts;
+  EXPECT_THROW(moo::nsga2(zdt1, 0, 2, opts, rng), std::invalid_argument);
+  opts.population = 2;
+  EXPECT_THROW(moo::nsga2(zdt1, 3, 2, opts, rng), std::invalid_argument);
+}

@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/mlp.hpp"
+#include "util/rng.hpp"
+
+namespace nn = kato::nn;
+namespace la = kato::la;
+
+namespace {
+
+/// Scalar loss L = 0.5 ||f(x) - target||^2 for gradient checking.
+double sq_loss(const la::Vector& y, const la::Vector& target) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    const double d = y[i] - target[i];
+    s += 0.5 * d * d;
+  }
+  return s;
+}
+
+}  // namespace
+
+TEST(Activations, ValuesAndDerivatives) {
+  EXPECT_DOUBLE_EQ(nn::activate(nn::Activation::identity, 3.0), 3.0);
+  EXPECT_NEAR(nn::activate(nn::Activation::sigmoid, 0.0), 0.5, 1e-12);
+  EXPECT_NEAR(nn::activate(nn::Activation::tanh, 0.0), 0.0, 1e-12);
+  // Derivatives vs finite differences.
+  for (auto act : {nn::Activation::sigmoid, nn::Activation::tanh}) {
+    for (double x : {-2.0, -0.3, 0.0, 1.7}) {
+      const double h = 1e-6;
+      const double num =
+          (nn::activate(act, x + h) - nn::activate(act, x - h)) / (2 * h);
+      EXPECT_NEAR(nn::activate_deriv(act, x), num, 1e-7);
+    }
+  }
+}
+
+TEST(Mlp, ShapesAndDeterminism) {
+  kato::util::Rng rng(5);
+  nn::Mlp net({3, 8, 2}, nn::Activation::sigmoid, rng);
+  EXPECT_EQ(net.in_dim(), 3u);
+  EXPECT_EQ(net.out_dim(), 2u);
+  EXPECT_EQ(net.n_params(), 3u * 8u + 8u + 8u * 2u + 2u);
+  la::Vector x{0.1, -0.2, 0.7};
+  auto y1 = net.forward(x);
+  auto y2 = net.forward(x);
+  ASSERT_EQ(y1.size(), 2u);
+  EXPECT_DOUBLE_EQ(y1[0], y2[0]);
+}
+
+TEST(Mlp, ParameterGradientMatchesFiniteDifference) {
+  kato::util::Rng rng(7);
+  nn::Mlp net({4, 6, 3}, nn::Activation::sigmoid, rng);
+  la::Vector x{0.3, -0.5, 0.2, 0.9};
+  la::Vector target{0.1, -0.4, 0.6};
+
+  net.zero_grad();
+  nn::Mlp::Cache cache;
+  auto y = net.forward(x, cache);
+  la::Vector dy(3);
+  for (std::size_t i = 0; i < 3; ++i) dy[i] = y[i] - target[i];
+  (void)net.backward(cache, dy);
+
+  auto loss_fn = [&] { return sq_loss(net.forward(x), target); };
+  auto numeric = nn::numeric_gradient(loss_fn, net.params());
+  auto analytic = net.grads();
+  ASSERT_EQ(numeric.size(), analytic.size());
+  for (std::size_t i = 0; i < numeric.size(); ++i)
+    EXPECT_NEAR(analytic[i], numeric[i], 1e-6) << "param " << i;
+}
+
+TEST(Mlp, InputGradientMatchesFiniteDifference) {
+  kato::util::Rng rng(8);
+  nn::Mlp net({3, 5, 2}, nn::Activation::tanh, rng);
+  la::Vector x{0.4, -0.1, 0.8};
+  la::Vector target{0.2, 0.3};
+
+  nn::Mlp::Cache cache;
+  auto y = net.forward(x, cache);
+  la::Vector dy(2);
+  for (std::size_t i = 0; i < 2; ++i) dy[i] = y[i] - target[i];
+  net.zero_grad();
+  auto dx = net.backward(cache, dy);
+
+  const double h = 1e-6;
+  for (std::size_t j = 0; j < x.size(); ++j) {
+    la::Vector xp = x;
+    la::Vector xm = x;
+    xp[j] += h;
+    xm[j] -= h;
+    const double num =
+        (sq_loss(net.forward(xp), target) - sq_loss(net.forward(xm), target)) /
+        (2 * h);
+    EXPECT_NEAR(dx[j], num, 1e-7) << "input " << j;
+  }
+}
+
+TEST(Mlp, JacobianMatchesFiniteDifference) {
+  kato::util::Rng rng(9);
+  nn::Mlp net({3, 32, 2}, nn::Activation::sigmoid, rng);  // paper's structure
+  la::Vector x{0.2, 0.5, -0.3};
+  auto j = net.jacobian(x);
+  ASSERT_EQ(j.rows(), 2u);
+  ASSERT_EQ(j.cols(), 3u);
+  const double h = 1e-6;
+  for (std::size_t c = 0; c < 3; ++c) {
+    la::Vector xp = x;
+    la::Vector xm = x;
+    xp[c] += h;
+    xm[c] -= h;
+    auto yp = net.forward(xp);
+    auto ym = net.forward(xm);
+    for (std::size_t r = 0; r < 2; ++r)
+      EXPECT_NEAR(j(r, c), (yp[r] - ym[r]) / (2 * h), 1e-6);
+  }
+}
+
+TEST(Mlp, DeepJacobian) {
+  kato::util::Rng rng(10);
+  nn::Mlp net({2, 4, 4, 3}, nn::Activation::tanh, rng);
+  la::Vector x{0.3, -0.7};
+  auto j = net.jacobian(x);
+  const double h = 1e-6;
+  for (std::size_t c = 0; c < 2; ++c) {
+    la::Vector xp = x, xm = x;
+    xp[c] += h;
+    xm[c] -= h;
+    auto yp = net.forward(xp);
+    auto ym = net.forward(xm);
+    for (std::size_t r = 0; r < 3; ++r)
+      EXPECT_NEAR(j(r, c), (yp[r] - ym[r]) / (2 * h), 1e-6);
+  }
+}
+
+TEST(Mlp, GradAccumulationAcrossPoints) {
+  kato::util::Rng rng(11);
+  nn::Mlp net({2, 4, 1}, nn::Activation::sigmoid, rng);
+  la::Vector x1{0.1, 0.2};
+  la::Vector x2{-0.4, 0.9};
+  la::Vector t{0.0};
+
+  net.zero_grad();
+  for (const auto& x : {x1, x2}) {
+    nn::Mlp::Cache cache;
+    auto y = net.forward(x, cache);
+    la::Vector dy{y[0] - t[0]};
+    net.backward(cache, dy);
+  }
+  auto loss_fn = [&] {
+    return sq_loss(net.forward(x1), t) + sq_loss(net.forward(x2), t);
+  };
+  auto numeric = nn::numeric_gradient(loss_fn, net.params());
+  auto analytic = net.grads();
+  for (std::size_t i = 0; i < numeric.size(); ++i)
+    EXPECT_NEAR(analytic[i], numeric[i], 1e-6);
+}
+
+TEST(Adam, MinimizesQuadratic) {
+  // f(p) = sum (p_i - c_i)^2, gradient 2(p - c).
+  std::vector<double> p{5.0, -3.0, 0.5};
+  const std::vector<double> c{1.0, 2.0, -1.0};
+  nn::Adam adam(3, 0.1);
+  std::vector<double> g(3);
+  for (int it = 0; it < 500; ++it) {
+    for (std::size_t i = 0; i < 3; ++i) g[i] = 2.0 * (p[i] - c[i]);
+    adam.step(p, g);
+  }
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(p[i], c[i], 1e-3);
+}
+
+TEST(Adam, RejectsSizeMismatch) {
+  nn::Adam adam(3);
+  std::vector<double> p(2), g(2);
+  EXPECT_THROW(adam.step(p, g), std::invalid_argument);
+}
+
+TEST(Mlp, TrainsToFitSmallDataset) {
+  // End-to-end sanity: fit y = sin(2x) on [-1,1] with the paper's MLP shape.
+  kato::util::Rng rng(12);
+  nn::Mlp net({1, 32, 1}, nn::Activation::sigmoid, rng);
+  nn::Adam adam(net.n_params(), 0.02);
+  std::vector<la::Vector> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 40; ++i) {
+    const double x = -1.0 + 2.0 * i / 39.0;
+    xs.push_back({x});
+    ys.push_back(std::sin(2.0 * x));
+  }
+  double first_loss = 0.0, last_loss = 0.0;
+  for (int epoch = 0; epoch < 800; ++epoch) {
+    net.zero_grad();
+    double loss = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      nn::Mlp::Cache cache;
+      auto y = net.forward(xs[i], cache);
+      const double r = y[0] - ys[i];
+      loss += 0.5 * r * r;
+      net.backward(cache, {r});
+    }
+    if (epoch == 0) first_loss = loss;
+    last_loss = loss;
+    adam.step(net.params(), net.grads());
+  }
+  EXPECT_LT(last_loss, 0.05 * first_loss);
+}

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rf/random_forest.hpp"
+#include "util/rng.hpp"
+
+namespace rf = kato::rf;
+
+namespace {
+
+double target_fn(const std::vector<double>& x) {
+  return std::sin(4.0 * x[0]) + 0.5 * x[1] * x[1];
+}
+
+std::pair<std::vector<std::vector<double>>, std::vector<double>> make_data(
+    std::size_t n, std::uint64_t seed) {
+  kato::util::Rng rng(seed);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (std::size_t i = 0; i < n; ++i) {
+    x.push_back(rng.uniform_vec(2));
+    y.push_back(target_fn(x.back()));
+  }
+  return {x, y};
+}
+
+}  // namespace
+
+TEST(RandomForest, FitsSmoothFunction) {
+  auto [x, y] = make_data(300, 1);
+  rf::RandomForest forest;
+  kato::util::Rng rng(2);
+  forest.fit(x, y, rng);
+  auto [xt, yt] = make_data(60, 3);
+  double se = 0.0;
+  for (std::size_t i = 0; i < xt.size(); ++i) {
+    const auto p = forest.predict(xt[i]);
+    se += (p.mean - yt[i]) * (p.mean - yt[i]);
+  }
+  EXPECT_LT(std::sqrt(se / 60.0), 0.2);  // function range is ~2.5
+}
+
+TEST(RandomForest, AccurateInsideTrainingRegionOnly) {
+  // Train only on the left part of the box; trees extrapolate with their
+  // boundary leaves, so accuracy must degrade on the unseen right side.
+  kato::util::Rng rng(4);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 200; ++i) {
+    auto p = rng.uniform_vec(2);
+    p[0] *= 0.4;
+    x.push_back(p);
+    y.push_back(target_fn(x.back()));
+  }
+  rf::RandomForest forest;
+  forest.fit(x, y, rng);
+  double se_in = 0.0;
+  double se_out = 0.0;
+  for (int i = 0; i < 60; ++i) {
+    std::vector<double> in{rng.uniform(0.0, 0.4), rng.uniform()};
+    std::vector<double> out{rng.uniform(0.8, 1.0), rng.uniform()};
+    se_in += std::pow(forest.predict(in).mean - target_fn(in), 2);
+    se_out += std::pow(forest.predict(out).mean - target_fn(out), 2);
+  }
+  EXPECT_LT(se_in, se_out);
+}
+
+TEST(RandomForest, DeterministicGivenSeed) {
+  auto [x, y] = make_data(100, 5);
+  rf::RandomForest a;
+  rf::RandomForest b;
+  kato::util::Rng r1(7);
+  kato::util::Rng r2(7);
+  a.fit(x, y, r1);
+  b.fit(x, y, r2);
+  std::vector<double> q{0.3, 0.7};
+  EXPECT_DOUBLE_EQ(a.predict(q).mean, b.predict(q).mean);
+}
+
+TEST(RandomForest, ErrorsOnMisuse) {
+  rf::RandomForest forest;
+  std::vector<double> q{0.5};
+  EXPECT_THROW((void)forest.predict(q), std::logic_error);
+  kato::util::Rng rng(1);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  EXPECT_THROW(forest.fit(x, y, rng), std::invalid_argument);
+}
+
+TEST(RandomForest, HandlesConstantTargets) {
+  kato::util::Rng rng(9);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y(50, 2.5);
+  for (int i = 0; i < 50; ++i) x.push_back(rng.uniform_vec(3));
+  rf::RandomForest forest;
+  forest.fit(x, y, rng);
+  const auto p = forest.predict(std::vector<double>{0.5, 0.5, 0.5});
+  EXPECT_NEAR(p.mean, 2.5, 1e-9);
+}

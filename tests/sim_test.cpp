@@ -1,0 +1,317 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/ac.hpp"
+#include "sim/circuit.hpp"
+#include "sim/dc.hpp"
+#include "sim/mosfet.hpp"
+
+namespace sim = kato::sim;
+
+namespace {
+
+sim::MosModel nmos_model() {
+  sim::MosModel m;
+  m.nmos = true;
+  m.vth0 = 0.5;
+  m.kp = 200e-6;
+  m.lambda_coef = 0.05e-6;
+  return m;
+}
+
+sim::MosModel pmos_model() {
+  sim::MosModel m = nmos_model();
+  m.nmos = false;
+  m.kp = 80e-6;
+  return m;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Device model.
+
+TEST(Mosfet, SquareLawSaturation) {
+  const auto m = nmos_model();
+  // W/L = 10, vov = 0.3, deep saturation.
+  const auto op = sim::eval_mosfet(m, 10e-6, 1e-6, 0.8, 1.5);
+  const double beta = m.kp * 10.0;
+  const double expected = 0.5 * beta * 0.3 * 0.3 * (1.0 + 0.05 * 1.5);
+  EXPECT_NEAR(op.ids, expected, 0.05 * expected);  // smoothing deviates a bit
+  EXPECT_TRUE(op.saturated);
+}
+
+TEST(Mosfet, GmMatchesFiniteDifference) {
+  const auto m = nmos_model();
+  const double h = 1e-7;
+  for (double vgs : {0.45, 0.6, 0.9}) {
+    for (double vds : {0.05, 0.4, 1.2}) {
+      const auto op = sim::eval_mosfet(m, 5e-6, 0.5e-6, vgs, vds);
+      const auto p = sim::eval_mosfet(m, 5e-6, 0.5e-6, vgs + h, vds);
+      const auto q = sim::eval_mosfet(m, 5e-6, 0.5e-6, vgs - h, vds);
+      EXPECT_NEAR(op.gm, (p.ids - q.ids) / (2 * h), 1e-6 + 0.01 * std::abs(op.gm));
+      const auto pd = sim::eval_mosfet(m, 5e-6, 0.5e-6, vgs, vds + h);
+      const auto qd = sim::eval_mosfet(m, 5e-6, 0.5e-6, vgs, vds - h);
+      EXPECT_NEAR(op.gds, (pd.ids - qd.ids) / (2 * h),
+                  1e-6 + 0.01 * std::abs(op.gds));
+    }
+  }
+}
+
+TEST(Mosfet, SubthresholdCurrentIsTiny) {
+  const auto m = nmos_model();
+  const auto op = sim::eval_mosfet(m, 10e-6, 1e-6, 0.2, 1.0);  // vgs << vth
+  EXPECT_LT(op.ids, 1e-8);  // nA-scale leakage from the smoothed model
+  EXPECT_GT(op.ids, 0.0);
+}
+
+TEST(Mosfet, PmosMirrorsNmos) {
+  const auto n = nmos_model();
+  auto p = n;
+  p.nmos = false;
+  const auto opn = sim::eval_mosfet(n, 10e-6, 1e-6, 0.8, 1.0);
+  const auto opp = sim::eval_mosfet(p, 10e-6, 1e-6, -0.8, -1.0);
+  EXPECT_NEAR(opp.ids, -opn.ids, 1e-12);
+  EXPECT_NEAR(opp.gm, opn.gm, 1e-12);
+  EXPECT_NEAR(opp.gds, opn.gds, 1e-12);
+}
+
+TEST(Mosfet, ReverseVdsAntisymmetric) {
+  const auto m = nmos_model();
+  // Swapping drain/source flips the current: ids(vgs, -vds) with the gate
+  // referenced to the *new* source equals -ids.
+  const auto fwd = sim::eval_mosfet(m, 5e-6, 1e-6, 0.9, 0.3);
+  const auto rev = sim::eval_mosfet(m, 5e-6, 1e-6, 0.9 - 0.3, -0.3);
+  EXPECT_NEAR(rev.ids, -fwd.ids, 1e-12);
+}
+
+TEST(Mosfet, LongerChannelLowersOutputConductance) {
+  const auto m = nmos_model();
+  const auto short_l = sim::eval_mosfet(m, 10e-6, 0.2e-6, 0.8, 1.0);
+  const auto long_l = sim::eval_mosfet(m, 10e-6, 2e-6, 0.8, 1.0);
+  EXPECT_GT(short_l.gds / short_l.ids, long_l.gds / long_l.ids);
+}
+
+// ---------------------------------------------------------------------------
+// DC analysis.
+
+TEST(Dc, ResistorDivider) {
+  sim::Circuit ckt;
+  const int vin = ckt.new_node("vin");
+  const int mid = ckt.new_node("mid");
+  ckt.add_vsource(vin, sim::Circuit::ground, 3.0);
+  ckt.add_resistor(vin, mid, 1e3);
+  ckt.add_resistor(mid, sim::Circuit::ground, 2e3);
+  const auto res = sim::solve_dc(ckt);
+  ASSERT_TRUE(res.converged);
+  EXPECT_NEAR(res.v(mid), 2.0, 1e-6);
+  // Source current: 3V over 3k = 1 mA flowing out of the source's + terminal,
+  // i.e. the branch current (p->through source->n) is -1 mA.
+  EXPECT_NEAR(res.vsource_current[0], -1e-3, 1e-9);
+}
+
+TEST(Dc, DiodeResistorBias) {
+  sim::Circuit ckt;
+  const int vin = ckt.new_node("vin");
+  const int a = ckt.new_node("a");
+  ckt.add_vsource(vin, sim::Circuit::ground, 2.0);
+  ckt.add_resistor(vin, a, 10e3);
+  sim::Diode d;
+  d.a = a;
+  d.c = sim::Circuit::ground;
+  d.is_sat = 1e-15;
+  ckt.add_diode(d);
+  const auto res = sim::solve_dc(ckt);
+  ASSERT_TRUE(res.converged);
+  // Forward voltage should be a diode drop; current consistent with R.
+  const double vd = res.v(a);
+  EXPECT_GT(vd, 0.5);
+  EXPECT_LT(vd, 0.85);
+  const double i_r = (2.0 - vd) / 10e3;
+  const double i_d = 1e-15 * (std::exp(vd / sim::thermal_voltage(300.0)) - 1.0);
+  EXPECT_NEAR(i_r, i_d, 0.01 * i_r);
+}
+
+TEST(Dc, VccsAmplifier) {
+  // VCCS driving a load resistor: v_out = -gm R v_in.
+  sim::Circuit ckt;
+  const int in = ckt.new_node("in");
+  const int out = ckt.new_node("out");
+  ckt.add_vsource(in, sim::Circuit::ground, 0.1);
+  ckt.add_vccs(out, sim::Circuit::ground, in, sim::Circuit::ground, 1e-3);
+  ckt.add_resistor(out, sim::Circuit::ground, 10e3);
+  const auto res = sim::solve_dc(ckt);
+  ASSERT_TRUE(res.converged);
+  EXPECT_NEAR(res.v(out), -1.0, 1e-6);
+}
+
+TEST(Dc, NmosDiodeConnected) {
+  // Diode-connected NMOS fed by a current source settles at vgs giving ids=I.
+  sim::Circuit ckt;
+  const int d = ckt.new_node("d");
+  ckt.add_isource(sim::Circuit::ground, d, 50e-6);  // 50uA from gnd into d
+  ckt.add_mosfet(d, d, sim::Circuit::ground, 10e-6, 1e-6, nmos_model());
+  const auto res = sim::solve_dc(ckt);
+  ASSERT_TRUE(res.converged);
+  const auto op = res.mosfet_op[0];
+  EXPECT_NEAR(op.ids, 50e-6, 1e-7);
+  EXPECT_GT(res.v(d), 0.5);  // above threshold
+  EXPECT_LT(res.v(d), 1.2);
+}
+
+TEST(Dc, CurrentMirrorCopies) {
+  sim::Circuit ckt;
+  const int vdd = ckt.new_node("vdd");
+  const int ref = ckt.new_node("ref");
+  const int out = ckt.new_node("out");
+  ckt.add_vsource(vdd, sim::Circuit::ground, 1.8);
+  ckt.add_isource(vdd, ref, 20e-6);  // reference current into diode device
+  ckt.add_mosfet(ref, ref, sim::Circuit::ground, 10e-6, 1e-6, nmos_model());
+  ckt.add_mosfet(out, ref, sim::Circuit::ground, 20e-6, 1e-6, nmos_model());
+  ckt.add_resistor(vdd, out, 20e3);
+  const auto res = sim::solve_dc(ckt);
+  ASSERT_TRUE(res.converged);
+  // 2x width -> ~2x current (modulo lambda).
+  EXPECT_NEAR(res.mosfet_op[1].ids, 40e-6, 5e-6);
+}
+
+TEST(Dc, FloatingNodeFlaggedAsFailure) {
+  sim::Circuit ckt;
+  const int n = ckt.new_node("float");
+  ckt.add_isource(sim::Circuit::ground, n, -1e-3);  // 1 mA into a floating node
+  const auto res = sim::solve_dc(ckt);
+  EXPECT_FALSE(res.converged);  // |v| explodes past the sanity bound
+}
+
+TEST(Dc, WarmStartTracksSweep) {
+  // Temperature sweep of a diode: forward voltage drops with temperature.
+  sim::Circuit ckt;
+  const int vin = ckt.new_node("vin");
+  const int a = ckt.new_node("a");
+  ckt.add_vsource(vin, sim::Circuit::ground, 2.0);
+  ckt.add_resistor(vin, a, 10e3);
+  sim::Diode d;
+  d.a = a;
+  d.c = sim::Circuit::ground;
+  ckt.add_diode(d);
+
+  sim::DcOptions opts;
+  opts.temp = 260.0;
+  auto cold = sim::solve_dc(ckt, opts);
+  ASSERT_TRUE(cold.converged);
+  opts.temp = 360.0;
+  auto hot = sim::solve_dc(ckt, opts, &cold.node_voltage);
+  ASSERT_TRUE(hot.converged);
+  EXPECT_LT(hot.v(a), cold.v(a));
+}
+
+// ---------------------------------------------------------------------------
+// AC analysis.
+
+TEST(Ac, RcLowPassPole) {
+  sim::Circuit ckt;
+  const int in = ckt.new_node("in");
+  const int out = ckt.new_node("out");
+  ckt.add_vsource(in, sim::Circuit::ground, 0.0, 1.0);  // AC stimulus
+  const double r = 1e3;
+  const double c = 1e-9;  // pole at 159 kHz
+  ckt.add_resistor(in, out, r);
+  ckt.add_capacitor(out, sim::Circuit::ground, c);
+  const auto op = sim::solve_dc(ckt);
+  ASSERT_TRUE(op.converged);
+  const auto freqs = sim::log_freq_grid(1e2, 1e9, 40);
+  const auto sweep = sim::solve_ac(ckt, op, freqs);
+  ASSERT_TRUE(sweep.ok);
+  const double fp = 1.0 / (2.0 * M_PI * r * c);
+  // -3 dB at the pole.
+  EXPECT_NEAR(sim::gain_db_at(sweep, out, fp), -3.01, 0.2);
+  // Passband flat at 0 dB.
+  EXPECT_NEAR(sim::gain_db_at(sweep, out, 1e2), 0.0, 0.01);
+  // One decade above: -20 dB/dec.
+  EXPECT_NEAR(sim::gain_db_at(sweep, out, fp * 10.0), -20.0, 0.5);
+}
+
+TEST(Ac, IntegratorUnityGainAndPhaseMargin) {
+  // gm into C: H(s) = gm / (sC) with tiny load conductance for DC finiteness.
+  sim::Circuit ckt;
+  const int in = ckt.new_node("in");
+  const int out = ckt.new_node("out");
+  ckt.add_vsource(in, sim::Circuit::ground, 0.0, 1.0);
+  const double gm = 1e-3;
+  const double c = 1e-9;
+  ckt.add_vccs(out, sim::Circuit::ground, sim::Circuit::ground, in, gm);  // +gm
+  ckt.add_resistor(out, sim::Circuit::ground, 1e9);
+  ckt.add_capacitor(out, sim::Circuit::ground, c);
+  const auto op = sim::solve_dc(ckt);
+  ASSERT_TRUE(op.converged);
+  // Sweep from below the dominant pole (0.16 Hz here) so the phase
+  // reference is the DC phase, as phase_margin_deg requires.
+  const auto sweep = sim::solve_ac(ckt, op, sim::log_freq_grid(1e-2, 1e9, 40));
+  ASSERT_TRUE(sweep.ok);
+  const double fu_expected = gm / (2.0 * M_PI * c);  // 159 kHz
+  const double fu = sim::unity_gain_freq(sweep, out);
+  EXPECT_NEAR(fu / fu_expected, 1.0, 0.02);
+  // Single-pole system: phase margin ~90 degrees.
+  EXPECT_NEAR(sim::phase_margin_deg(sweep, out), 90.0, 2.0);
+}
+
+TEST(Ac, CommonSourceGainMatchesHandCalc) {
+  // NMOS common-source with resistive load; |A| ~= gm * (R || ro).
+  sim::Circuit ckt;
+  const int vdd = ckt.new_node("vdd");
+  const int g = ckt.new_node("g");
+  const int d = ckt.new_node("d");
+  ckt.add_vsource(vdd, sim::Circuit::ground, 1.8);
+  ckt.add_vsource(g, sim::Circuit::ground, 0.75, 1.0);  // bias + AC
+  ckt.add_resistor(vdd, d, 20e3);
+  ckt.add_mosfet(d, g, sim::Circuit::ground, 10e-6, 1e-6, nmos_model());
+  const auto op = sim::solve_dc(ckt);
+  ASSERT_TRUE(op.converged);
+  const auto& mop = op.mosfet_op[0];
+  ASSERT_TRUE(mop.saturated);
+  const auto sweep = sim::solve_ac(ckt, op, sim::log_freq_grid(10.0, 1e3, 10));
+  ASSERT_TRUE(sweep.ok);
+  const double r_out = 1.0 / (1.0 / 20e3 + mop.gds);
+  const double expected_db = 20.0 * std::log10(mop.gm * r_out);
+  EXPECT_NEAR(sim::dc_gain_db(sweep, d), expected_db, 0.1);
+}
+
+TEST(Ac, QuietWithoutStimulus) {
+  sim::Circuit ckt;
+  const int in = ckt.new_node("in");
+  const int out = ckt.new_node("out");
+  ckt.add_vsource(in, sim::Circuit::ground, 1.0);  // ac = 0
+  ckt.add_resistor(in, out, 1e3);
+  ckt.add_resistor(out, sim::Circuit::ground, 1e3);
+  const auto op = sim::solve_dc(ckt);
+  const auto sweep = sim::solve_ac(ckt, op, {1e3});
+  ASSERT_TRUE(sweep.ok);
+  EXPECT_NEAR(std::abs(sweep.v(0, out)), 0.0, 1e-15);
+}
+
+TEST(Ac, FailedOpPropagates) {
+  sim::Circuit ckt;
+  const int n = ckt.new_node("float");
+  ckt.add_isource(sim::Circuit::ground, n, -1e-3);
+  const auto op = sim::solve_dc(ckt);
+  const auto sweep = sim::solve_ac(ckt, op, {1e3});
+  EXPECT_FALSE(sweep.ok);
+}
+
+TEST(Circuit, ValidatesDevices) {
+  sim::Circuit ckt;
+  const int a = ckt.new_node("a");
+  EXPECT_THROW(ckt.add_resistor(a, 99, 1e3), std::invalid_argument);
+  EXPECT_THROW(ckt.add_resistor(a, 0, -5.0), std::invalid_argument);
+  EXPECT_THROW(ckt.add_mosfet(a, a, 0, -1e-6, 1e-6, nmos_model()),
+               std::invalid_argument);
+}
+
+TEST(FreqGrid, LogSpacing) {
+  const auto f = sim::log_freq_grid(10.0, 1000.0, 10);
+  ASSERT_EQ(f.size(), 21u);
+  EXPECT_NEAR(f.front(), 10.0, 1e-9);
+  EXPECT_NEAR(f.back(), 1000.0, 1e-6);
+  EXPECT_THROW(sim::log_freq_grid(-1.0, 10.0, 10), std::invalid_argument);
+}

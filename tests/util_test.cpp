@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/rng.hpp"
+#include "util/sampling.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace ku = kato::util;
+
+TEST(Rng, DeterministicForSameSeed) {
+  ku::Rng a(42);
+  ku::Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  ku::Rng a(1);
+  ku::Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.uniform() == b.uniform()) ++same;
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformRange) {
+  ku::Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-2.0, 3.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  ku::Rng rng(11);
+  auto v = rng.normal_vec(20000);
+  EXPECT_NEAR(ku::mean(v), 0.0, 0.05);
+  EXPECT_NEAR(ku::stddev(v), 1.0, 0.05);
+}
+
+TEST(Rng, PermutationIsPermutation) {
+  ku::Rng rng(3);
+  auto p = rng.permutation(50);
+  std::set<std::size_t> seen(p.begin(), p.end());
+  EXPECT_EQ(seen.size(), 50u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 49u);
+}
+
+TEST(Rng, ChoiceDistinct) {
+  ku::Rng rng(5);
+  auto c = rng.choice(100, 30);
+  std::set<std::size_t> seen(c.begin(), c.end());
+  EXPECT_EQ(seen.size(), 30u);
+  for (auto i : seen) EXPECT_LT(i, 100u);
+}
+
+TEST(Rng, ChoiceThrowsWhenKTooLarge) {
+  ku::Rng rng(5);
+  EXPECT_THROW(rng.choice(3, 4), std::invalid_argument);
+}
+
+TEST(Rng, SplitStreamsIndependent) {
+  ku::Rng parent(9);
+  ku::Rng child = parent.split();
+  // Child draws must not equal the parent's subsequent draws.
+  int same = 0;
+  for (int i = 0; i < 50; ++i)
+    if (parent.uniform() == child.uniform()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Sampling, LatinHypercubeStratified) {
+  ku::Rng rng(13);
+  const std::size_t n = 16;
+  auto m = ku::latin_hypercube(n, 3, rng);
+  // Exactly one point per 1/n bin in every dimension.
+  for (std::size_t j = 0; j < 3; ++j) {
+    std::vector<int> bin_count(n, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double v = m.data[i * 3 + j];
+      ASSERT_GE(v, 0.0);
+      ASSERT_LT(v, 1.0);
+      ++bin_count[static_cast<std::size_t>(v * static_cast<double>(n))];
+    }
+    for (int c : bin_count) EXPECT_EQ(c, 1);
+  }
+}
+
+TEST(Sampling, ScaleRoundTrip) {
+  std::vector<double> lo{-1.0, 0.0, 10.0};
+  std::vector<double> hi{1.0, 5.0, 20.0};
+  std::vector<double> unit{0.25, 0.5, 0.75};
+  auto x = ku::scale_to_box(unit, lo, hi);
+  EXPECT_DOUBLE_EQ(x[0], -0.5);
+  EXPECT_DOUBLE_EQ(x[1], 2.5);
+  EXPECT_DOUBLE_EQ(x[2], 17.5);
+  auto u = ku::scale_to_unit(x, lo, hi);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(u[i], unit[i], 1e-12);
+}
+
+TEST(Stats, BasicMoments) {
+  std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(ku::mean(v), 2.5);
+  EXPECT_DOUBLE_EQ(ku::variance(v), 1.25);
+  EXPECT_DOUBLE_EQ(ku::median(v), 2.5);
+}
+
+TEST(Stats, QuantileInterpolation) {
+  std::vector<double> v{0.0, 1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(ku::quantile(v, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(ku::quantile(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(ku::quantile(v, 0.5), 2.0);
+  EXPECT_DOUBLE_EQ(ku::quantile(v, 0.25), 1.0);
+  EXPECT_DOUBLE_EQ(ku::quantile(v, 0.1), 0.4);
+}
+
+TEST(Stats, EmptyThrows) {
+  std::vector<double> v;
+  EXPECT_THROW(ku::mean(v), std::invalid_argument);
+  EXPECT_THROW(ku::quantile(v, 0.5), std::invalid_argument);
+}
+
+TEST(Stats, RunningBest) {
+  std::vector<double> v{3.0, 1.0, 4.0, 1.0, 5.0};
+  auto mx = ku::running_max(v);
+  auto mn = ku::running_min(v);
+  EXPECT_EQ(mx, (std::vector<double>{3, 3, 4, 4, 5}));
+  EXPECT_EQ(mn, (std::vector<double>{3, 1, 1, 1, 1}));
+}
+
+TEST(Stats, AggregateTraces) {
+  std::vector<std::vector<double>> traces{{1, 2}, {3, 4}, {5, 6}};
+  auto band = ku::aggregate_traces(traces);
+  EXPECT_DOUBLE_EQ(band.median[0], 3.0);
+  EXPECT_DOUBLE_EQ(band.median[1], 4.0);
+  EXPECT_DOUBLE_EQ(band.q25[0], 2.0);
+  EXPECT_DOUBLE_EQ(band.q75[0], 4.0);
+}
+
+TEST(Stats, AggregateTracesRejectsRagged) {
+  std::vector<std::vector<double>> traces{{1, 2}, {3}};
+  EXPECT_THROW(ku::aggregate_traces(traces), std::invalid_argument);
+}
+
+TEST(Table, AlignedOutput) {
+  ku::Table t({"method", "value"});
+  t.add_row({"kato", "1.0"});
+  t.add_row("mace", {2.5}, 1);
+  const auto s = t.to_string();
+  EXPECT_NE(s.find("method"), std::string::npos);
+  EXPECT_NE(s.find("kato"), std::string::npos);
+  EXPECT_NE(s.find("2.5"), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+  ku::Table t({"a", "b"});
+  t.add_row({"x", "y"});
+  EXPECT_EQ(t.to_csv(), "a,b\nx,y\n");
+}
+
+TEST(Table, RejectsWrongArity) {
+  ku::Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
