@@ -1,21 +1,66 @@
-// Microbenchmarks for the hot paths (google-benchmark): Neuk kernel-matrix
-// construction and backward pass, GP fit step and prediction, MNA DC solve
-// and AC sweep, NSGA-II generations.
+// Microbenchmarks for the hot paths: Neuk kernel-matrix construction and
+// backward pass, dense matmul/Cholesky, GP fit step, per-point vs batched GP
+// prediction, MACE proposal generation, MNA circuit evaluation and NSGA-II.
+//
+// Usage:
+//   micro_perf             human-readable table
+//   micro_perf --json      also writes BENCH_micro_perf.json (machine
+//                          readable; later PRs diff it for perf trajectory)
+//
+// The batched-prediction entries report the headline number for this
+// harness: `gp_predict_batch` must stay >= 2x faster than the per-point
+// loop (`speedup` field in the JSON).
 
-#include <benchmark/benchmark.h>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
 
+#include "bo/mace.hpp"
 #include "bo/surrogate.hpp"
 #include "circuits/factory.hpp"
 #include "gp/gp.hpp"
 #include "kernel/neuk.hpp"
+#include "linalg/cholesky.hpp"
 #include "moo/nsga2.hpp"
-#include "sim/ac.hpp"
-#include "sim/dc.hpp"
-#include "util/sampling.hpp"
+#include "util/parallel.hpp"
 
 using namespace kato;
 
 namespace {
+
+struct BenchResult {
+  std::string name;
+  double ms_per_iter = 0.0;
+  std::size_t iterations = 0;
+};
+
+std::vector<BenchResult> g_results;
+
+/// Run fn repeatedly until ~min_total_ms of wall clock is spent (at least
+/// twice), then record the mean per-iteration time.
+template <typename Fn>
+double bench(const std::string& name, Fn&& fn, double min_total_ms = 300.0) {
+  using clock = std::chrono::steady_clock;
+  fn();  // warm-up (excluded)
+  std::size_t iters = 0;
+  const auto start = clock::now();
+  double elapsed_ms = 0.0;
+  while (elapsed_ms < min_total_ms || iters < 2) {
+    fn();
+    ++iters;
+    elapsed_ms = std::chrono::duration<double, std::milli>(clock::now() - start)
+                     .count();
+  }
+  const double per_iter = elapsed_ms / static_cast<double>(iters);
+  g_results.push_back({name, per_iter, iters});
+  std::cout << "  " << name << ": " << per_iter << " ms/iter (" << iters
+            << " iters)\n";
+  return per_iter;
+}
 
 la::Matrix random_points(std::size_t n, std::size_t d, std::uint64_t seed) {
   util::Rng rng(seed);
@@ -24,94 +69,160 @@ la::Matrix random_points(std::size_t n, std::size_t d, std::uint64_t seed) {
   return x;
 }
 
-void bm_neuk_matrix(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  util::Rng rng(1);
-  kern::NeukConfig cfg;
-  kern::NeukKernel k(8, cfg, rng);
-  const auto x = random_points(n, 8, 2);
-  for (auto _ : state) benchmark::DoNotOptimize(k.matrix(x));
-}
-BENCHMARK(bm_neuk_matrix)->Arg(64)->Arg(128)->Arg(256);
+volatile double g_sink = 0.0;
 
-void bm_neuk_backward(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  util::Rng rng(1);
-  kern::NeukConfig cfg;
-  kern::NeukKernel k(8, cfg, rng);
-  const auto x = random_points(n, 8, 2);
-  la::Matrix dk(n, n, 1.0);
-  std::vector<double> grad(k.n_params());
-  for (auto _ : state) {
-    std::fill(grad.begin(), grad.end(), 0.0);
-    k.backward(x, dk, grad);
-    benchmark::DoNotOptimize(grad.data());
-  }
-}
-BENCHMARK(bm_neuk_backward)->Arg(64)->Arg(128);
+void sink(double v) { g_sink = g_sink + v; }
 
-void bm_gp_fit_step(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  util::Rng rng(3);
+gp::GaussianProcess make_fitted_gp(std::size_t n, std::size_t d,
+                                   std::uint64_t seed) {
+  util::Rng rng(seed);
   kern::NeukConfig cfg;
-  gp::GaussianProcess model(std::make_unique<kern::NeukKernel>(8, cfg, rng));
-  const auto x = random_points(n, 8, 4);
+  gp::GaussianProcess model(std::make_unique<kern::NeukKernel>(d, cfg, rng));
+  const auto x = random_points(n, d, seed + 1);
   la::Vector y(n);
   for (std::size_t i = 0; i < n; ++i) y[i] = std::sin(3.0 * x(i, 0)) + x(i, 1);
   model.set_data(x, y);
-  gp::GpFitOptions opts;
-  opts.iterations = 1;
-  for (auto _ : state) {
-    model.fit(opts, rng);
-    benchmark::DoNotOptimize(model);
-  }
+  return model;
 }
-BENCHMARK(bm_gp_fit_step)->Arg(128)->Arg(256);
-
-void bm_gp_predict(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  util::Rng rng(5);
-  kern::NeukConfig cfg;
-  gp::GaussianProcess model(std::make_unique<kern::NeukKernel>(8, cfg, rng));
-  const auto x = random_points(n, 8, 6);
-  la::Vector y(n);
-  for (std::size_t i = 0; i < n; ++i) y[i] = std::sin(3.0 * x(i, 0));
-  model.set_data(x, y);
-  const auto q = rng.uniform_vec(8);
-  for (auto _ : state) benchmark::DoNotOptimize(model.predict(q));
-}
-BENCHMARK(bm_gp_predict)->Arg(128)->Arg(320);
-
-void bm_dc_opamp2(benchmark::State& state) {
-  auto circuit = ckt::make_circuit("opamp2", "180nm");
-  const auto x = circuit->expert_design();
-  for (auto _ : state) benchmark::DoNotOptimize(circuit->evaluate(x));
-}
-BENCHMARK(bm_dc_opamp2);
-
-void bm_bandgap_eval(benchmark::State& state) {
-  auto circuit = ckt::make_circuit("bandgap", "180nm");
-  const auto x = circuit->expert_design();
-  for (auto _ : state) benchmark::DoNotOptimize(circuit->evaluate(x));
-}
-BENCHMARK(bm_bandgap_eval);
-
-void bm_nsga2(benchmark::State& state) {
-  auto fn = [](const std::vector<double>& x) {
-    double g = 0.0;
-    for (std::size_t i = 1; i < x.size(); ++i) g += x[i];
-    return std::vector<double>{x[0], 1.0 + g - std::sqrt(x[0] / (1.0 + g))};
-  };
-  moo::Nsga2Options opts;
-  opts.population = 32;
-  opts.generations = 20;
-  for (auto _ : state) {
-    util::Rng rng(7);
-    benchmark::DoNotOptimize(moo::nsga2(fn, 8, 2, opts, rng));
-  }
-}
-BENCHMARK(bm_nsga2);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool json = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--json") == 0) json = true;
+
+  std::cout << "== micro_perf (KATO_THREADS=" << util::thread_count()
+            << ") ==\n";
+
+  // Kernel construction / backward.
+  {
+    util::Rng rng(1);
+    kern::NeukConfig cfg;
+    kern::NeukKernel k(8, cfg, rng);
+    const auto x = random_points(128, 8, 2);
+    bench("neuk_matrix_n128", [&] { sink(k.matrix(x)(0, 0)); });
+    la::Matrix dk(128, 128, 1.0);
+    std::vector<double> grad(k.n_params());
+    bench("neuk_backward_n128", [&] {
+      std::fill(grad.begin(), grad.end(), 0.0);
+      k.backward(x, dk, grad);
+      sink(grad[0]);
+    });
+  }
+
+  // Dense linear algebra.
+  {
+    const auto a = random_points(256, 256, 3);
+    const auto b = random_points(256, 256, 4);
+    bench("matmul_256", [&] { sink(la::matmul(a, b)(0, 0)); });
+    la::Matrix spd = la::matmul_nt(a, a);
+    for (std::size_t i = 0; i < spd.rows(); ++i) spd(i, i) += 256.0;
+    bench("cholesky_256", [&] { sink((*la::cholesky(spd))(0, 0)); });
+  }
+
+  // GP fit step.
+  {
+    auto model = make_fitted_gp(256, 8, 5);
+    util::Rng rng(6);
+    gp::GpFitOptions opts;
+    opts.iterations = 1;
+    bench("gp_fit_step_n256", [&] {
+      model.fit(opts, rng);
+      sink(model.noise_var());
+    });
+  }
+
+  // Per-point vs batched prediction: the ratio is the headline number.
+  double loop_ms = 0.0;
+  double batch_ms = 0.0;
+  {
+    const std::size_t n_queries = 64;
+    auto model = make_fitted_gp(512, 8, 7);
+    const auto q = random_points(n_queries, 8, 8);
+    loop_ms = bench("gp_predict_loop_n512_q64", [&] {
+      double acc = 0.0;
+      for (std::size_t i = 0; i < n_queries; ++i)
+        acc += model.predict(q.row(i)).mean;
+      sink(acc);
+    });
+    batch_ms = bench("gp_predict_batch_n512_q64", [&] {
+      const auto preds = model.predict_batch(q);
+      sink(preds.front().mean);
+    });
+    std::cout << "  -> batched speedup: " << loop_ms / batch_ms << "x\n";
+  }
+
+  // MACE proposal generation over a fitted surrogate (the BO inner loop).
+  {
+    util::Rng rng(9);
+    gp::GpFitOptions fit{20, 0.05, 192, 1e-6};
+    bo::GpSurrogate surr(8, 2, bo::KernelKind::neuk, fit, fit, rng);
+    const auto x = random_points(96, 8, 10);
+    la::Matrix y(96, 2);
+    for (std::size_t i = 0; i < 96; ++i) {
+      y(i, 0) = std::sin(3.0 * x(i, 0));
+      y(i, 1) = x(i, 1);
+    }
+    surr.refit(x, y, rng);
+    std::vector<ckt::MetricSpec> specs{{"c0", "", 0.5, true}};
+    bo::MaceOptions opts;
+    opts.nsga.population = 24;
+    opts.nsga.generations = 8;
+    bench("mace_proposals_n96", [&] {
+      util::Rng inner(11);
+      sink(static_cast<double>(
+          bo::mace_proposals(surr, specs, 0.1, opts, inner, {}).x.size()));
+    });
+  }
+
+  // Circuit evaluation.
+  {
+    auto circuit = ckt::make_circuit("opamp2", "180nm");
+    const auto x = circuit->expert_design();
+    bench("dc_opamp2_eval", [&] {
+      const auto m = circuit->evaluate(x);
+      sink(m ? (*m)[0] : 0.0);
+    });
+    auto bandgap = ckt::make_circuit("bandgap", "180nm");
+    const auto xb = bandgap->expert_design();
+    bench("bandgap_eval", [&] {
+      const auto m = bandgap->evaluate(xb);
+      sink(m ? (*m)[0] : 0.0);
+    });
+  }
+
+  // NSGA-II on an analytic problem (no surrogate cost).
+  {
+    auto fn = [](const std::vector<double>& x) {
+      double g = 0.0;
+      for (std::size_t i = 1; i < x.size(); ++i) g += x[i];
+      return std::vector<double>{x[0], 1.0 + g - std::sqrt(x[0] / (1.0 + g))};
+    };
+    moo::Nsga2Options opts;
+    opts.population = 32;
+    opts.generations = 20;
+    bench("nsga2_p32_g20", [&] {
+      util::Rng rng(7);
+      sink(static_cast<double>(moo::nsga2(fn, 8, 2, opts, rng).x.size()));
+    });
+  }
+
+  if (json) {
+    std::ofstream out("BENCH_micro_perf.json");
+    out << "{\n  \"benchmarks\": [\n";
+    for (std::size_t i = 0; i < g_results.size(); ++i) {
+      const auto& r = g_results[i];
+      out << "    {\"name\": \"" << r.name << "\", \"ms_per_iter\": "
+          << r.ms_per_iter << ", \"iterations\": " << r.iterations << "}"
+          << (i + 1 < g_results.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n";
+    out << "  \"gp_predict_batch_speedup\": "
+        << (batch_ms > 0.0 ? loop_ms / batch_ms : 0.0) << ",\n";
+    out << "  \"kato_threads\": " << util::thread_count() << "\n";
+    out << "}\n";
+    std::cout << "wrote BENCH_micro_perf.json\n";
+  }
+  return 0;
+}

@@ -291,16 +291,18 @@ RunResult run_constrained(const ckt::SizingCircuit& circuit,
       case ConstrainedMethod::mesmoc: {
         // Exploitation-heavy feasible lower-confidence-bound (see DESIGN.md).
         auto pool = candidate_pool(seeds, dim, rng);
+        const auto all_preds =
+            self_model->predict_batch(la::Matrix::from_points(pool));
         std::vector<std::pair<double, std::vector<double>>> scored;
         scored.reserve(pool.size());
-        for (auto& cand : pool) {
-          const auto preds = self_model->predict(cand);
+        for (std::size_t c = 0; c < pool.size(); ++c) {
+          const auto& preds = all_preds[c];
           const std::vector<gp::GpPrediction> cons(preds.begin() + 1, preds.end());
           const double pf = probability_of_feasibility(cons, specs);
           const double lcb = std::isfinite(y_best)
                                  ? ucb_improvement(preds[0], y_best, 0.5)
                                  : 1.0;
-          scored.push_back({pf * lcb, std::move(cand)});
+          scored.push_back({pf * lcb, std::move(pool[c])});
         }
         for (const auto& cand : top_k_distinct(scored, config.batch, dim, rng))
           (void)state.simulate(cand);
@@ -309,15 +311,17 @@ RunResult run_constrained(const ckt::SizingCircuit& circuit,
       case ConstrainedMethod::usemoc: {
         // Uncertainty-aware search: total predictive spread gated by PF.
         auto pool = candidate_pool(seeds, dim, rng);
+        const auto all_preds =
+            self_model->predict_batch(la::Matrix::from_points(pool));
         std::vector<std::pair<double, std::vector<double>>> scored;
         scored.reserve(pool.size());
-        for (auto& cand : pool) {
-          const auto preds = self_model->predict(cand);
+        for (std::size_t c = 0; c < pool.size(); ++c) {
+          const auto& preds = all_preds[c];
           const std::vector<gp::GpPrediction> cons(preds.begin() + 1, preds.end());
           const double pf = probability_of_feasibility(cons, specs);
           double spread = 0.0;
           for (const auto& p : preds) spread += std::sqrt(std::max(p.var, 0.0));
-          scored.push_back({spread * std::sqrt(pf), std::move(cand)});
+          scored.push_back({spread * std::sqrt(pf), std::move(pool[c])});
         }
         for (const auto& cand : top_k_distinct(scored, config.batch, dim, rng))
           (void)state.simulate(cand);
@@ -354,8 +358,9 @@ class ResidualSurrogate final : public Surrogate {
   void refit(const la::Matrix& x, const la::Matrix& y, util::Rng& rng,
              bool train_hyper = true) override {
     la::Matrix res(x.rows(), 1);
+    const auto src_preds = source_->metric(0).predict_batch(x);
     for (std::size_t i = 0; i < x.rows(); ++i)
-      res(i, 0) = y(i, 0) - source_->metric(0).predict(x.row(i)).mean;
+      res(i, 0) = y(i, 0) - src_preds[i].mean;
     residual_.refit(x, res, rng, train_hyper);
   }
 
@@ -365,6 +370,17 @@ class ResidualSurrogate final : public Surrogate {
     pred[0].mean += src.mean;
     pred[0].var += 0.25 * src.var;  // deflated: the source is a prior, not data
     return pred;
+  }
+
+  std::vector<std::vector<gp::GpPrediction>> predict_batch(
+      const la::Matrix& xq) const override {
+    const auto src = source_->metric(0).predict_batch(xq);
+    auto preds = residual_.predict_batch(xq);
+    for (std::size_t i = 0; i < preds.size(); ++i) {
+      preds[i][0].mean += src[i].mean;
+      preds[i][0].var += 0.25 * src[i].var;
+    }
+    return preds;
   }
 
  private:

@@ -15,6 +15,26 @@ std::vector<double> constraint_scales(const Surrogate& surrogate,
   return std::vector<double>(n_constraints, 1.0);
 }
 
+/// Lift a per-candidate acquisition map (predictions -> objective vector)
+/// into the NSGA batch evaluator.  The surrogate posterior — the expensive
+/// stage — runs over the whole generation at once (one cross-covariance and
+/// one triangular solve per metric) and splits across KATO_THREADS workers
+/// inside predict_batch, writing per-candidate slots so any thread count
+/// produces bit-identical proposals.  The remaining acquisition arithmetic
+/// is a handful of flops per candidate: spawning threads for it would cost
+/// more than the work, so it stays a plain loop.
+template <typename AcqFn>
+moo::BatchObjectiveFn batch_acquisition(const Surrogate& surrogate,
+                                        AcqFn acquisition) {
+  return [&surrogate, acquisition](const std::vector<std::vector<double>>& xs) {
+    const la::Matrix xq = la::Matrix::from_points(xs);
+    const auto preds = surrogate.predict_batch(xq);
+    std::vector<std::vector<double>> out(xs.size());
+    for (std::size_t q = 0; q < xs.size(); ++q) out[q] = acquisition(preds[q]);
+    return out;
+  };
+}
+
 }  // namespace
 
 moo::ParetoSet mace_proposals(const Surrogate& surrogate,
@@ -26,8 +46,8 @@ moo::ParetoSet mace_proposals(const Surrogate& surrogate,
   const std::size_t n_obj = options.variant == MaceVariant::modified ? 3 : 6;
   const auto scales = constraint_scales(surrogate, specs.size());
 
-  auto objective = [&](const std::vector<double>& x) {
-    const auto preds = surrogate.predict(x);
+  auto acquisition = [&specs, &scales, &options, y_best,
+                      have_incumbent](const std::vector<gp::GpPrediction>& preds) {
     const gp::GpPrediction obj = preds.front();
     const std::vector<gp::GpPrediction> cons(preds.begin() + 1, preds.end());
     const double pf = probability_of_feasibility(cons, specs);
@@ -56,21 +76,24 @@ moo::ParetoSet mace_proposals(const Surrogate& surrogate,
 
   // NSGA genes = design variables in the unit box.
   const std::size_t dim = surrogate.input_dim();
-  return moo::nsga2(objective, dim, n_obj, options.nsga, rng, seeds);
+  return moo::nsga2_batch(batch_acquisition(surrogate, acquisition), dim, n_obj,
+                          options.nsga, rng, seeds);
 }
 
 moo::ParetoSet mace_proposals_unconstrained(
     const Surrogate& surrogate, double y_best, const MaceOptions& options,
     util::Rng& rng, const std::vector<std::vector<double>>& seeds) {
-  auto objective = [&](const std::vector<double>& x) {
-    const gp::GpPrediction obj = surrogate.predict(x).front();
+  auto acquisition = [&options,
+                      y_best](const std::vector<gp::GpPrediction>& preds) {
+    const gp::GpPrediction obj = preds.front();
     return std::vector<double>{
         -expected_improvement(obj, y_best),
         -probability_of_improvement(obj, y_best),
         -ucb_improvement(obj, y_best, options.ucb_beta)};
   };
   const std::size_t dim = surrogate.input_dim();
-  return moo::nsga2(objective, dim, 3, options.nsga, rng, seeds);
+  return moo::nsga2_batch(batch_acquisition(surrogate, acquisition), dim, 3,
+                          options.nsga, rng, seeds);
 }
 
 std::vector<std::vector<double>> select_batch(const moo::ParetoSet& set,

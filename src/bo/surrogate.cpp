@@ -2,6 +2,14 @@
 
 namespace kato::bo {
 
+std::vector<std::vector<gp::GpPrediction>> Surrogate::predict_batch(
+    const la::Matrix& xq) const {
+  std::vector<std::vector<gp::GpPrediction>> out;
+  out.reserve(xq.rows());
+  for (std::size_t q = 0; q < xq.rows(); ++q) out.push_back(predict(xq.row(q)));
+  return out;
+}
+
 std::unique_ptr<kern::Kernel> make_kernel(KernelKind kind, std::size_t dim,
                                           util::Rng& rng) {
   switch (kind) {
@@ -49,6 +57,11 @@ std::vector<gp::GpPrediction> GpSurrogate::predict(std::span<const double> x) co
   return model_.predict(x);
 }
 
+std::vector<std::vector<gp::GpPrediction>> GpSurrogate::predict_batch(
+    const la::Matrix& xq) const {
+  return model_.predict_batch(xq);
+}
+
 KatSurrogate::KatSurrogate(const gp::MultiGp* source, std::size_t target_dim,
                            std::size_t target_metrics,
                            const gp::KatGpConfig& config, util::Rng& rng)
@@ -65,6 +78,11 @@ void KatSurrogate::refit(const la::Matrix& x, const la::Matrix& y, util::Rng& rn
 
 std::vector<gp::GpPrediction> KatSurrogate::predict(std::span<const double> x) const {
   return model_.predict(x);
+}
+
+std::vector<std::vector<gp::GpPrediction>> KatSurrogate::predict_batch(
+    const la::Matrix& xq) const {
+  return model_.predict_batch(xq);
 }
 
 }  // namespace kato::bo

@@ -23,6 +23,12 @@ class Surrogate {
                      bool train_hyper = true) = 0;
   /// Per-metric predictive Gaussians at x.
   virtual std::vector<gp::GpPrediction> predict(std::span<const double> x) const = 0;
+  /// Per-metric predictive Gaussians for a block of candidates (rows of xq);
+  /// out[q][m] is metric m at query row q.  The base implementation loops
+  /// predict(); GP-backed surrogates override it with a batched posterior
+  /// that shares one triangular solve across the block.
+  virtual std::vector<std::vector<gp::GpPrediction>> predict_batch(
+      const la::Matrix& xq) const;
   virtual std::size_t n_metrics() const = 0;
   virtual std::size_t input_dim() const = 0;
 };
@@ -43,6 +49,8 @@ class GpSurrogate final : public Surrogate {
   void refit(const la::Matrix& x, const la::Matrix& y, util::Rng& rng,
              bool train_hyper = true) override;
   std::vector<gp::GpPrediction> predict(std::span<const double> x) const override;
+  std::vector<std::vector<gp::GpPrediction>> predict_batch(
+      const la::Matrix& xq) const override;
   std::size_t n_metrics() const override { return model_.n_metrics(); }
   std::size_t input_dim() const override { return dim_; }
 
@@ -69,6 +77,8 @@ class KatSurrogate final : public Surrogate {
   void refit(const la::Matrix& x, const la::Matrix& y, util::Rng& rng,
              bool train_hyper = true) override;
   std::vector<gp::GpPrediction> predict(std::span<const double> x) const override;
+  std::vector<std::vector<gp::GpPrediction>> predict_batch(
+      const la::Matrix& xq) const override;
   std::size_t n_metrics() const override { return model_.n_metrics(); }
   std::size_t input_dim() const override { return dim_; }
 

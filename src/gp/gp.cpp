@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "nn/mlp.hpp"
+#include "util/parallel.hpp"
 #include "util/stats.hpp"
 
 namespace kato::gp {
@@ -182,6 +183,56 @@ GpPrediction GaussianProcess::predict(std::span<const double> x) const {
   return p;
 }
 
+std::vector<GpPrediction> GaussianProcess::predict_std_batch(
+    const la::Matrix& xq) const {
+  const auto& p = posterior();
+  const std::size_t n = x_.rows();
+  const std::size_t m = xq.rows();
+  std::vector<GpPrediction> out(m);
+  if (m == 0) return out;
+  if (xq.cols() != kernel_->input_dim())
+    throw std::invalid_argument("predict_std_batch: dim mismatch");
+
+  // One cross-covariance evaluation for the whole block: kernels with an
+  // input transform (Neuk) embed the training set once instead of once per
+  // candidate.
+  const la::Matrix kx = kernel_->cross(xq, x_);  // m x n
+
+  // Contiguous query ranges keep the result bit-identical at any thread
+  // count: every candidate's mean/variance depends only on its own column.
+  util::parallel_for(m, [&](std::size_t q0, std::size_t q1) {
+    const std::size_t w = q1 - q0;
+    // rhs = kx[q0:q1, :]^T, then one forward sweep solves L V = rhs for all
+    // w candidates together; var = k(x,x) - ||v||^2 column-wise.
+    la::Matrix rhs(n, w);
+    for (std::size_t q = q0; q < q1; ++q)
+      for (std::size_t k = 0; k < n; ++k) rhs(k, q - q0) = kx(q, k);
+    const la::Matrix v = la::solve_lower_multi(p.chol_l, rhs);
+    la::Vector sumsq(w, 0.0);
+    for (std::size_t k = 0; k < n; ++k) {
+      const auto row = v.row(k);
+      for (std::size_t j = 0; j < w; ++j) sumsq[j] += row[j] * row[j];
+    }
+    for (std::size_t q = q0; q < q1; ++q) {
+      const double mean = la::dot(kx.row(q), p.alpha);
+      const double var =
+          std::max(kernel_->diag(xq.row(q)) - sumsq[q - q0], 1e-12);
+      out[q] = {mean, var};
+    }
+  });
+  return out;
+}
+
+std::vector<GpPrediction> GaussianProcess::predict_batch(
+    const la::Matrix& xq) const {
+  auto out = predict_std_batch(xq);
+  for (auto& p : out) {
+    p.mean = p.mean * y_sd_ + y_mean_;
+    p.var *= y_sd_ * y_sd_;
+  }
+  return out;
+}
+
 void GaussianProcess::predict_std_grad(std::span<const double> x,
                                        GpPrediction& pred, la::Vector& dmean_dx,
                                        la::Vector& dvar_dx) const {
@@ -244,6 +295,17 @@ std::vector<GpPrediction> MultiGp::predict(std::span<const double> x) const {
   std::vector<GpPrediction> out;
   out.reserve(gps_.size());
   for (const auto& g : gps_) out.push_back(g.predict(x));
+  return out;
+}
+
+std::vector<std::vector<GpPrediction>> MultiGp::predict_batch(
+    const la::Matrix& xq) const {
+  std::vector<std::vector<GpPrediction>> out(xq.rows());
+  for (auto& row : out) row.reserve(gps_.size());
+  for (const auto& g : gps_) {
+    const auto preds = g.predict_batch(xq);
+    for (std::size_t q = 0; q < preds.size(); ++q) out[q].push_back(preds[q]);
+  }
   return out;
 }
 

@@ -388,6 +388,54 @@ std::vector<GpPrediction> KatGp::predict(std::span<const double> x) const {
   return out;
 }
 
+std::vector<std::vector<GpPrediction>> KatGp::predict_batch(
+    const la::Matrix& xq) const {
+  const std::size_t q = xq.rows();
+  const std::size_t m_s = source_->n_metrics();
+
+  // Encode every query (cheap MLP forwards) into one block.
+  nn::Mlp::Cache enc_cache;
+  la::Matrix enc;
+  for (std::size_t i = 0; i < q; ++i) {
+    const auto row = xq.row(i);
+    la::Vector xin(row.begin(), row.end());
+    const la::Vector e = encoder_.forward(xin, enc_cache);
+    if (enc.empty()) enc = la::Matrix(q, e.size());
+    enc.set_row(i, e);
+  }
+
+  // Batched source posterior: one cross-covariance + triangular solve per
+  // source metric instead of one per metric per candidate.
+  la::Matrix mu_s(q, m_s);
+  la::Matrix v_s(q, m_s);
+  for (std::size_t k = 0; k < m_s; ++k) {
+    const auto preds = source_->metric(k).predict_std_batch(enc);
+    for (std::size_t i = 0; i < q; ++i) {
+      mu_s(i, k) = preds[i].mean;
+      v_s(i, k) = preds[i].var;
+    }
+  }
+
+  // Decoder + Delta-method variance per candidate (cheap MLP arithmetic).
+  const double noise = std::exp(log_noise_);
+  std::vector<std::vector<GpPrediction>> out(q);
+  nn::Mlp::Cache dec_cache;
+  for (std::size_t i = 0; i < q; ++i) {
+    const la::Vector mu = mu_s.row_vec(i);
+    const la::Vector mean_t = decoder_.forward(mu, dec_cache);
+    const la::Matrix jac = decoder_.jacobian(mu);
+    out[i].resize(m_t_);
+    for (std::size_t m = 0; m < m_t_; ++m) {
+      double var = noise;
+      for (std::size_t k = 0; k < m_s; ++k)
+        var += jac(m, k) * jac(m, k) * v_s(i, k);
+      out[i][m].mean = mean_t[m] * y_sd_[m] + y_mean_[m];
+      out[i][m].var = var * y_sd_[m] * y_sd_[m];
+    }
+  }
+  return out;
+}
+
 double KatGp::nll() const {
   double total = 0.0;
   for (std::size_t i = 0; i < x_t_.rows(); ++i) {

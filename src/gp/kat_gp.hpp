@@ -70,6 +70,11 @@ class KatGp {
 
   /// Delta-method predictive per target metric, raw units.
   std::vector<GpPrediction> predict(std::span<const double> x) const;
+  /// Batched prediction (out[q][m]): encodes the whole query block, then
+  /// runs each source metric's batched posterior over the encoded block so
+  /// the expensive source-GP stage shares one cross-covariance and one
+  /// triangular solve across candidates (and splits across KATO_THREADS).
+  std::vector<std::vector<GpPrediction>> predict_batch(const la::Matrix& xq) const;
 
   /// Exact Eq. 12 negative log likelihood of the current parameters on the
   /// full target set (used by tests and diagnostics).

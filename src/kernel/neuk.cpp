@@ -76,27 +76,33 @@ la::Vector NeukKernel::transform_point(std::size_t i, std::span<const double> x)
   return u;
 }
 
-double NeukKernel::prim_value(std::size_t i, std::span<const double> u,
-                              std::span<const double> v) const {
+double NeukKernel::shape_value(std::size_t i) const {
   const auto& blk = prims_[i];
-  switch (blk.type) {
+  return blk.shape_offset == k_npos ? 1.0 : std::exp(params_[blk.shape_offset]);
+}
+
+double NeukKernel::prim_value_shaped(std::size_t i, double shape,
+                                     std::span<const double> u,
+                                     std::span<const double> v) const {
+  switch (prims_[i].type) {
     case Primitive::rbf:
       return std::exp(-la::sq_dist(u, v));
     case Primitive::rq: {
-      const double alpha = std::exp(params_[blk.shape_offset]);
-      return std::pow(1.0 + la::sq_dist(u, v) / (2.0 * alpha), -alpha);
+      const double base = 1.0 + la::sq_dist(u, v) / (2.0 * shape);
+      // pow(base, -1) is just a division at the default alpha = 1.
+      return shape == 1.0 ? 1.0 / base : std::pow(base, -shape);
     }
     case Primitive::periodic: {
-      const double p = std::exp(params_[blk.shape_offset]);
+      const double inv_p = M_PI / shape;
       double e = 0.0;
       for (std::size_t m = 0; m < u.size(); ++m) {
-        const double s = std::sin(M_PI * (u[m] - v[m]) / p);
+        const double s = std::sin((u[m] - v[m]) * inv_p);
         e += s * s;
       }
       return std::exp(-2.0 * e);
     }
   }
-  throw std::logic_error("NeukKernel::prim_value: unknown primitive");
+  throw std::logic_error("NeukKernel::prim_value_shaped: unknown primitive");
 }
 
 la::Vector NeukKernel::prim_input_grad(std::size_t i, std::span<const double> u,
@@ -136,34 +142,61 @@ la::Vector NeukKernel::prim_input_grad(std::size_t i, std::span<const double> u,
   throw std::logic_error("NeukKernel::prim_input_grad: unknown primitive");
 }
 
-double NeukKernel::prim_shape_grad(std::size_t i, std::span<const double> u,
-                                   std::span<const double> v) const {
-  const auto& blk = prims_[i];
-  switch (blk.type) {
+void NeukKernel::prim_input_grad_cached(std::size_t i, double shape,
+                                        std::span<const double> u,
+                                        std::span<const double> v, double h,
+                                        std::span<double> out) const {
+  switch (prims_[i].type) {
+    case Primitive::rbf: {
+      for (std::size_t m = 0; m < latent_; ++m)
+        out[m] = -2.0 * h * (u[m] - v[m]);
+      return;
+    }
+    case Primitive::rq: {
+      const double r2 = la::sq_dist(u, v);
+      // h = base^-alpha, so base^(-alpha-1) = h / base: no pow needed.
+      const double base = 1.0 + r2 / (2.0 * shape);
+      const double dh_dr2 = -0.5 * h / base;
+      for (std::size_t m = 0; m < latent_; ++m)
+        out[m] = dh_dr2 * 2.0 * (u[m] - v[m]);
+      return;
+    }
+    case Primitive::periodic: {
+      for (std::size_t m = 0; m < latent_; ++m) {
+        const double de =
+            std::sin(2.0 * M_PI * (u[m] - v[m]) / shape) * M_PI / shape;
+        out[m] = -2.0 * h * de;
+      }
+      return;
+    }
+  }
+  throw std::logic_error("NeukKernel::prim_input_grad_cached: unknown primitive");
+}
+
+double NeukKernel::prim_shape_grad_cached(std::size_t i, double shape,
+                                          std::span<const double> u,
+                                          std::span<const double> v,
+                                          double h) const {
+  switch (prims_[i].type) {
     case Primitive::rbf:
       return 0.0;
     case Primitive::rq: {
-      const double alpha = std::exp(params_[blk.shape_offset]);
-      const double t = la::sq_dist(u, v) / (2.0 * alpha);
+      const double t = la::sq_dist(u, v) / (2.0 * shape);
       const double base = 1.0 + t;
-      // d h/d alpha * alpha (log-space chain).
-      return std::pow(base, -alpha) * (-std::log(base) + t / base) * alpha;
+      // d h/d alpha * alpha (log-space chain); h = base^-alpha is cached.
+      return h * (-std::log(base) + t / base) * shape;
     }
     case Primitive::periodic: {
-      const double p = std::exp(params_[blk.shape_offset]);
-      double e = 0.0;
       double de_dp = 0.0;
       for (std::size_t m = 0; m < latent_; ++m) {
         const double diff = u[m] - v[m];
-        const double s = std::sin(M_PI * diff / p);
-        e += s * s;
-        de_dp += -std::sin(2.0 * M_PI * diff / p) * M_PI * diff / (p * p);
+        de_dp +=
+            -std::sin(2.0 * M_PI * diff / shape) * M_PI * diff / (shape * shape);
       }
-      const double h = std::exp(-2.0 * e);
-      return h * (-2.0) * de_dp * p;  // log-space chain
+      return h * (-2.0) * de_dp * shape;  // log-space chain
     }
   }
-  throw std::logic_error("NeukKernel::prim_shape_grad: unknown primitive");
+  throw std::logic_error("NeukKernel::prim_shape_grad_cached: unknown primitive");
 }
 
 double NeukKernel::mix_weight(std::size_t i) const {
@@ -184,13 +217,35 @@ la::Matrix NeukKernel::cross(const la::Matrix& x1, const la::Matrix& x2) const {
   la::Matrix s(x1.rows(), x2.rows(), c);
   for (std::size_t i = 0; i < prims_.size(); ++i) {
     const double a = mix_weight(i);
+    const double shape = shape_value(i);
     const la::Matrix u1 = transform(i, x1);
     const la::Matrix u2 = transform(i, x2);
     for (std::size_t p = 0; p < x1.rows(); ++p)
       for (std::size_t q = 0; q < x2.rows(); ++q)
-        s(p, q) += a * prim_value(i, u1.row(p), u2.row(q));
+        s(p, q) += a * prim_value_shaped(i, shape, u1.row(p), u2.row(q));
   }
   for (auto& v : s.data()) v = std::exp(std::min(v, k_log_clamp));
+  return s;
+}
+
+la::Matrix NeukKernel::matrix(const la::Matrix& x) const {
+  const std::size_t n = x.rows();
+  const double c = mix_bias();
+  la::Matrix s(n, n, c);
+  for (std::size_t i = 0; i < prims_.size(); ++i) {
+    const double a = mix_weight(i);
+    const double shape = shape_value(i);
+    const la::Matrix u = transform(i, x);
+    for (std::size_t p = 0; p < n; ++p)
+      for (std::size_t q = p; q < n; ++q)
+        s(p, q) += a * prim_value_shaped(i, shape, u.row(p), u.row(q));
+  }
+  for (std::size_t p = 0; p < n; ++p)
+    for (std::size_t q = p; q < n; ++q) {
+      const double kv = std::exp(std::min(s(p, q), k_log_clamp));
+      s(p, q) = kv;
+      s(q, p) = kv;
+    }
   return s;
 }
 
@@ -208,19 +263,24 @@ void NeukKernel::backward(const la::Matrix& x, const la::Matrix& dk,
   const std::size_t n = x.rows();
   const double c = mix_bias();
 
-  // Forward caches.
+  // Forward caches.  Primitive kernels are exactly symmetric, so only the
+  // upper triangle is evaluated and then mirrored.
   std::vector<la::Matrix> u(prims_.size());
   std::vector<la::Matrix> h(prims_.size());
   std::vector<double> a(prims_.size());
   la::Matrix s(n, n, c);
   for (std::size_t i = 0; i < prims_.size(); ++i) {
     a[i] = mix_weight(i);
+    const double shape = shape_value(i);
     u[i] = transform(i, x);
     h[i] = la::Matrix(n, n);
     for (std::size_t p = 0; p < n; ++p)
-      for (std::size_t q = 0; q < n; ++q) {
-        h[i](p, q) = prim_value(i, u[i].row(p), u[i].row(q));
-        s(p, q) += a[i] * h[i](p, q);
+      for (std::size_t q = p; q < n; ++q) {
+        const double hv = prim_value_shaped(i, shape, u[i].row(p), u[i].row(q));
+        h[i](p, q) = hv;
+        h[i](q, p) = hv;
+        s(p, q) += a[i] * hv;
+        if (q != p) s(q, p) += a[i] * hv;
       }
   }
 
@@ -249,23 +309,29 @@ void NeukKernel::backward(const la::Matrix& x, const la::Matrix& dk,
       grad[idx] += dot_dh * softplus_deriv(params_[idx]);
     }
 
-    // Through the primitive into its transform and shape parameter.
+    // Through the primitive into its transform and shape parameter.  The
+    // primitives are stationary in u, so dh/d(second arg) = -dh/d(first) and
+    // both gradients vanish on the diagonal: the ordered pairs (p,q) and
+    // (q,p) collapse into one visit with the combined upstream weight
+    // ds(p,q) + ds(q,p), and h is reused from the forward cache so no exp or
+    // pow is re-evaluated here.
     la::Matrix du(n, latent_);
+    la::Vector dgu(latent_);
+    const double shape = shape_value(i);
     double dshape = 0.0;
     for (std::size_t p = 0; p < n; ++p)
-      for (std::size_t q = 0; q < n; ++q) {
-        const double up_grad = a[i] * ds(p, q);
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double up_grad = a[i] * (ds(p, q) + ds(q, p));
         if (up_grad == 0.0) continue;
-        // Both arguments share the transform: dh/d(second arg) = -dh/d(first)
-        // for these stationary primitives, so each ordered pair contributes
-        // to du at rows p and q.
-        const la::Vector dgu = prim_input_grad(i, u[i].row(p), u[i].row(q));
+        prim_input_grad_cached(i, shape, u[i].row(p), u[i].row(q), h[i](p, q),
+                               dgu);
         for (std::size_t m = 0; m < latent_; ++m) {
           du(p, m) += up_grad * dgu[m];
           du(q, m) -= up_grad * dgu[m];
         }
         if (blk.shape_offset != k_npos)
-          dshape += up_grad * prim_shape_grad(i, u[i].row(p), u[i].row(q));
+          dshape += up_grad * prim_shape_grad_cached(i, shape, u[i].row(p),
+                                                     u[i].row(q), h[i](p, q));
       }
     if (blk.shape_offset != k_npos) grad[blk.shape_offset] += dshape;
     // dL/dW_i = dU^T X ; dL/db_i = column sums of dU.
@@ -290,15 +356,17 @@ la::Matrix NeukKernel::input_grad(std::span<const double> x,
   std::vector<la::Vector> ux(prims_.size());
   std::vector<la::Matrix> u2(prims_.size());
   std::vector<double> a(prims_.size());
+  std::vector<double> shape(prims_.size());
   for (std::size_t i = 0; i < prims_.size(); ++i) {
     a[i] = mix_weight(i);
+    shape[i] = shape_value(i);
     ux[i] = transform_point(i, x);
     u2[i] = transform(i, x2);
   }
   for (std::size_t q = 0; q < n2; ++q) {
     double s = c;
     for (std::size_t i = 0; i < prims_.size(); ++i)
-      s += a[i] * prim_value(i, ux[i], u2[i].row(q));
+      s += a[i] * prim_value_shaped(i, shape[i], ux[i], u2[i].row(q));
     const double kv = s < k_log_clamp ? std::exp(s) : 0.0;
     for (std::size_t i = 0; i < prims_.size(); ++i) {
       const la::Vector dgu = prim_input_grad(i, ux[i], u2[i].row(q));

@@ -39,6 +39,9 @@ class NeukKernel final : public Kernel {
   std::span<const double> params() const override { return params_; }
 
   la::Matrix cross(const la::Matrix& x1, const la::Matrix& x2) const override;
+  /// Symmetric K(X, X): evaluates the upper triangle only and mirrors it
+  /// (every primitive is exactly symmetric), halving the training-path cost.
+  la::Matrix matrix(const la::Matrix& x) const override;
   double diag(std::span<const double> x) const override;
   void backward(const la::Matrix& x, const la::Matrix& dk,
                 std::span<double> grad) const override;
@@ -60,15 +63,29 @@ class NeukKernel final : public Kernel {
   la::Matrix transform(std::size_t i, const la::Matrix& x) const;
   la::Vector transform_point(std::size_t i, std::span<const double> x) const;
 
-  /// Primitive kernel value between transformed points.
-  double prim_value(std::size_t i, std::span<const double> u,
-                    std::span<const double> v) const;
+  /// exp(shape param) for primitive i (alpha for RQ, period for PER; 1.0 for
+  /// shapeless primitives) — hoisted out of the O(n^2) pair loops so the
+  /// per-pair cost is one transcendental, not three.
+  double shape_value(std::size_t i) const;
+  /// prim_value with the shape transcendental precomputed by the caller.
+  double prim_value_shaped(std::size_t i, double shape,
+                           std::span<const double> u,
+                           std::span<const double> v) const;
   /// d h / d u (first argument) between transformed points.
   la::Vector prim_input_grad(std::size_t i, std::span<const double> u,
                              std::span<const double> v) const;
-  /// d h / d (log shape param); 0 when the primitive has none.
-  double prim_shape_grad(std::size_t i, std::span<const double> u,
-                         std::span<const double> v) const;
+  /// Allocation-free variant reusing the cached primitive value h and the
+  /// hoisted shape (exp of the shape param) — the backward() inner loop
+  /// avoids the heap traffic and every exp/pow of the generic path.
+  void prim_input_grad_cached(std::size_t i, double shape,
+                              std::span<const double> u,
+                              std::span<const double> v, double h,
+                              std::span<double> out) const;
+  /// d h / d (log shape param), reusing the cached h and hoisted shape;
+  /// 0 when the primitive has none.
+  double prim_shape_grad_cached(std::size_t i, double shape,
+                                std::span<const double> u,
+                                std::span<const double> v, double h) const;
 
   /// Effective mixing weight a_i = sum_j softplus(w_z[j,i]).
   double mix_weight(std::size_t i) const;

@@ -10,12 +10,11 @@ constexpr double k_sqrt3 = 1.7320508075688772;
 constexpr double k_sqrt5 = 2.23606797749979;
 
 double ard_r2(std::span<const double> a, std::span<const double> b,
-              const std::vector<double>& params, std::size_t dim) {
+              const std::vector<double>& w) {
   double r2 = 0.0;
-  for (std::size_t j = 0; j < dim; ++j) {
-    const double w = std::exp(params[1 + j]);
+  for (std::size_t j = 0; j < w.size(); ++j) {
     const double diff = a[j] - b[j];
-    r2 += w * diff * diff;
+    r2 += w[j] * diff * diff;
   }
   return r2;
 }
@@ -53,6 +52,12 @@ std::string StationaryArd::name() const {
 double StationaryArd::amplitude2() const { return std::exp(params_[0]); }
 double StationaryArd::weight(std::size_t j) const { return std::exp(params_[1 + j]); }
 double StationaryArd::alpha() const { return std::exp(params_[1 + dim_]); }
+
+std::vector<double> StationaryArd::weights() const {
+  std::vector<double> w(dim_);
+  for (std::size_t j = 0; j < dim_; ++j) w[j] = std::exp(params_[1 + j]);
+  return w;
+}
 
 double StationaryArd::g(double r2) const {
   switch (type_) {
@@ -111,10 +116,25 @@ double StationaryArd::dg_dalpha(double r2) const {
 
 la::Matrix StationaryArd::cross(const la::Matrix& x1, const la::Matrix& x2) const {
   const double s2 = amplitude2();
+  const auto w = weights();
   la::Matrix k(x1.rows(), x2.rows());
   for (std::size_t i = 0; i < x1.rows(); ++i)
     for (std::size_t j = 0; j < x2.rows(); ++j)
-      k(i, j) = s2 * g(ard_r2(x1.row(i), x2.row(j), params_, dim_));
+      k(i, j) = s2 * g(ard_r2(x1.row(i), x2.row(j), w));
+  return k;
+}
+
+la::Matrix StationaryArd::matrix(const la::Matrix& x) const {
+  const double s2 = amplitude2();
+  const auto w = weights();
+  const std::size_t n = x.rows();
+  la::Matrix k(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i; j < n; ++j) {
+      const double kv = s2 * g(ard_r2(x.row(i), x.row(j), w));
+      k(i, j) = kv;
+      k(j, i) = kv;
+    }
   return k;
 }
 
@@ -125,21 +145,21 @@ void StationaryArd::backward(const la::Matrix& x, const la::Matrix& dk,
   if (grad.size() != params_.size())
     throw std::invalid_argument("StationaryArd::backward: grad size mismatch");
   const double s2 = amplitude2();
+  const auto w = weights();
   const std::size_t n = x.rows();
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = 0; j < n; ++j) {
       const double up = dk(i, j);
       if (up == 0.0) continue;
-      const double r2 = ard_r2(x.row(i), x.row(j), params_, dim_);
+      const double r2 = ard_r2(x.row(i), x.row(j), w);
       const double gv = g(r2);
       // d k / d log sigma^2 = k.
       grad[0] += up * s2 * gv;
       const double dgr2 = dg_dr2(r2);
       for (std::size_t m = 0; m < dim_; ++m) {
-        const double w = weight(m);
         const double diff = x(i, m) - x(j, m);
         // d r2 / d log w_m = w_m diff^2.
-        grad[1 + m] += up * s2 * dgr2 * w * diff * diff;
+        grad[1 + m] += up * s2 * dgr2 * w[m] * diff * diff;
       }
       if (type_ == StationaryType::rq) {
         const double a = alpha();
@@ -152,14 +172,14 @@ void StationaryArd::backward(const la::Matrix& x, const la::Matrix& dk,
 la::Matrix StationaryArd::input_grad(std::span<const double> x,
                                      const la::Matrix& x2) const {
   const double s2 = amplitude2();
+  const auto w = weights();
   la::Matrix out(x2.rows(), dim_);
   for (std::size_t j = 0; j < x2.rows(); ++j) {
-    const double r2 = ard_r2(x, x2.row(j), params_, dim_);
+    const double r2 = ard_r2(x, x2.row(j), w);
     const double dgr2 = dg_dr2(r2);
     for (std::size_t m = 0; m < dim_; ++m) {
-      const double w = weight(m);
       // d r2/dx_m = 2 w (x_m - x2_m).
-      out(j, m) = s2 * dgr2 * 2.0 * w * (x[m] - x2(j, m));
+      out(j, m) = s2 * dgr2 * 2.0 * w[m] * (x[m] - x2(j, m));
     }
   }
   return out;

@@ -26,6 +26,8 @@ class StationaryArd final : public Kernel {
   std::span<const double> params() const override { return params_; }
 
   la::Matrix cross(const la::Matrix& x1, const la::Matrix& x2) const override;
+  /// Symmetric K(X, X): upper triangle only, mirrored (bit-identical values).
+  la::Matrix matrix(const la::Matrix& x) const override;
   double diag(std::span<const double> x) const override;
   void backward(const la::Matrix& x, const la::Matrix& dk,
                 std::span<double> grad) const override;
@@ -36,6 +38,8 @@ class StationaryArd final : public Kernel {
  private:
   double amplitude2() const;
   double weight(std::size_t j) const;
+  /// All ARD weights exponentiated once (the per-pair loops reuse them).
+  std::vector<double> weights() const;
   double alpha() const;  // RQ only
 
   /// g(r2) and dg/dr2 for the configured type.

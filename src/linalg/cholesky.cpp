@@ -1,25 +1,77 @@
 #include "linalg/cholesky.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
 namespace kato::la {
+
+namespace {
+
+/// Factor the nb x nb block of `l` anchored at (j0, j0) in place, reading the
+/// partially updated values already stored there.  Returns false when the
+/// block is not positive definite.
+bool factor_diag_block(Matrix& l, std::size_t j0, std::size_t nb) {
+  for (std::size_t j = j0; j < j0 + nb; ++j) {
+    double diag = l(j, j);
+    for (std::size_t k = j0; k < j; ++k) diag -= l(j, k) * l(j, k);
+    if (!(diag > 0.0) || !std::isfinite(diag)) return false;
+    const double ljj = std::sqrt(diag);
+    l(j, j) = ljj;
+    for (std::size_t i = j + 1; i < j0 + nb; ++i) {
+      double s = l(i, j);
+      for (std::size_t k = j0; k < j; ++k) s -= l(i, k) * l(j, k);
+      l(i, j) = s / ljj;
+    }
+  }
+  return true;
+}
+
+/// Right-looking blocked Cholesky: factor a panel, triangular-solve the rows
+/// below it, then subtract the panel's outer product from the trailing
+/// submatrix.  All row segments touched are contiguous, so the O(n^3) update
+/// streams through cache instead of striding over the full matrix.
+constexpr std::size_t k_chol_block = 48;
+
+}  // namespace
 
 std::optional<Matrix> cholesky(const Matrix& a) {
   if (a.rows() != a.cols())
     throw std::invalid_argument("cholesky: matrix must be square");
   const std::size_t n = a.rows();
   Matrix l(n, n);
-  for (std::size_t j = 0; j < n; ++j) {
-    double diag = a(j, j);
-    for (std::size_t k = 0; k < j; ++k) diag -= l(j, k) * l(j, k);
-    if (!(diag > 0.0) || !std::isfinite(diag)) return std::nullopt;
-    const double ljj = std::sqrt(diag);
-    l(j, j) = ljj;
-    for (std::size_t i = j + 1; i < n; ++i) {
-      double s = a(i, j);
-      for (std::size_t k = 0; k < j; ++k) s -= l(i, k) * l(j, k);
-      l(i, j) = s / ljj;
+  // Copy the lower triangle; it is updated in place panel by panel.
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j <= i; ++j) l(i, j) = a(i, j);
+
+  for (std::size_t j0 = 0; j0 < n; j0 += k_chol_block) {
+    const std::size_t nb = std::min(k_chol_block, n - j0);
+    const std::size_t j1 = j0 + nb;
+    if (!factor_diag_block(l, j0, nb)) return std::nullopt;
+
+    // L21 = A21 * L11^{-T}: forward substitution along each row below the
+    // diagonal block.
+    for (std::size_t i = j1; i < n; ++i) {
+      double* li = l.data().data() + i * n;
+      for (std::size_t c = j0; c < j1; ++c) {
+        double s = li[c];
+        const double* lc = l.data().data() + c * n;
+        for (std::size_t k = j0; k < c; ++k) s -= li[k] * lc[k];
+        li[c] = s / lc[c];
+      }
+    }
+
+    // Trailing update A22 -= L21 * L21^T (lower triangle only).  li serves
+    // both roles: li[k] reads the panel columns just solved, li[j] updates
+    // the trailing columns of the same row.
+    for (std::size_t i = j1; i < n; ++i) {
+      double* li = l.data().data() + i * n;
+      for (std::size_t j = j1; j <= i; ++j) {
+        const double* lj = l.data().data() + j * n;
+        double s = 0.0;
+        for (std::size_t k = j0; k < j1; ++k) s += li[k] * lj[k];
+        li[j] -= s;
+      }
     }
   }
   return l;
@@ -50,6 +102,27 @@ Vector solve_lower(const Matrix& l, const Vector& b) {
     double s = b[i];
     for (std::size_t k = 0; k < i; ++k) s -= l(i, k) * x[k];
     x[i] = s / l(i, i);
+  }
+  return x;
+}
+
+Matrix solve_lower_multi(const Matrix& l, const Matrix& b) {
+  const std::size_t n = l.rows();
+  if (b.rows() != n)
+    throw std::invalid_argument("solve_lower_multi: size mismatch");
+  const std::size_t m = b.cols();
+  Matrix x = b;
+  for (std::size_t i = 0; i < n; ++i) {
+    double* xi = x.data().data() + i * m;
+    const double* li = l.data().data() + i * n;
+    for (std::size_t k = 0; k < i; ++k) {
+      const double lik = li[k];
+      if (lik == 0.0) continue;
+      const double* xk = x.data().data() + k * m;
+      for (std::size_t j = 0; j < m; ++j) xi[j] -= lik * xk[j];
+    }
+    const double inv = 1.0 / li[i];
+    for (std::size_t j = 0; j < m; ++j) xi[j] *= inv;
   }
   return x;
 }

@@ -28,6 +28,10 @@ JitteredCholesky cholesky_jittered(const Matrix& a);
 
 /// Solve L x = b (forward substitution) with L lower triangular.
 Vector solve_lower(const Matrix& l, const Vector& b);
+/// Solve L X = B for an n x m right-hand-side block in one forward sweep —
+/// the batched-prediction path shares this single triangular solve across
+/// all query columns instead of re-solving per candidate.
+Matrix solve_lower_multi(const Matrix& l, const Matrix& b);
 /// Solve L^T x = b (back substitution) with L lower triangular.
 Vector solve_lower_transposed(const Matrix& l, const Vector& b);
 /// Solve (L L^T) x = b.

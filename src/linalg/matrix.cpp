@@ -1,5 +1,6 @@
 #include "linalg/matrix.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -81,15 +82,31 @@ Matrix operator-(Matrix a, const Matrix& b) { return a -= b; }
 Matrix operator*(Matrix a, double s) { return a *= s; }
 Matrix operator*(double s, Matrix a) { return a *= s; }
 
+namespace {
+
+// Cache tile for the triple loops below.  Row-major i-k-j order streams both
+// operands, but once b's k-panel outgrows L1/L2 each i-row walk evicts it;
+// tiling k (outermost) keeps a k_tile x cols panel of b hot across all rows
+// of a.  Accumulation per output element stays in ascending-k order, so the
+// tiled product is bit-identical to the naive loop.
+constexpr std::size_t k_tile = 64;
+
+}  // namespace
+
 Matrix matmul(const Matrix& a, const Matrix& b) {
   if (a.cols() != b.rows())
     throw std::invalid_argument("matmul: inner dimension mismatch");
   Matrix c(a.rows(), b.cols());
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    for (std::size_t k = 0; k < a.cols(); ++k) {
-      const double aik = a(i, k);
-      if (aik == 0.0) continue;
-      for (std::size_t j = 0; j < b.cols(); ++j) c(i, j) += aik * b(k, j);
+  for (std::size_t k0 = 0; k0 < a.cols(); k0 += k_tile) {
+    const std::size_t k1 = std::min(k0 + k_tile, a.cols());
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+      double* ci = c.data().data() + i * b.cols();
+      for (std::size_t k = k0; k < k1; ++k) {
+        const double aik = a(i, k);
+        if (aik == 0.0) continue;
+        const double* bk = b.data().data() + k * b.cols();
+        for (std::size_t j = 0; j < b.cols(); ++j) ci[j] += aik * bk[j];
+      }
     }
   }
   return c;
@@ -103,7 +120,9 @@ Matrix matmul_tn(const Matrix& a, const Matrix& b) {
     for (std::size_t i = 0; i < a.cols(); ++i) {
       const double aki = a(k, i);
       if (aki == 0.0) continue;
-      for (std::size_t j = 0; j < b.cols(); ++j) c(i, j) += aki * b(k, j);
+      const double* bk = b.data().data() + k * b.cols();
+      double* ci = c.data().data() + i * b.cols();
+      for (std::size_t j = 0; j < b.cols(); ++j) ci[j] += aki * bk[j];
     }
   return c;
 }

@@ -65,19 +65,31 @@ void assign_rank_and_crowding(std::vector<Member>& pop) {
 
 }  // namespace
 
-ParetoSet nsga2(const ObjectiveFn& fn, std::size_t dim, std::size_t n_obj,
-                const Nsga2Options& opts, util::Rng& rng,
-                const std::vector<std::vector<double>>& seeds) {
+ParetoSet nsga2_batch(const BatchObjectiveFn& fn, std::size_t dim,
+                      std::size_t n_obj, const Nsga2Options& opts,
+                      util::Rng& rng,
+                      const std::vector<std::vector<double>>& seeds) {
   if (dim == 0) throw std::invalid_argument("nsga2: dim must be > 0");
   if (opts.population < 4) throw std::invalid_argument("nsga2: population too small");
   const double pm = opts.mutation_prob > 0.0
                         ? opts.mutation_prob
                         : 1.0 / static_cast<double>(dim);
 
-  auto evaluate = [&](Member& m) {
-    m.f = fn(m.x);
-    if (m.f.size() != n_obj)
-      throw std::invalid_argument("nsga2: objective count mismatch");
+  // Candidate genes are always drawn first (consuming the RNG in the same
+  // order as the historical per-point implementation); objectives are then
+  // filled in with a single batch call.
+  auto evaluate_all = [&](std::vector<Member>& members) {
+    std::vector<std::vector<double>> xs;
+    xs.reserve(members.size());
+    for (const auto& m : members) xs.push_back(m.x);
+    auto fs = fn(xs);
+    if (fs.size() != members.size())
+      throw std::invalid_argument("nsga2: batch result count mismatch");
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      if (fs[i].size() != n_obj)
+        throw std::invalid_argument("nsga2: objective count mismatch");
+      members[i].f = std::move(fs[i]);
+    }
   };
 
   // Initial population: injected seeds first, uniform random for the rest.
@@ -87,8 +99,8 @@ ParetoSet nsga2(const ObjectiveFn& fn, std::size_t dim, std::size_t n_obj,
       pop[i].x = seeds[i];
     else
       pop[i].x = rng.uniform_vec(dim);
-    evaluate(pop[i]);
   }
+  evaluate_all(pop);
   assign_rank_and_crowding(pop);
 
   for (std::size_t gen = 0; gen < opts.generations; ++gen) {
@@ -108,13 +120,10 @@ ParetoSet nsga2(const ObjectiveFn& fn, std::size_t dim, std::size_t n_obj,
         if (rng.uniform() < pm) poly_mutate_gene(c1.x[g], opts.eta_mutation, rng);
         if (rng.uniform() < pm) poly_mutate_gene(c2.x[g], opts.eta_mutation, rng);
       }
-      evaluate(c1);
       offspring.push_back(std::move(c1));
-      if (offspring.size() < opts.population) {
-        evaluate(c2);
-        offspring.push_back(std::move(c2));
-      }
+      if (offspring.size() < opts.population) offspring.push_back(std::move(c2));
     }
+    evaluate_all(offspring);
 
     // Environmental selection on the combined population.
     std::vector<Member> combined;
@@ -144,6 +153,18 @@ ParetoSet nsga2(const ObjectiveFn& fn, std::size_t dim, std::size_t n_obj,
     }
   }
   return result;
+}
+
+ParetoSet nsga2(const ObjectiveFn& fn, std::size_t dim, std::size_t n_obj,
+                const Nsga2Options& opts, util::Rng& rng,
+                const std::vector<std::vector<double>>& seeds) {
+  auto batch = [&fn](const std::vector<std::vector<double>>& xs) {
+    std::vector<std::vector<double>> out;
+    out.reserve(xs.size());
+    for (const auto& x : xs) out.push_back(fn(x));
+    return out;
+  };
+  return nsga2_batch(batch, dim, n_obj, opts, rng, seeds);
 }
 
 }  // namespace kato::moo

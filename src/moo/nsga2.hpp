@@ -25,6 +25,15 @@ struct Nsga2Options {
 using ObjectiveFn =
     std::function<std::vector<double>(const std::vector<double>&)>;
 
+/// Maps a whole generation of unit-cube points to their objective vectors.
+/// Candidate generation draws from the RNG; evaluation never does — so the
+/// search trajectory is identical whether objectives are computed one at a
+/// time or as a batch, and batch evaluators are free to vectorize or
+/// thread-parallelize internally (MACE runs the surrogate posterior over the
+/// whole population at once).
+using BatchObjectiveFn = std::function<std::vector<std::vector<double>>(
+    const std::vector<std::vector<double>>&)>;
+
 struct ParetoSet {
   std::vector<std::vector<double>> x;  ///< non-dominated designs
   std::vector<std::vector<double>> f;  ///< their objective vectors
@@ -36,5 +45,11 @@ struct ParetoSet {
 ParetoSet nsga2(const ObjectiveFn& fn, std::size_t dim, std::size_t n_obj,
                 const Nsga2Options& opts, util::Rng& rng,
                 const std::vector<std::vector<double>>& seeds = {});
+
+/// Batched-evaluation variant: one BatchObjectiveFn call per generation.
+ParetoSet nsga2_batch(const BatchObjectiveFn& fn, std::size_t dim,
+                      std::size_t n_obj, const Nsga2Options& opts,
+                      util::Rng& rng,
+                      const std::vector<std::vector<double>>& seeds = {});
 
 }  // namespace kato::moo

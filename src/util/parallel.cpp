@@ -1,0 +1,51 @@
+#include "util/parallel.hpp"
+
+#include <cstdlib>
+#include <exception>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace kato::util {
+
+std::size_t thread_count() {
+  const char* env = std::getenv("KATO_THREADS");
+  if (env == nullptr || *env == '\0') return 1;
+  char* end = nullptr;
+  const long parsed = std::strtol(env, &end, 10);
+  if (end == env || parsed < 1) return 1;
+  return parsed > 64 ? 64 : static_cast<std::size_t>(parsed);
+}
+
+void parallel_for(std::size_t n,
+                  const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  std::size_t workers = thread_count();
+  if (workers > n) workers = n;
+  if (workers <= 1 || n < 2) {
+    fn(0, n);
+    return;
+  }
+
+  const std::size_t chunk = (n + workers - 1) / workers;
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors(workers);
+  threads.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    const std::size_t begin = w * chunk;
+    const std::size_t end = std::min(begin + chunk, n);
+    if (begin >= end) break;
+    threads.emplace_back([&fn, &errors, w, begin, end] {
+      try {
+        fn(begin, end);
+      } catch (...) {
+        errors[w] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (auto& e : errors)
+    if (e) std::rethrow_exception(e);
+}
+
+}  // namespace kato::util

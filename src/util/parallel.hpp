@@ -1,0 +1,28 @@
+#pragma once
+// Deterministic thread-parallel helpers for the acquisition/prediction hot
+// paths.
+//
+// Thread count comes from the KATO_THREADS environment variable (default 1 =
+// fully sequential, matching the library's historical behavior).  Work is
+// split into contiguous index ranges so a function that writes result[i] for
+// each i produces bit-identical output at any thread count — the property the
+// MACE proposal path relies on (tests/perf_regression_test.cpp asserts it).
+
+#include <cstddef>
+#include <functional>
+
+namespace kato::util {
+
+/// Worker count from KATO_THREADS, clamped to [1, 64].  Unset, empty or
+/// unparsable values mean 1 (sequential).  Read on every call so tests can
+/// flip the knob with setenv().
+std::size_t thread_count();
+
+/// Invoke fn(begin, end) over a partition of [0, n) using thread_count()
+/// workers.  Runs inline (no threads spawned) when the worker count is 1 or
+/// n is too small to be worth splitting.  fn must only write state disjoint
+/// across index ranges.  Exceptions thrown by fn are rethrown in the caller.
+void parallel_for(std::size_t n,
+                  const std::function<void(std::size_t, std::size_t)>& fn);
+
+}  // namespace kato::util

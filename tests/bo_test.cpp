@@ -165,8 +165,11 @@ TEST(Drivers, KatoConstrainedFindsFeasibleTwoStage) {
   ASSERT_FALSE(r.best_metrics.empty());
   EXPECT_TRUE(circuit->feasible(r.best_metrics));
   // Trace is monotone non-increasing once finite.
-  for (std::size_t i = 1; i < r.trace.size(); ++i)
-    if (std::isfinite(r.trace[i - 1])) EXPECT_LE(r.trace[i], r.trace[i - 1]);
+  for (std::size_t i = 1; i < r.trace.size(); ++i) {
+    if (std::isfinite(r.trace[i - 1])) {
+      EXPECT_LE(r.trace[i], r.trace[i - 1]);
+    }
+  }
 }
 
 TEST(Drivers, KatoBeatsRandomSearchOnFom) {

@@ -30,6 +30,44 @@ TEST(KatoOptimizer, FacadeEndToEnd) {
   EXPECT_EQ(r.x_history.size(), r.trace.size());
 }
 
+TEST(KatoOptimizer, SeedReproducibleTrace) {
+  // Same seed => bit-identical simulation history and FOM/objective trace,
+  // independent of the KATO_THREADS knob.  This pins the end-to-end
+  // determinism contract: every stochastic component draws from explicit
+  // seeded streams, and the threaded acquisition path must not reorder
+  // arithmetic.
+  auto circuit = ckt::make_circuit("opamp2", "180nm");
+
+  auto run = [&](const char* threads) {
+    if (threads == nullptr)
+      unsetenv("KATO_THREADS");
+    else
+      setenv("KATO_THREADS", threads, 1);
+    KatoOptimizer opt(*circuit);
+    opt.config().n_init = 40;
+    opt.config().iterations = 3;
+    auto r = opt.optimize(7);
+    unsetenv("KATO_THREADS");
+    return r;
+  };
+
+  const auto r1 = run(nullptr);
+  const auto r2 = run(nullptr);
+  const auto r3 = run("4");
+
+  ASSERT_EQ(r1.trace.size(), r2.trace.size());
+  for (std::size_t i = 0; i < r1.trace.size(); ++i) {
+    EXPECT_EQ(r1.trace[i], r2.trace[i]) << "sim " << i;
+    EXPECT_EQ(r1.trace[i], r3.trace[i]) << "sim " << i << " (threaded)";
+  }
+  ASSERT_EQ(r1.x_history.size(), r2.x_history.size());
+  for (std::size_t i = 0; i < r1.x_history.size(); ++i) {
+    EXPECT_EQ(r1.x_history[i], r2.x_history[i]) << "sim " << i;
+    EXPECT_EQ(r1.x_history[i], r3.x_history[i]) << "sim " << i << " (threaded)";
+  }
+  EXPECT_EQ(r1.best_x, r2.best_x);
+}
+
 TEST(Experiment, SeriesAggregationAndPrinting) {
   auto circuit = ckt::make_circuit("opamp2", "180nm");
   bo::BoConfig cfg;

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <memory>
 
@@ -269,6 +270,118 @@ TEST(NeukKernel, RejectsEmptyPrimitives) {
   kern::NeukConfig cfg;
   cfg.primitives.clear();
   EXPECT_THROW(kern::NeukKernel(2, cfg, rng), std::invalid_argument);
+}
+
+namespace {
+
+/// Neuk with every parameter pinned by hand: identity transforms, zero
+/// biases, unit shape parameters (alpha = p = 1) and known mixing weights.
+/// In this configuration the kernel has the closed form
+///   k(x,y) = exp(c + a_rbf h_rbf + a_rq h_rq + a_per h_per)
+/// with r2 = ||x-y||^2, h_rbf = exp(-r2), h_rq = 1/(1+r2/2),
+/// h_per = exp(-2 sum_m sin^2(pi (x_m-y_m))) — evaluated independently in
+/// the tests below as a golden reference.
+std::unique_ptr<kern::NeukKernel> pinned_neuk(kato::util::Rng& rng) {
+  kern::NeukConfig cfg;
+  cfg.latent_dim = 2;
+  cfg.mix_width = 1;
+  auto k = std::make_unique<kern::NeukKernel>(2, cfg, rng);
+  auto p = k->params();
+  std::fill(p.begin(), p.end(), 0.0);
+  // Per-primitive blocks: W (2x2 row-major), b (2), then shape (rq/per only).
+  p[0] = 1.0;  // rbf W = I
+  p[3] = 1.0;
+  p[6] = 1.0;  // rq W = I
+  p[9] = 1.0;
+  p[13] = 1.0;  // periodic W = I
+  p[16] = 1.0;
+  // Mixing: w_z = [0.2, -0.3, 0.4], b_z = 0.1, b_k = -1.0.
+  p[20] = 0.2;
+  p[21] = -0.3;
+  p[22] = 0.4;
+  p[23] = 0.1;
+  p[24] = -1.0;
+  return k;
+}
+
+double pinned_neuk_reference(std::span<const double> x,
+                             std::span<const double> y) {
+  double r2 = 0.0;
+  double per = 0.0;
+  for (std::size_t m = 0; m < x.size(); ++m) {
+    const double d = x[m] - y[m];
+    r2 += d * d;
+    const double s = std::sin(M_PI * d);
+    per += s * s;
+  }
+  const double h_rbf = std::exp(-r2);
+  const double h_rq = 1.0 / (1.0 + 0.5 * r2);
+  const double h_per = std::exp(-2.0 * per);
+  const double c = 0.1 - 1.0;
+  return std::exp(c + kern::softplus(0.2) * h_rbf +
+                  kern::softplus(-0.3) * h_rq + kern::softplus(0.4) * h_per);
+}
+
+}  // namespace
+
+TEST(NeukKernel, GoldenValuesAtPinnedParameters) {
+  kato::util::Rng rng(61);
+  auto k = pinned_neuk(rng);
+  ASSERT_EQ(k->n_params(), 25u);
+
+  const std::vector<std::vector<double>> pts{
+      {0.0, 0.0}, {0.25, 0.75}, {0.5, 0.5}, {0.9, 0.1}};
+  const la::Matrix x = la::Matrix::from_points(pts);
+  const la::Matrix km = k->matrix(x);
+  for (std::size_t i = 0; i < pts.size(); ++i)
+    for (std::size_t j = 0; j < pts.size(); ++j)
+      EXPECT_NEAR(km(i, j), pinned_neuk_reference(pts[i], pts[j]), 1e-12)
+          << "pair " << i << "," << j;
+
+  // Spot-check two precomputed constants so a silent change in the closed
+  // form itself cannot slip through the reference function.
+  // k(x,x) = exp(-0.9 + softplus(0.2) + softplus(-0.3) + softplus(0.4)).
+  EXPECT_NEAR(k->diag(pts[0]), 3.9177180972212517, 1e-10);
+  EXPECT_NEAR(km(0, 2), pinned_neuk_reference(pts[0], pts[2]), 1e-12);
+  EXPECT_NEAR(km(0, 2), 1.045298351217701, 1e-10);
+}
+
+TEST(NeukKernel, PinnedParamGradientMatchesFiniteDifference) {
+  kato::util::Rng rng(62);
+  auto k = pinned_neuk(rng);
+  auto x = random_points(6, 2, rng);
+  check_param_gradient(*k, x, rng, 2e-5);
+}
+
+TEST(NeukKernel, PinnedInputGradientMatchesFiniteDifference) {
+  kato::util::Rng rng(63);
+  auto k = pinned_neuk(rng);
+  auto x2 = random_points(5, 2, rng);
+  check_input_gradient(*k, x2, rng, 1e-6);
+}
+
+TEST(NeukKernel, MatrixOverrideMatchesCross) {
+  kato::util::Rng rng(64);
+  auto k = make_neuk(4, rng);
+  for (auto& p : k->params()) p += rng.uniform(-0.3, 0.3);
+  auto x = random_points(14, 4, rng);
+  const la::Matrix fast = k->matrix(x);
+  const la::Matrix ref = k->cross(x, x);
+  for (std::size_t i = 0; i < x.rows(); ++i)
+    for (std::size_t j = 0; j < x.rows(); ++j)
+      EXPECT_DOUBLE_EQ(fast(i, j), ref(i, j));
+}
+
+TEST_P(StationaryTest, MatrixOverrideMatchesCross) {
+  kato::util::Rng rng(65);
+  kern::StationaryArd k(GetParam(), 3);
+  for (auto& p : k.params()) p = rng.uniform(-0.5, 0.5);
+  auto x = random_points(12, 3, rng);
+  const la::Matrix fast = k.matrix(x);
+  const la::Matrix ref = k.cross(x, x);
+  for (std::size_t i = 0; i < x.rows(); ++i)
+    for (std::size_t j = 0; j < x.rows(); ++j)
+      EXPECT_DOUBLE_EQ(fast(i, j), ref(i, j));
 }
 
 TEST(Softplus, ValueAndDerivative) {

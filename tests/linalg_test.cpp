@@ -176,3 +176,78 @@ TEST(VectorOps, DotNormAxpySqdist) {
   EXPECT_DOUBLE_EQ(b[2], 12.0);
   EXPECT_DOUBLE_EQ(la::sq_dist(a, la::Vector{1, 2, 4}), 1.0);
 }
+
+// ---------------------------------------------------------------------------
+// Large-matrix paths: the tiled matmul crosses its 64-wide k tile and the
+// blocked Cholesky crosses its 48-wide panel only above those sizes, so the
+// small-matrix tests above never execute the multi-block code.
+
+namespace {
+
+la::Matrix random_matrix(std::size_t r, std::size_t c, std::uint64_t seed) {
+  kato::util::Rng rng(seed);
+  la::Matrix m(r, c);
+  for (auto& v : m.data()) v = rng.uniform(-1.0, 1.0);
+  return m;
+}
+
+/// Reference triple loop, deliberately independent of the tiled kernel.
+la::Matrix naive_matmul(const la::Matrix& a, const la::Matrix& b) {
+  la::Matrix c(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < b.cols(); ++j) {
+      double s = 0.0;
+      for (std::size_t k = 0; k < a.cols(); ++k) s += a(i, k) * b(k, j);
+      c(i, j) = s;
+    }
+  return c;
+}
+
+}  // namespace
+
+TEST(Matmul, TiledPathMatchesNaiveAcrossTileBoundary) {
+  // Inner dimension 150 spans three k tiles (64 + 64 + 22).
+  const auto a = random_matrix(37, 150, 101);
+  const auto b = random_matrix(150, 41, 102);
+  const auto c = la::matmul(a, b);
+  const auto ref = naive_matmul(a, b);
+  for (std::size_t i = 0; i < c.rows(); ++i)
+    for (std::size_t j = 0; j < c.cols(); ++j)
+      EXPECT_NEAR(c(i, j), ref(i, j), 1e-10) << i << "," << j;
+}
+
+TEST(Cholesky, BlockedPathReconstructsLargeSpd) {
+  // n = 96 exercises two panels: diagonal factor, panel solve and trailing
+  // update all run at least once.
+  const std::size_t n = 96;
+  const auto b = random_matrix(n, n, 103);
+  la::Matrix spd = la::matmul_nt(b, b);
+  for (std::size_t i = 0; i < n; ++i) spd(i, i) += static_cast<double>(n);
+
+  const auto l = la::cholesky(spd);
+  ASSERT_TRUE(l.has_value());
+  // Strictly lower triangular factor: upper part must stay zero.
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j)
+      EXPECT_DOUBLE_EQ((*l)(i, j), 0.0);
+  // L L^T reproduces the input.
+  const la::Matrix rec = la::matmul_nt(*l, *l);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      EXPECT_NEAR(rec(i, j), spd(i, j), 1e-9) << i << "," << j;
+}
+
+TEST(Cholesky, BlockedSolveMatchesDirectResidual) {
+  const std::size_t n = 80;
+  const auto b = random_matrix(n, n, 104);
+  la::Matrix spd = la::matmul_nt(b, b);
+  for (std::size_t i = 0; i < n; ++i) spd(i, i) += static_cast<double>(n);
+  const auto l = la::cholesky(spd);
+  ASSERT_TRUE(l.has_value());
+
+  kato::util::Rng rng(105);
+  const la::Vector rhs = rng.normal_vec(n);
+  const la::Vector x = la::cholesky_solve(*l, rhs);
+  const la::Vector ax = la::matvec(spd, x);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(ax[i], rhs[i], 1e-8);
+}

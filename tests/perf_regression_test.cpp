@@ -1,0 +1,313 @@
+// Guards for the batched/threaded hot paths: the fast implementations must
+// be drop-in replacements for the reference per-point, single-thread code.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <memory>
+
+#include "bo/mace.hpp"
+#include "bo/surrogate.hpp"
+#include "gp/gp.hpp"
+#include "gp/kat_gp.hpp"
+#include "kernel/neuk.hpp"
+#include "kernel/stationary.hpp"
+#include "linalg/cholesky.hpp"
+#include "util/parallel.hpp"
+
+namespace gp = kato::gp;
+namespace bo = kato::bo;
+namespace la = kato::la;
+namespace kern = kato::kern;
+
+namespace {
+
+la::Matrix random_points(std::size_t n, std::size_t d, kato::util::Rng& rng) {
+  la::Matrix x(n, d);
+  for (auto& v : x.data()) v = rng.uniform();
+  return x;
+}
+
+gp::GaussianProcess fitted_neuk_gp(std::size_t n, std::size_t d,
+                                   std::uint64_t seed) {
+  kato::util::Rng rng(seed);
+  kern::NeukConfig cfg;
+  gp::GaussianProcess model(std::make_unique<kern::NeukKernel>(d, cfg, rng));
+  const auto x = random_points(n, d, rng);
+  la::Vector y(n);
+  for (std::size_t i = 0; i < n; ++i)
+    y[i] = std::sin(3.0 * x(i, 0)) + 0.5 * x(i, 1);
+  model.set_data(x, y);
+  gp::GpFitOptions opts;
+  opts.iterations = 15;
+  model.fit(opts, rng);
+  return model;
+}
+
+/// RAII guard for the KATO_THREADS knob.
+class ThreadsEnv {
+ public:
+  explicit ThreadsEnv(const char* value) {
+    if (value == nullptr)
+      unsetenv("KATO_THREADS");
+    else
+      setenv("KATO_THREADS", value, 1);
+  }
+  ~ThreadsEnv() { unsetenv("KATO_THREADS"); }
+};
+
+bo::GpSurrogate fitted_surrogate(std::uint64_t seed) {
+  kato::util::Rng rng(seed);
+  gp::GpFitOptions fit{30, 0.05, 192, 1e-6};
+  bo::GpSurrogate surr(3, 2, bo::KernelKind::neuk, fit, fit, rng);
+  const std::size_t n = 50;
+  la::Matrix x = random_points(n, 3, rng);
+  la::Matrix y(n, 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = 0.0;
+    for (std::size_t j = 0; j < 3; ++j) s += (x(i, j) - 0.6) * (x(i, j) - 0.6);
+    y(i, 0) = s;
+    y(i, 1) = x(i, 0);
+  }
+  surr.refit(x, y, rng);
+  return surr;
+}
+
+}  // namespace
+
+TEST(PredictBatch, AgreesWithPerPointLoop) {
+  const auto model = fitted_neuk_gp(80, 6, 41);
+  kato::util::Rng rng(42);
+  const auto q = random_points(33, 6, rng);
+
+  const auto batch = model.predict_batch(q);
+  ASSERT_EQ(batch.size(), q.rows());
+  for (std::size_t i = 0; i < q.rows(); ++i) {
+    const auto ref = model.predict(q.row(i));
+    EXPECT_NEAR(batch[i].mean, ref.mean, 1e-10) << "query " << i;
+    EXPECT_NEAR(batch[i].var, ref.var, 1e-10) << "query " << i;
+  }
+}
+
+TEST(PredictBatch, StdVariantAgreesToo) {
+  const auto model = fitted_neuk_gp(60, 4, 43);
+  kato::util::Rng rng(44);
+  const auto q = random_points(17, 4, rng);
+  const auto batch = model.predict_std_batch(q);
+  for (std::size_t i = 0; i < q.rows(); ++i) {
+    const auto ref = model.predict_std(q.row(i));
+    EXPECT_NEAR(batch[i].mean, ref.mean, 1e-10);
+    EXPECT_NEAR(batch[i].var, ref.var, 1e-10);
+  }
+}
+
+TEST(PredictBatch, ThreadCountDoesNotChangeResults) {
+  const auto model = fitted_neuk_gp(70, 5, 45);
+  kato::util::Rng rng(46);
+  const auto q = random_points(29, 5, rng);
+
+  std::vector<gp::GpPrediction> single;
+  {
+    ThreadsEnv env("1");
+    single = model.predict_batch(q);
+  }
+  std::vector<gp::GpPrediction> threaded;
+  {
+    ThreadsEnv env("4");
+    threaded = model.predict_batch(q);
+  }
+  ASSERT_EQ(single.size(), threaded.size());
+  for (std::size_t i = 0; i < single.size(); ++i) {
+    // Bit-identical, not just close: chunking must not reorder arithmetic.
+    EXPECT_EQ(single[i].mean, threaded[i].mean) << "query " << i;
+    EXPECT_EQ(single[i].var, threaded[i].var) << "query " << i;
+  }
+}
+
+TEST(PredictBatch, MultiGpMatchesPerMetric) {
+  kato::util::Rng rng(47);
+  gp::MultiGp multi(2, [&] {
+    kern::NeukConfig cfg;
+    return std::make_unique<kern::NeukKernel>(3, cfg, rng);
+  });
+  const std::size_t n = 40;
+  la::Matrix x = random_points(n, 3, rng);
+  la::Matrix y(n, 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    y(i, 0) = std::cos(2.0 * x(i, 0));
+    y(i, 1) = x(i, 1) * x(i, 2);
+  }
+  multi.set_data(x, y);
+
+  const auto q = random_points(11, 3, rng);
+  const auto batch = multi.predict_batch(q);
+  ASSERT_EQ(batch.size(), q.rows());
+  for (std::size_t i = 0; i < q.rows(); ++i) {
+    ASSERT_EQ(batch[i].size(), 2u);
+    const auto ref = multi.predict(q.row(i));
+    for (std::size_t m = 0; m < 2; ++m) {
+      EXPECT_NEAR(batch[i][m].mean, ref[m].mean, 1e-10);
+      EXPECT_NEAR(batch[i][m].var, ref[m].var, 1e-10);
+    }
+  }
+}
+
+TEST(PredictBatch, KatGpAgreesWithPerPointLoop) {
+  kato::util::Rng rng(53);
+  // Fitted single-metric RBF source model on a 2-d toy function.
+  auto source = std::make_unique<gp::MultiGp>(1, [] {
+    return std::make_unique<kern::StationaryArd>(kern::StationaryType::rbf, 2);
+  });
+  const std::size_t n_src = 60;
+  la::Matrix xs = random_points(n_src, 2, rng);
+  la::Matrix ys(n_src, 1);
+  for (std::size_t i = 0; i < n_src; ++i)
+    ys(i, 0) = std::sin(4.0 * xs(i, 0)) + xs(i, 1);
+  source->set_data(xs, ys);
+  gp::GpFitOptions fit;
+  fit.iterations = 30;
+  source->fit(fit, rng);
+
+  gp::KatGpConfig cfg;
+  cfg.init_iterations = 40;
+  gp::KatGp kat(source.get(), 2, 1, cfg, rng);
+  const std::size_t n_tgt = 20;
+  la::Matrix xt = random_points(n_tgt, 2, rng);
+  la::Matrix yt(n_tgt, 1);
+  for (std::size_t i = 0; i < n_tgt; ++i)
+    yt(i, 0) = std::sin(4.0 * xt(i, 0)) + 1.2 * xt(i, 1);
+  kat.set_target_data(xt, yt);
+  kat.fit(rng);
+
+  const auto q = random_points(13, 2, rng);
+  const auto batch = kat.predict_batch(q);
+  ASSERT_EQ(batch.size(), q.rows());
+  for (std::size_t i = 0; i < q.rows(); ++i) {
+    const auto ref = kat.predict(q.row(i));
+    ASSERT_EQ(batch[i].size(), ref.size());
+    for (std::size_t m = 0; m < ref.size(); ++m) {
+      EXPECT_NEAR(batch[i][m].mean, ref[m].mean, 1e-10) << i;
+      EXPECT_NEAR(batch[i][m].var, ref[m].var, 1e-10) << i;
+    }
+  }
+}
+
+TEST(ThreadedMace, ProposalsBitIdenticalToSingleThread) {
+  const auto surr = fitted_surrogate(48);
+  const std::vector<kato::ckt::MetricSpec> specs{{"c0", "", 0.5, true}};
+  bo::MaceOptions opts;
+  opts.nsga.population = 16;
+  opts.nsga.generations = 6;
+
+  auto run = [&] {
+    kato::util::Rng rng(49);
+    return bo::mace_proposals(surr, specs, 0.1, opts, rng, {});
+  };
+
+  kato::moo::ParetoSet single;
+  {
+    ThreadsEnv env("1");
+    single = run();
+  }
+  kato::moo::ParetoSet threaded;
+  {
+    ThreadsEnv env("4");
+    threaded = run();
+  }
+  // The proposal set must be bit-identical: same designs, same acquisition
+  // values, same order.
+  ASSERT_EQ(single.x.size(), threaded.x.size());
+  for (std::size_t i = 0; i < single.x.size(); ++i) {
+    EXPECT_EQ(single.x[i], threaded.x[i]) << "design " << i;
+    EXPECT_EQ(single.f[i], threaded.f[i]) << "objective " << i;
+  }
+}
+
+TEST(ThreadedMace, UnconstrainedVariantBitIdenticalToo) {
+  const auto surr = fitted_surrogate(50);
+  bo::MaceOptions opts;
+  opts.nsga.population = 12;
+  opts.nsga.generations = 4;
+  auto run = [&] {
+    kato::util::Rng rng(51);
+    return bo::mace_proposals_unconstrained(surr, 0.2, opts, rng, {});
+  };
+  kato::moo::ParetoSet single;
+  {
+    ThreadsEnv env(nullptr);  // unset: defaults to 1
+    single = run();
+  }
+  kato::moo::ParetoSet threaded;
+  {
+    ThreadsEnv env("3");
+    threaded = run();
+  }
+  ASSERT_EQ(single.x.size(), threaded.x.size());
+  for (std::size_t i = 0; i < single.x.size(); ++i) {
+    EXPECT_EQ(single.x[i], threaded.x[i]);
+    EXPECT_EQ(single.f[i], threaded.f[i]);
+  }
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  ThreadsEnv env("5");
+  std::vector<int> hits(1001, 0);
+  kato::util::parallel_for(hits.size(), [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) hits[i] += 1;
+  });
+  for (std::size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i], 1);
+}
+
+TEST(ParallelFor, PropagatesExceptions) {
+  ThreadsEnv env("4");
+  EXPECT_THROW(
+      kato::util::parallel_for(100,
+                               [&](std::size_t b, std::size_t) {
+                                 if (b == 0) throw std::runtime_error("boom");
+                               }),
+      std::runtime_error);
+}
+
+TEST(ThreadCount, ParsesEnvironment) {
+  {
+    ThreadsEnv env(nullptr);
+    EXPECT_EQ(kato::util::thread_count(), 1u);
+  }
+  {
+    ThreadsEnv env("6");
+    EXPECT_EQ(kato::util::thread_count(), 6u);
+  }
+  {
+    ThreadsEnv env("0");
+    EXPECT_EQ(kato::util::thread_count(), 1u);
+  }
+  {
+    ThreadsEnv env("garbage");
+    EXPECT_EQ(kato::util::thread_count(), 1u);
+  }
+  {
+    ThreadsEnv env("1000");
+    EXPECT_EQ(kato::util::thread_count(), 64u);
+  }
+}
+
+TEST(SolveLowerMulti, MatchesColumnwiseSolves) {
+  kato::util::Rng rng(52);
+  const std::size_t n = 30;
+  la::Matrix b = random_points(n, n, rng);
+  la::Matrix spd = la::matmul_nt(b, b);
+  for (std::size_t i = 0; i < n; ++i) spd(i, i) += static_cast<double>(n);
+  const auto l = la::cholesky(spd);
+  ASSERT_TRUE(l.has_value());
+
+  const std::size_t m = 7;
+  la::Matrix rhs = random_points(n, m, rng);
+  const la::Matrix x = la::solve_lower_multi(*l, rhs);
+  for (std::size_t j = 0; j < m; ++j) {
+    la::Vector col(n);
+    for (std::size_t i = 0; i < n; ++i) col[i] = rhs(i, j);
+    const auto ref = la::solve_lower(*l, col);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x(i, j), ref[i], 1e-12);
+  }
+}

@@ -20,7 +20,7 @@ sim::MosModel nmos_model() {
   return m;
 }
 
-sim::MosModel pmos_model() {
+[[maybe_unused]] sim::MosModel pmos_model() {
   sim::MosModel m = nmos_model();
   m.nmos = false;
   m.kp = 80e-6;
