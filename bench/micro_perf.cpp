@@ -13,6 +13,7 @@
 
 #include <chrono>
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -133,6 +134,94 @@ int main(int argc, char** argv) {
     });
   }
 
+  // GP training loop: the pre-PR reference path (per-entry kernel forward +
+  // backward, dense 2n^3-flop inverse) vs the fused workspace path.  Each
+  // rep copies the model so every fit starts from identical hyperparameters.
+  // Pinned to one thread so gp_fit_speedup tracks the fusion win alone
+  // (the reference branch is single-threaded by construction; letting the
+  // fused branch use the pool would conflate fusion with core count).
+  double fit_ref_ms = 0.0;
+  double fit_ws_ms = 0.0;
+  {
+    const auto model = make_fitted_gp(192, 8, 21);
+    gp::GpFitOptions ref;
+    ref.iterations = 12;
+    ref.use_workspace = false;
+    gp::GpFitOptions fused = ref;
+    fused.use_workspace = true;
+    const char* prev_threads = std::getenv("KATO_THREADS");
+    const std::string saved = prev_threads ? prev_threads : "";
+    setenv("KATO_THREADS", "1", 1);
+    fit_ref_ms = bench(
+        "gp_fit_ref_n192x12",
+        [&] {
+          auto m = model;
+          util::Rng rng(22);
+          m.fit(ref, rng);
+          sink(m.noise_var());
+        },
+        800.0);
+    fit_ws_ms = bench(
+        "gp_fit_fused_n192x12",
+        [&] {
+          auto m = model;
+          util::Rng rng(22);
+          m.fit(fused, rng);
+          sink(m.noise_var());
+        },
+        800.0);
+    if (prev_threads)
+      setenv("KATO_THREADS", saved.c_str(), 1);
+    else
+      unsetenv("KATO_THREADS");
+    std::cout << "  -> fused fit speedup: " << fit_ref_ms / fit_ws_ms << "x\n";
+  }
+
+  // Multi-metric training: per-metric GPs fitted concurrently on the
+  // persistent pool (pre-PR trained them strictly one after another).
+  double multi_serial_ms = 0.0;
+  double multi_par_ms = 0.0;
+  {
+    const std::size_t n = 160;
+    const std::size_t d = 8;
+    const std::size_t metrics = 4;
+    util::Rng rng(23);
+    gp::MultiGp multi(metrics, [&] {
+      kern::NeukConfig cfg;
+      return std::make_unique<kern::NeukKernel>(d, cfg, rng);
+    });
+    const auto x = random_points(n, d, 24);
+    la::Matrix y(n, metrics);
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t m = 0; m < metrics; ++m)
+        y(i, m) = std::sin(3.0 * x(i, 0) + static_cast<double>(m)) + x(i, 1);
+    multi.set_data(x, y);
+    gp::GpFitOptions opts;
+    opts.iterations = 6;
+    const char* prev_threads = std::getenv("KATO_THREADS");
+    const std::string saved = prev_threads ? prev_threads : "";
+    setenv("KATO_THREADS", "1", 1);
+    multi_serial_ms = bench("multigp_fit_m4_threads1", [&] {
+      auto m = multi;
+      util::Rng fit_rng(25);
+      m.fit(opts, fit_rng);
+      sink(m.metric(0).noise_var());
+    });
+    setenv("KATO_THREADS", "4", 1);
+    multi_par_ms = bench("multigp_fit_m4_threads4", [&] {
+      auto m = multi;
+      util::Rng fit_rng(25);
+      m.fit(opts, fit_rng);
+      sink(m.metric(0).noise_var());
+    });
+    if (prev_threads)
+      setenv("KATO_THREADS", saved.c_str(), 1);
+    else
+      unsetenv("KATO_THREADS");
+    std::cout << "  -> multigp pool speedup: " << multi_serial_ms / multi_par_ms
+              << "x\n";
+  }
+
   // Per-point vs batched prediction: the ratio is the headline number.
   double loop_ms = 0.0;
   double batch_ms = 0.0;
@@ -220,6 +309,12 @@ int main(int argc, char** argv) {
     out << "  ],\n";
     out << "  \"gp_predict_batch_speedup\": "
         << (batch_ms > 0.0 ? loop_ms / batch_ms : 0.0) << ",\n";
+    out << "  \"gp_fit_speedup\": "
+        << (fit_ws_ms > 0.0 ? fit_ref_ms / fit_ws_ms : 0.0) << ",\n";
+    out << "  \"gp_fit_ref_ms\": " << fit_ref_ms << ",\n";
+    out << "  \"gp_fit_fused_ms\": " << fit_ws_ms << ",\n";
+    out << "  \"gp_fit_parallel_speedup\": "
+        << (multi_par_ms > 0.0 ? multi_serial_ms / multi_par_ms : 0.0) << ",\n";
     out << "  \"kato_threads\": " << util::thread_count() << "\n";
     out << "}\n";
     std::cout << "wrote BENCH_micro_perf.json\n";

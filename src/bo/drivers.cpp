@@ -241,6 +241,10 @@ RunResult run_constrained(const ckt::SizingCircuit& circuit,
     la::Matrix x;
     la::Matrix y;
     state.training_data(config.max_gp_points, x, y);
+    // Warm-started refits: both surrogates keep their previous optimum's
+    // hyperparameters and, after the first fit, train on the smaller
+    // gp_refit / KatGpConfig::refit_iterations budget.  Posterior-only
+    // iterations skip hyper-training entirely.
     const bool hyper = it % config.hyper_every == 0;
     self_model->refit(x, y, model_rng, hyper);
     if (transfer) kat_model->refit(x, y, model_rng, hyper);

@@ -43,6 +43,11 @@ struct BoConfig {
   /// Hyperparameters are re-trained every `hyper_every` iterations; in
   /// between only the posterior is refreshed with the new data.
   std::size_t hyper_every = 2;
+  /// First hyper-training budget vs the warm-started refit budget.  Every
+  /// surrogate in the loop — the NeukGP/RBF self-models, the TLMBO residual
+  /// GP, and (via KatGpConfig::refit_iterations) the KAT-GP — carries the
+  /// previous optimum's hyperparameters into each refit and switches to the
+  /// smaller `gp_refit` budget after its first fit.
   gp::GpFitOptions gp_initial{80, 0.05, 192, 1e-6};
   gp::GpFitOptions gp_refit{12, 0.03, 128, 1e-6};
   gp::KatGpConfig kat = default_kat_config();

@@ -46,8 +46,14 @@ std::string GpSurrogate::name() const {
 
 void GpSurrogate::refit(const la::Matrix& x, const la::Matrix& y, util::Rng& rng,
                         bool train_hyper) {
-  model_.set_data(x, y);  // refreshes the posterior at current hyperparams
-  if (train_hyper || !fitted_) {
+  const bool hyper = train_hyper || !fitted_;
+  // When hyper-training follows, defer the posterior rebuild: fit() always
+  // refreshes at its end, so refreshing inside set_data too would factor the
+  // full kernel matrix twice per refit.  Hyperparameters warm-start from the
+  // previous optimum (the kernel keeps its parameters across refits), and
+  // after the first fit the smaller `refit_` budget applies.
+  model_.set_data(x, y, /*refresh=*/!hyper);
+  if (hyper) {
     model_.fit(fitted_ ? refit_ : initial_fit_, rng);
     fitted_ = true;
   }

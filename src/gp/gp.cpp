@@ -27,7 +27,8 @@ GaussianProcess::GaussianProcess(const GaussianProcess& other)
       y_std_(other.y_std_),
       y_mean_(other.y_mean_),
       y_sd_(other.y_sd_),
-      post_(other.post_) {}
+      post_(other.post_),
+      fit_info_(other.fit_info_) {}
 
 GaussianProcess& GaussianProcess::operator=(const GaussianProcess& other) {
   if (this == &other) return *this;
@@ -38,12 +39,13 @@ GaussianProcess& GaussianProcess::operator=(const GaussianProcess& other) {
   y_mean_ = other.y_mean_;
   y_sd_ = other.y_sd_;
   post_ = other.post_;
+  fit_info_ = other.fit_info_;
   return *this;
 }
 
 double GaussianProcess::noise_var() const { return std::exp(log_noise_); }
 
-void GaussianProcess::set_data(la::Matrix x, la::Vector y) {
+void GaussianProcess::set_data(la::Matrix x, la::Vector y, bool refresh) {
   if (x.rows() != y.size())
     throw std::invalid_argument("GaussianProcess::set_data: n mismatch");
   if (x.rows() == 0)
@@ -56,7 +58,10 @@ void GaussianProcess::set_data(la::Matrix x, la::Vector y) {
   x_ = std::move(x);
   y_std_.resize(y.size());
   for (std::size_t i = 0; i < y.size(); ++i) y_std_[i] = (y[i] - y_mean_) / y_sd_;
-  refresh_posterior();
+  if (refresh)
+    refresh_posterior();
+  else
+    post_.reset();  // stale posterior must not outlive the data swap
 }
 
 double GaussianProcess::nll_and_grad(const la::Matrix& x, const la::Vector& y,
@@ -86,6 +91,63 @@ double GaussianProcess::nll_and_grad(const la::Matrix& x, const la::Vector& y,
   return nll;
 }
 
+double GaussianProcess::nll_and_grad_ws(FitScratch& s, const la::Vector& y,
+                                        std::vector<double>& grad) const {
+  const std::size_t n = y.size();
+  kernel_->matrix_ws(*s.ws, s.k);
+  const double noise = std::max(std::exp(log_noise_), 1e-12);
+  for (std::size_t i = 0; i < n; ++i) s.k(i, i) += noise;
+
+  la::cholesky_jittered_into(s.k, s.l);
+  la::cholesky_solve_into(s.l, y, s.alpha, s.tmp);
+  const double logdet = la::cholesky_logdet(s.l);
+  const double nll = 0.5 * la::dot(y, s.alpha) + 0.5 * logdet +
+                     0.5 * static_cast<double>(n) * std::log(k_two_pi);
+
+  // dNLL/dK = 0.5 (K^-1 - alpha alpha^T), with K^-1(i,j) = <t_i, t_j> over
+  // the triangular support of T = (L^-1)^T — the inverse is contracted
+  // directly into dK, never materialized on its own.
+  la::lower_inverse_transposed_into(s.l, s.t);
+  if (s.dk.rows() != n || s.dk.cols() != n) s.dk = la::Matrix(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* ti = s.t.data().data() + i * n;
+    const double ai = s.alpha[i];
+    std::size_t j = 0;
+    for (; j + 1 <= i; j += 2) {  // two columns share each ti load
+      const double* tj0 = s.t.data().data() + j * n;
+      const double* tj1 = s.t.data().data() + (j + 1) * n;
+      double k0 = 0.0;
+      double k1 = 0.0;
+      for (std::size_t k = i; k < n; ++k) {
+        k0 += ti[k] * tj0[k];
+        k1 += ti[k] * tj1[k];
+      }
+      const double v0 = 0.5 * (k0 - ai * s.alpha[j]);
+      const double v1 = 0.5 * (k1 - ai * s.alpha[j + 1]);
+      s.dk(i, j) = v0;
+      s.dk(j, i) = v0;
+      s.dk(i, j + 1) = v1;
+      s.dk(j + 1, i) = v1;
+    }
+    for (; j <= i; ++j) {
+      const double* tj = s.t.data().data() + j * n;
+      double kinv_ij = 0.0;
+      for (std::size_t k = i; k < n; ++k) kinv_ij += ti[k] * tj[k];
+      const double v = 0.5 * (kinv_ij - ai * s.alpha[j]);
+      s.dk(i, j) = v;
+      s.dk(j, i) = v;
+    }
+  }
+
+  grad.assign(kernel_->n_params() + 1, 0.0);
+  kernel_->backward_ws(*s.ws, s.dk,
+                       std::span<double>(grad.data(), kernel_->n_params()));
+  double trace = 0.0;
+  for (std::size_t i = 0; i < n; ++i) trace += s.dk(i, i);
+  grad[kernel_->n_params()] = trace * noise;  // dK/d log sigma^2 = sigma^2 I
+  return nll;
+}
+
 void GaussianProcess::fit(const GpFitOptions& opts, util::Rng& rng) {
   if (x_.empty()) throw std::logic_error("GaussianProcess::fit: no data");
 
@@ -108,6 +170,11 @@ void GaussianProcess::fit(const GpFitOptions& opts, util::Rng& rng) {
   std::vector<double> best_params(np);
   double best_nll = std::numeric_limits<double>::infinity();
 
+  // The workspace is bound to the subset once per fit: pairwise deltas are
+  // computed here and every LML iteration below reuses the same buffers.
+  FitScratch scratch;
+  if (opts.use_workspace) scratch.ws = kernel_->fit_workspace(xs);
+
   auto pack = [&](std::vector<double>& out) {
     auto kp = kernel_->params();
     std::copy(kp.begin(), kp.end(), out.begin());
@@ -121,14 +188,17 @@ void GaussianProcess::fit(const GpFitOptions& opts, util::Rng& rng) {
 
   std::vector<double> theta(np);
   pack(theta);
+  int iters_run = 0;
   for (int it = 0; it < opts.iterations; ++it) {
     unpack(theta);
     double nll;
     try {
-      nll = nll_and_grad(xs, ys, grad);
+      nll = scratch.ws ? nll_and_grad_ws(scratch, ys, grad)
+                       : nll_and_grad(xs, ys, grad);
     } catch (const std::runtime_error&) {
       break;  // kernel degenerated beyond the jitter ladder; keep best so far
     }
+    ++iters_run;
     if (nll < best_nll) {
       best_nll = nll;
       best_params = theta;
@@ -138,6 +208,7 @@ void GaussianProcess::fit(const GpFitOptions& opts, util::Rng& rng) {
     theta[np - 1] = std::max(theta[np - 1], std::log(opts.min_noise));
   }
   if (std::isfinite(best_nll)) unpack(best_params);
+  fit_info_ = {iters_run, best_nll, scratch.ws != nullptr};
   refresh_posterior();
 }
 
@@ -149,7 +220,8 @@ void GaussianProcess::refresh_posterior() {
   auto chol = la::cholesky_jittered(k);
   Posterior p;
   p.alpha = la::cholesky_solve(chol.l, y_std_);
-  p.kinv = la::cholesky_inverse(chol.l);
+  la::Matrix t_scratch;
+  la::cholesky_inverse_into(chol.l, p.kinv, t_scratch);
   p.chol_l = std::move(chol.l);
   post_ = std::move(p);
 }
@@ -263,6 +335,76 @@ void GaussianProcess::predict_std_grad(std::span<const double> x,
   }
 }
 
+GpPrediction GaussianProcess::kinv_predict_one(const la::Matrix& kx,
+                                               const la::Matrix& xq,
+                                               std::size_t q,
+                                               la::Vector& kinv_k) const {
+  const auto& p = posterior();
+  const std::size_t n = x_.rows();
+  const auto kv = kx.row(q);
+  // kinv_k = K^-1 k; row-wise dot against the (exactly symmetric) inverse
+  // reproduces la::matvec's summation order bit for bit.
+  kinv_k.resize(n);
+  for (std::size_t i = 0; i < n; ++i) kinv_k[i] = la::dot(p.kinv.row(i), kv);
+  const double mean = la::dot(kv, p.alpha);
+  const double var =
+      std::max(kernel_->diag(xq.row(q)) - la::dot(kv, kinv_k), 1e-12);
+  return {mean, var};
+}
+
+void GaussianProcess::predict_std_grad_batch(const la::Matrix& xq,
+                                             std::vector<GpPrediction>& preds,
+                                             la::Matrix& dmean_dx,
+                                             la::Matrix& dvar_dx) const {
+  const auto& p = posterior();
+  const std::size_t n = x_.rows();
+  const std::size_t m = xq.rows();
+  const std::size_t d = xq.cols();
+  preds.resize(m);
+  if (dmean_dx.rows() != m || dmean_dx.cols() != d) dmean_dx = la::Matrix(m, d);
+  if (dvar_dx.rows() != m || dvar_dx.cols() != d) dvar_dx = la::Matrix(m, d);
+  if (m == 0) return;
+
+  // One cross-covariance for the whole block: input-transform kernels embed
+  // the training set once per block instead of once per query.
+  const la::Matrix kx = kernel_->cross(xq, x_);  // m x n
+
+  util::parallel_for(m, [&](std::size_t q0, std::size_t q1) {
+    la::Vector kinv_k(n);
+    for (std::size_t q = q0; q < q1; ++q) {
+      preds[q] = kinv_predict_one(kx, xq, q, kinv_k);
+
+      const la::Matrix dk_dx = kernel_->input_grad(xq.row(q), x_);  // n x d
+      auto dm = dmean_dx.row(q);
+      auto dv = dvar_dx.row(q);
+      for (std::size_t j = 0; j < d; ++j) {
+        dm[j] = 0.0;
+        dv[j] = 0.0;
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < d; ++j) {
+          dm[j] += dk_dx(i, j) * p.alpha[i];
+          dv[j] += -2.0 * dk_dx(i, j) * kinv_k[i];
+        }
+      }
+    }
+  });
+}
+
+void GaussianProcess::predict_std_batch_exact(
+    const la::Matrix& xq, std::vector<GpPrediction>& preds) const {
+  const std::size_t n = x_.rows();
+  const std::size_t m = xq.rows();
+  preds.resize(m);
+  if (m == 0) return;
+  const la::Matrix kx = kernel_->cross(xq, x_);
+  util::parallel_for(m, [&](std::size_t q0, std::size_t q1) {
+    la::Vector kinv_k(n);
+    for (std::size_t q = q0; q < q1; ++q)
+      preds[q] = kinv_predict_one(kx, xq, q, kinv_k);
+  });
+}
+
 double GaussianProcess::nll() const {
   std::vector<double> grad;
   // Reuse the training path on the full data (gradient discarded).
@@ -277,18 +419,31 @@ MultiGp::MultiGp(std::size_t n_metrics,
     gps_.emplace_back(make_kernel());
 }
 
-void MultiGp::set_data(const la::Matrix& x, const la::Matrix& y) {
+void MultiGp::set_data(const la::Matrix& x, const la::Matrix& y, bool refresh) {
   if (y.cols() != gps_.size())
     throw std::invalid_argument("MultiGp::set_data: metric count mismatch");
-  for (std::size_t m = 0; m < gps_.size(); ++m) {
-    la::Vector col(y.rows());
-    for (std::size_t i = 0; i < y.rows(); ++i) col[i] = y(i, m);
-    gps_[m].set_data(x, std::move(col));
-  }
+  // The per-metric posterior rebuilds are independent: refresh them on the
+  // pool when more than one metric is present.
+  util::parallel_for(gps_.size(), [&](std::size_t m0, std::size_t m1) {
+    for (std::size_t m = m0; m < m1; ++m) {
+      la::Vector col(y.rows());
+      for (std::size_t i = 0; i < y.rows(); ++i) col[i] = y(i, m);
+      gps_[m].set_data(x, std::move(col), refresh);
+    }
+  });
 }
 
 void MultiGp::fit(const GpFitOptions& opts, util::Rng& rng) {
-  for (auto& g : gps_) g.fit(opts, rng);
+  // Deterministic parallel training: every metric gets its own RNG stream,
+  // split from the caller's in metric order *before* any work starts, so the
+  // draw sequences — and therefore the fitted hyperparameters — are
+  // bit-identical whether the metrics run on 1 thread or many.
+  std::vector<util::Rng> rngs;
+  rngs.reserve(gps_.size());
+  for (std::size_t m = 0; m < gps_.size(); ++m) rngs.push_back(rng.split());
+  util::parallel_for(gps_.size(), [&](std::size_t m0, std::size_t m1) {
+    for (std::size_t m = m0; m < m1; ++m) gps_[m].fit(opts, rngs[m]);
+  });
 }
 
 std::vector<GpPrediction> MultiGp::predict(std::span<const double> x) const {

@@ -26,11 +26,23 @@ struct GpFitOptions {
   double lr = 0.05;                 ///< Adam learning rate
   std::size_t max_train_points = 192;  ///< subsample cap for hyper-training
   double min_noise = 1e-6;          ///< noise floor (standardized space)
+  /// Use the fused kernel workspace path (one transcendental per pair per
+  /// LML iteration, allocation-free loop).  The reference per-entry path is
+  /// kept for A/B checks and benchmarking; both agree to ~1e-12.
+  bool use_workspace = true;
 };
 
 struct GpPrediction {
   double mean = 0.0;
   double var = 0.0;
+};
+
+/// Diagnostics of the most recent fit() call — lets callers (and tests) pin
+/// that warm-started refits really run the smaller refit budget.
+struct GpFitInfo {
+  int iterations = 0;    ///< Adam steps executed
+  double best_nll = 0.0; ///< best subset NLL seen during the fit
+  bool workspace = false;  ///< fused path used
 };
 
 class GaussianProcess {
@@ -42,9 +54,12 @@ class GaussianProcess {
   GaussianProcess(GaussianProcess&&) = default;
   GaussianProcess& operator=(GaussianProcess&&) = default;
 
-  /// Replace the training set (inputs in the unit box, raw-unit targets)
-  /// and refresh the posterior with current hyperparameters.
-  void set_data(la::Matrix x, la::Vector y);
+  /// Replace the training set (inputs in the unit box, raw-unit targets).
+  /// With refresh=true (default) the posterior is rebuilt at the current
+  /// hyperparameters; pass refresh=false when a fit() follows immediately —
+  /// fit() refreshes at the end, and skipping the interim rebuild saves a
+  /// full factorization + inverse per refit.
+  void set_data(la::Matrix x, la::Vector y, bool refresh = true);
 
   /// Maximum-likelihood hyperparameter training (warm-started from current
   /// values).  `rng` drives the hyper-training subsample when n exceeds
@@ -67,9 +82,25 @@ class GaussianProcess {
   /// (used by KAT-GP to backpropagate through the source GP).
   void predict_std_grad(std::span<const double> x, GpPrediction& pred,
                         la::Vector& dmean_dx, la::Vector& dvar_dx) const;
+  /// Batched predict_std_grad: one kernel cross-covariance for the whole
+  /// query block (kernels with an input transform embed the training set
+  /// once per block instead of once per query) and one K^-1 contraction.
+  /// Bit-identical to the per-point call — same algebra, same summation
+  /// order — so KAT-GP training can batch its source stage without changing
+  /// results.  Row q of dmean_dx/dvar_dx is the gradient at query q.
+  void predict_std_grad_batch(const la::Matrix& xq,
+                              std::vector<GpPrediction>& preds,
+                              la::Matrix& dmean_dx, la::Matrix& dvar_dx) const;
+  /// The posterior values of predict_std_grad_batch without the gradients
+  /// (bit-identical to per-point predict_std; used for exact-NLL sweeps).
+  void predict_std_batch_exact(const la::Matrix& xq,
+                               std::vector<GpPrediction>& preds) const;
 
   /// Exact NLL of the current hyperparameters on the full training set.
   double nll() const;
+
+  /// Diagnostics of the most recent fit().
+  const GpFitInfo& last_fit_info() const { return fit_info_; }
 
   std::size_t n_data() const { return x_.rows(); }
   std::size_t input_dim() const { return kernel_->input_dim(); }
@@ -87,9 +118,33 @@ class GaussianProcess {
     la::Matrix kinv;
   };
 
+  /// Reusable heap state for the allocation-free LML loop: the kernel
+  /// workspace plus every matrix/vector the per-iteration algebra touches.
+  struct FitScratch {
+    std::unique_ptr<kern::Kernel::FitWorkspace> ws;
+    la::Matrix k;      ///< kernel matrix (+ noise on the diagonal)
+    la::Matrix l;      ///< Cholesky factor
+    la::Matrix t;      ///< (L^-1)^T; contracted straight into dk
+    la::Matrix dk;     ///< dNLL/dK
+    la::Vector alpha;
+    la::Vector tmp;
+  };
+
+  /// One query of the batched kinv-path posterior: mean/variance for row q
+  /// of the cross-covariance kx, leaving K^-1 k in `kinv_k` for gradient
+  /// consumers.  Shared by predict_std_grad_batch and
+  /// predict_std_batch_exact so their bit-identity contract has exactly one
+  /// implementation.
+  GpPrediction kinv_predict_one(const la::Matrix& kx, const la::Matrix& xq,
+                                std::size_t q, la::Vector& kinv_k) const;
+
   /// NLL and gradient (kernel params then log-noise) on the given subset.
   double nll_and_grad(const la::Matrix& x, const la::Vector& y,
                       std::vector<double>& grad) const;
+  /// Fused-workspace variant: same result to ~1e-12, several times faster
+  /// and allocation-free after the first iteration.
+  double nll_and_grad_ws(FitScratch& s, const la::Vector& y,
+                         std::vector<double>& grad) const;
   void refresh_posterior();
   const Posterior& posterior() const;
 
@@ -100,6 +155,7 @@ class GaussianProcess {
   double y_mean_ = 0.0;
   double y_sd_ = 1.0;
   std::optional<Posterior> post_;
+  GpFitInfo fit_info_;
 };
 
 /// Independent per-metric GPs sharing one input set — the surrogate layout
@@ -110,8 +166,12 @@ class MultiGp {
   MultiGp(std::size_t n_metrics,
           const std::function<std::unique_ptr<kern::Kernel>()>& make_kernel);
 
-  /// y has one column per metric.
-  void set_data(const la::Matrix& x, const la::Matrix& y);
+  /// y has one column per metric.  refresh as in GaussianProcess::set_data.
+  void set_data(const la::Matrix& x, const la::Matrix& y, bool refresh = true);
+  /// Train every metric's GP.  The metrics are fitted concurrently across
+  /// KATO_THREADS pool workers; each metric receives its own RNG stream
+  /// split from `rng` up front (in metric order), so the result is
+  /// bit-identical at any thread count.
   void fit(const GpFitOptions& opts, util::Rng& rng);
 
   std::vector<GpPrediction> predict(std::span<const double> x) const;

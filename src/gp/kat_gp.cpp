@@ -143,7 +143,8 @@ double KatGp::point_nll(const Forward& f, std::size_t row) const {
          0.5 * static_cast<double>(m_t_) * k_log_two_pi;
 }
 
-double KatGp::point_backward(const Forward& f, std::size_t row, bool mean_only) {
+double KatGp::point_backward(const Forward& f, std::size_t row, bool mean_only,
+                             const SourceGrads& sg, std::size_t brow) {
   const std::size_t m_s = f.v_s.size();
   const double noise = std::exp(log_noise_);
 
@@ -160,10 +161,7 @@ double KatGp::point_backward(const Forward& f, std::size_t row, bool mean_only) 
     const std::size_t d_s = f.enc_out.size();
     la::Vector dxs(d_s, 0.0);
     for (std::size_t k = 0; k < m_s; ++k) {
-      gp::GpPrediction pred;
-      la::Vector dmean_dx;
-      la::Vector dvar_dx;
-      source_->metric(k).predict_std_grad(f.enc_out, pred, dmean_dx, dvar_dx);
+      const auto dmean_dx = sg.dmean[k].row(brow);
       for (std::size_t j = 0; j < d_s; ++j) dxs[j] += dmu[k] * dmean_dx[j];
     }
     (void)encoder_.backward(f.enc_cache, dxs);
@@ -268,10 +266,8 @@ double KatGp::point_backward(const Forward& f, std::size_t row, bool mean_only) 
   const std::size_t d_s = f.enc_out.size();
   la::Vector dxs(d_s, 0.0);
   for (std::size_t k = 0; k < m_s; ++k) {
-    GpPrediction pred;
-    la::Vector dmean_dx;
-    la::Vector dvar_dx;
-    source_->metric(k).predict_std_grad(f.enc_out, pred, dmean_dx, dvar_dx);
+    const auto dmean_dx = sg.dmean[k].row(brow);
+    const auto dvar_dx = sg.dvar[k].row(brow);
     for (std::size_t j = 0; j < d_s; ++j)
       dxs[j] += dmu[k] * dmean_dx[j] + dv[k] * dvar_dx[j];
   }
@@ -333,15 +329,51 @@ void KatGp::fit(util::Rng& rng) {
   // the identity-biased init on the first call, the previous optimum on
   // refits — so transfer stays conservative unless the data insists.
   const std::vector<double> anchor = theta;
+
+  // Reused minibatch buffers: the encoder caches live across iterations and
+  // the batched source stage shares one kernel cross-covariance and one
+  // K^-1 contraction per metric per hyper-step (bit-identical to the old
+  // per-point calls; see GaussianProcess::predict_std_grad_batch).
+  const std::size_t m_s = source_->n_metrics();
+  std::vector<Forward> fwd;
+  la::Matrix enc;
+  SourceGrads sg;
+  sg.preds.resize(m_s);
+  sg.dmean.resize(m_s);
+  sg.dvar.resize(m_s);
+
   for (int it = 0; it < iters; ++it) {
     unpack();
     encoder_.zero_grad();
     decoder_.zero_grad();
     noise_grad_ = 0.0;
     const auto idx = batch < n ? rng.choice(n, batch) : rng.permutation(n);
-    for (std::size_t i : idx) {
-      const Forward f = forward(x_t_.row(i));
-      (void)point_backward(f, i, it < warmup);
+    const std::size_t b = idx.size();
+    if (fwd.size() < b) fwd.resize(b);
+    if (enc.rows() != b) enc = la::Matrix(b, encoder_.out_dim());
+
+    // Encode the whole minibatch once per hyper-step.
+    for (std::size_t bi = 0; bi < b; ++bi) {
+      const auto row = x_t_.row(idx[bi]);
+      la::Vector xin(row.begin(), row.end());
+      fwd[bi].enc_out = encoder_.forward(xin, fwd[bi].enc_cache);
+      enc.set_row(bi, fwd[bi].enc_out);
+    }
+    for (std::size_t k = 0; k < m_s; ++k)
+      source_->metric(k).predict_std_grad_batch(enc, sg.preds[k], sg.dmean[k],
+                                                sg.dvar[k]);
+
+    for (std::size_t bi = 0; bi < b; ++bi) {
+      Forward& f = fwd[bi];
+      f.mu_s.resize(m_s);
+      f.v_s.resize(m_s);
+      for (std::size_t k = 0; k < m_s; ++k) {
+        f.mu_s[k] = sg.preds[k][bi].mean;
+        f.v_s[k] = sg.preds[k][bi].var;
+      }
+      f.mean_t = decoder_.forward(f.mu_s, f.dec_cache);
+      f.jac = decoder_.jacobian(f.mu_s);
+      (void)point_backward(f, idx[bi], it < warmup, sg, bi);
     }
     const double scale = 1.0 / static_cast<double>(idx.size());
     auto eg = encoder_.grads();
@@ -437,12 +469,34 @@ std::vector<std::vector<GpPrediction>> KatGp::predict_batch(
 }
 
 double KatGp::nll() const {
+  const std::size_t n = x_t_.rows();
+  const std::size_t m_s = source_->n_metrics();
+  // Batched evaluation sweep: encode every point, then one kinv-path batched
+  // posterior per source metric (bit-identical to per-point forward()).
+  la::Matrix enc(n, encoder_.out_dim());
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto row = x_t_.row(i);
+    la::Vector xin(row.begin(), row.end());
+    enc.set_row(i, encoder_.forward(xin));
+  }
+  std::vector<std::vector<GpPrediction>> preds(m_s);
+  for (std::size_t k = 0; k < m_s; ++k)
+    source_->metric(k).predict_std_batch_exact(enc, preds[k]);
+
   double total = 0.0;
-  for (std::size_t i = 0; i < x_t_.rows(); ++i) {
-    const Forward f = forward(x_t_.row(i));
+  Forward f;
+  f.mu_s.resize(m_s);
+  f.v_s.resize(m_s);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t k = 0; k < m_s; ++k) {
+      f.mu_s[k] = preds[k][i].mean;
+      f.v_s[k] = preds[k][i].var;
+    }
+    f.mean_t = decoder_.forward(f.mu_s, f.dec_cache);
+    f.jac = decoder_.jacobian(f.mu_s);
     total += point_nll(f, i);
   }
-  return total / static_cast<double>(x_t_.rows());
+  return total / static_cast<double>(n);
 }
 
 }  // namespace kato::gp

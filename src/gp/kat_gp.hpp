@@ -94,13 +94,27 @@ class KatGp {
     nn::Mlp::Cache dec_cache;
   };
 
+  /// Per-minibatch source-GP state: posterior values plus d mu_s/dx and
+  /// d v_s/dx for every (point, metric) pair, computed by one batched
+  /// predict_std_grad_batch call per metric.  The batched values are
+  /// bit-identical to the per-point calls the training loop used to make,
+  /// but the source kernel embeds the minibatch once per hyper-step instead
+  /// of once per point per metric.
+  struct SourceGrads {
+    std::vector<std::vector<GpPrediction>> preds;  ///< [metric][point]
+    std::vector<la::Matrix> dmean;                 ///< [metric]: b x d_s
+    std::vector<la::Matrix> dvar;                  ///< [metric]: b x d_s
+  };
+
   Forward forward(std::span<const double> x) const;
   /// NLL of one target point given a forward pass.
   double point_nll(const Forward& f, std::size_t row) const;
   /// Accumulate gradients for one point into encoder/decoder grads and
   /// d/d log sigma_t^2; returns the point loss.  With mean_only the loss is
-  /// the squared error of the predictive mean (warmup phase).
-  double point_backward(const Forward& f, std::size_t row, bool mean_only);
+  /// the squared error of the predictive mean (warmup phase).  `sg`/`brow`
+  /// supply the batched source posterior gradients for this point.
+  double point_backward(const Forward& f, std::size_t row, bool mean_only,
+                        const SourceGrads& sg, std::size_t brow);
 
   const MultiGp* source_;
   std::size_t d_t_;

@@ -1,0 +1,34 @@
+#include "kernel/kernel.hpp"
+
+namespace kato::kern {
+
+namespace {
+
+/// Fallback workspace for kernels without a fused path: just remembers the
+/// training inputs and forwards to the plain matrix()/backward() pair.
+class GenericFitWorkspace final : public Kernel::FitWorkspace {
+ public:
+  explicit GenericFitWorkspace(const la::Matrix& x) : x_(&x) {}
+  const la::Matrix& x() const { return *x_; }
+
+ private:
+  const la::Matrix* x_;
+};
+
+}  // namespace
+
+std::unique_ptr<Kernel::FitWorkspace> Kernel::fit_workspace(
+    const la::Matrix& x) const {
+  return std::make_unique<GenericFitWorkspace>(x);
+}
+
+void Kernel::matrix_ws(FitWorkspace& ws, la::Matrix& k) const {
+  k = matrix(static_cast<const GenericFitWorkspace&>(ws).x());
+}
+
+void Kernel::backward_ws(FitWorkspace& ws, const la::Matrix& dk,
+                         std::span<double> grad) const {
+  backward(static_cast<const GenericFitWorkspace&>(ws).x(), dk, grad);
+}
+
+}  // namespace kato::kern

@@ -12,6 +12,15 @@
 //  * input_grad() — d k(x, x2_j)/dx, needed by KAT-GP to backpropagate
 //                 through the source GP's posterior into the encoder.
 //
+// For the training loop there is additionally a fit-scoped workspace path
+// (fit_workspace / matrix_ws / backward_ws): the workspace is bound once per
+// GaussianProcess::fit() to a fixed training matrix, precomputes everything
+// that does not depend on the hyperparameters (pairwise input deltas), and
+// carries the per-pair forward intermediates from matrix_ws into backward_ws
+// so one LML iteration evaluates every transcendental exactly once.  The
+// fused path must agree with the plain matrix()/backward() pair to 1e-12;
+// tests/perf_regression_test.cpp pins this.
+//
 // All gradients are finite-difference checked in tests/kernel_test.cpp.
 
 #include <memory>
@@ -50,6 +59,30 @@ class Kernel {
                                 const la::Matrix& x2) const = 0;
 
   virtual std::unique_ptr<Kernel> clone() const = 0;
+
+  // --- Fit-scoped fused value+grad path (see file comment) ---
+
+  /// Opaque training-loop scratch state.  Owns reusable heap buffers and the
+  /// per-pair caches shared between matrix_ws and backward_ws.
+  class FitWorkspace {
+   public:
+    virtual ~FitWorkspace() = default;
+  };
+
+  /// Bind a workspace to training inputs `x`, which must outlive the
+  /// workspace and stay unchanged.  Param-independent precomputation
+  /// (pairwise deltas) happens here, once per fit.
+  virtual std::unique_ptr<FitWorkspace> fit_workspace(const la::Matrix& x) const;
+
+  /// Fused forward: fill k = K(x, x) (k is resized by the callee) and cache
+  /// the per-pair intermediates backward_ws needs.  Valid for the current
+  /// parameter values only — call again after every parameter update.
+  virtual void matrix_ws(FitWorkspace& ws, la::Matrix& k) const;
+
+  /// Accumulate dL/dparams into `grad` given dL/dK, reusing the forward
+  /// intermediates cached by the matrix_ws call made at the same parameters.
+  virtual void backward_ws(FitWorkspace& ws, const la::Matrix& dk,
+                           std::span<double> grad) const;
 };
 
 /// Numerically safe softplus and its derivative (used for positivity

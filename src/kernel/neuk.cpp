@@ -3,7 +3,43 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/parallel.hpp"
+
 namespace kato::kern {
+
+namespace {
+/// Fit-scoped caches for NeukKernel.  All per-pair state is stored packed
+/// over the upper triangle (pairs (p, q > p), index pair_base(p) + q - p - 1)
+/// — half the memory traffic of mirrored matrices, and every primitive is
+/// exactly symmetric so nothing is lost.
+class NeukFitWs final : public Kernel::FitWorkspace {
+ public:
+  const la::Matrix* x = nullptr;
+  std::size_t n = 0;
+  std::vector<la::Matrix> u;  ///< per primitive: n x latent embeddings
+  std::vector<std::vector<double>> h;  ///< per primitive: packed pair values
+  /// Per primitive: packed per-pair gradient caches.  Stride 2 for RQ
+  /// (r2, log1p(r2/2a)), `latent` for periodic (sin(2 arg) per coordinate),
+  /// 0 for RBF.
+  std::vector<std::vector<double>> aux;
+  std::vector<double> kvg;   ///< packed dK/dS = exp(S), or 0 where clamped
+  double kg_diag = 0.0;      ///< diagonal dK/dS (every h_i is exactly 1)
+  std::vector<double> dsum;  ///< packed scratch: ds(p,q) + ds(q,p) per pair
+  la::Matrix du;             ///< scratch: n x latent embedding gradients
+  la::Matrix rowred;  ///< n x (1 + n_prims) row partials for ds_sum / dot_dh
+
+  std::size_t pair_base(std::size_t p) const { return p * (2 * n - p - 1) / 2; }
+};
+
+inline void fast_sincos(double arg, double& s, double& c) {
+#if defined(__GNUC__)
+  __builtin_sincos(arg, &s, &c);
+#else
+  s = std::sin(arg);
+  c = std::cos(arg);
+#endif
+}
+}  // namespace
 
 NeukKernel::NeukKernel(std::size_t dim, const NeukConfig& config, util::Rng& rng)
     : dim_(dim), mix_width_(config.mix_width) {
@@ -51,8 +87,16 @@ NeukKernel::NeukKernel(std::size_t dim, const NeukConfig& config, util::Rng& rng
 }
 
 la::Matrix NeukKernel::transform(std::size_t i, const la::Matrix& x) const {
+  la::Matrix u;
+  transform_into(i, x, u);
+  return u;
+}
+
+void NeukKernel::transform_into(std::size_t i, const la::Matrix& x,
+                                la::Matrix& u) const {
   const auto& blk = prims_[i];
-  la::Matrix u(x.rows(), latent_);
+  if (u.rows() != x.rows() || u.cols() != latent_)
+    u = la::Matrix(x.rows(), latent_);
   for (std::size_t r = 0; r < x.rows(); ++r) {
     for (std::size_t l = 0; l < latent_; ++l) {
       double s = params_[blk.b_offset + l];
@@ -61,7 +105,6 @@ la::Matrix NeukKernel::transform(std::size_t i, const la::Matrix& x) const {
       u(r, l) = s;
     }
   }
-  return u;
 }
 
 la::Vector NeukKernel::transform_point(std::size_t i, std::span<const double> x) const {
@@ -341,6 +384,238 @@ void NeukKernel::backward(const la::Matrix& x, const la::Matrix& dk,
         db += du(p, m);
         for (std::size_t j = 0; j < dim_; ++j)
           grad[blk.w_offset + m * dim_ + j] += du(p, m) * x(p, j);
+      }
+      grad[blk.b_offset + m] += db;
+    }
+  }
+}
+
+std::unique_ptr<Kernel::FitWorkspace> NeukKernel::fit_workspace(
+    const la::Matrix& x) const {
+  auto ws = std::make_unique<NeukFitWs>();
+  const std::size_t n = x.rows();
+  ws->x = &x;
+  ws->n = n;
+  const std::size_t pairs = n * (n - 1) / 2;
+  ws->u.resize(prims_.size());
+  ws->h.assign(prims_.size(), std::vector<double>(pairs));
+  ws->aux.resize(prims_.size());
+  for (std::size_t i = 0; i < prims_.size(); ++i) {
+    const std::size_t stride = prims_[i].type == Primitive::rq       ? 2
+                               : prims_[i].type == Primitive::periodic ? latent_
+                                                                        : 0;
+    ws->aux[i].resize(pairs * stride);
+  }
+  ws->kvg.resize(pairs);
+  ws->dsum.resize(pairs);
+  ws->du = la::Matrix(n, latent_);
+  ws->rowred = la::Matrix(n, 1 + prims_.size());
+  return ws;
+}
+
+void NeukKernel::matrix_ws(FitWorkspace& base, la::Matrix& k) const {
+  auto& ws = static_cast<NeukFitWs&>(base);
+  const std::size_t n = ws.n;
+  if (k.rows() != n || k.cols() != n) k = la::Matrix(n, n);
+  const double c = mix_bias();
+  std::vector<double> a(prims_.size());
+  std::vector<double> shape(prims_.size());
+  for (std::size_t i = 0; i < prims_.size(); ++i) {
+    a[i] = mix_weight(i);
+    shape[i] = shape_value(i);
+    // The latent embedding: once per hyper-step, shared with backward_ws.
+    transform_into(i, *ws.x, ws.u[i]);
+  }
+
+  // Diagonal: every primitive is exactly 1 at zero distance.
+  double s_diag = c;
+  for (std::size_t i = 0; i < prims_.size(); ++i) s_diag += a[i];
+  const double k_diag = std::exp(std::min(s_diag, k_log_clamp));
+  ws.kg_diag = s_diag < k_log_clamp ? k_diag : 0.0;
+
+  const std::size_t n_prims = prims_.size();
+  util::parallel_for(n, [&](std::size_t p0, std::size_t p1) {
+    std::vector<const double*> urow_p(n_prims);
+    for (std::size_t p = p0; p < p1; ++p) {
+      k(p, p) = k_diag;
+      for (std::size_t i = 0; i < n_prims; ++i)
+        urow_p[i] = ws.u[i].data().data() + p * latent_;
+      std::size_t t = ws.pair_base(p);
+      for (std::size_t q = p + 1; q < n; ++q, ++t) {
+        double s = c;
+        for (std::size_t i = 0; i < n_prims; ++i) {
+          const std::span<const double> up{urow_p[i], latent_};
+          const std::span<const double> uq{
+              ws.u[i].data().data() + q * latent_, latent_};
+          double hv;
+          switch (prims_[i].type) {
+            case Primitive::rbf:
+              hv = std::exp(-la::sq_dist(up, uq));
+              break;
+            case Primitive::rq: {
+              const double r2 = la::sq_dist(up, uq);
+              const double lb = std::log1p(r2 / (2.0 * shape[i]));
+              // base^-1 is just a division at the default alpha = 1 (same
+              // fast path as prim_value_shaped); the log is cached for the
+              // shape gradient either way.
+              hv = shape[i] == 1.0 ? 1.0 / (1.0 + 0.5 * r2)
+                                   : std::exp(-shape[i] * lb);
+              double* aux = ws.aux[i].data() + t * 2;
+              aux[0] = r2;
+              aux[1] = lb;
+              break;
+            }
+            case Primitive::periodic: {
+              const double inv_p = M_PI / shape[i];
+              double e = 0.0;
+              double* aux = ws.aux[i].data() + t * latent_;
+              for (std::size_t m = 0; m < latent_; ++m) {
+                const double arg = (up[m] - uq[m]) * inv_p;
+                double s1;
+                double c1;
+                fast_sincos(arg, s1, c1);
+                e += s1 * s1;
+                aux[m] = 2.0 * s1 * c1;  // sin(2 arg), reused by backward_ws
+              }
+              hv = std::exp(-2.0 * e);
+              break;
+            }
+            default:
+              throw std::logic_error("NeukKernel::matrix_ws: unknown primitive");
+          }
+          ws.h[i][t] = hv;
+          s += a[i] * hv;
+        }
+        const double kv = std::exp(std::min(s, k_log_clamp));
+        k(p, q) = kv;
+        k(q, p) = kv;
+        ws.kvg[t] = s < k_log_clamp ? kv : 0.0;
+      }
+    }
+  });
+}
+
+void NeukKernel::backward_ws(FitWorkspace& base, const la::Matrix& dk,
+                             std::span<double> grad) const {
+  auto& ws = static_cast<NeukFitWs&>(base);
+  if (grad.size() != params_.size())
+    throw std::invalid_argument("NeukKernel::backward_ws: grad size mismatch");
+  const std::size_t n = ws.n;
+  const std::size_t width = 1 + prims_.size();
+  const la::Matrix& x = *ws.x;
+
+  // dL/dS = dL/dK * K (cached, zero where the exp clamp was active).  Every
+  // later consumer only needs the symmetric pair sums ds(p,q) + ds(q,p), so
+  // one packed upper-triangle array carries the whole gradient-through-exp,
+  // along with row partials of ds_sum and of each primitive's <dS, H_i>
+  // (reduced in row order: bit-identical at any thread count).
+  util::parallel_for(n, [&](std::size_t p0, std::size_t p1) {
+    for (std::size_t p = p0; p < p1; ++p) {
+      double* red = ws.rowred.data().data() + p * width;
+      const double dd = dk(p, p) * ws.kg_diag;
+      red[0] = dd;
+      for (std::size_t i = 0; i < prims_.size(); ++i)
+        red[1 + i] = dd;  // h_i(p, p) = 1
+      std::size_t t = ws.pair_base(p);
+      for (std::size_t q = p + 1; q < n; ++q, ++t) {
+        const double dsv = (dk(p, q) + dk(q, p)) * ws.kvg[t];
+        ws.dsum[t] = dsv;
+        red[0] += dsv;
+        for (std::size_t i = 0; i < prims_.size(); ++i)
+          red[1 + i] += dsv * ws.h[i][t];
+      }
+    }
+  });
+  double ds_sum = 0.0;
+  std::vector<double> dot_dh(prims_.size(), 0.0);
+  for (std::size_t p = 0; p < n; ++p) {
+    const double* red = ws.rowred.data().data() + p * width;
+    ds_sum += red[0];
+    for (std::size_t i = 0; i < prims_.size(); ++i) dot_dh[i] += red[1 + i];
+  }
+
+  grad[bk_offset_] += ds_sum;
+  for (std::size_t j = 0; j < mix_width_; ++j) grad[bz_offset_ + j] += ds_sum;
+
+  for (std::size_t i = 0; i < prims_.size(); ++i) {
+    const auto& blk = prims_[i];
+    const double a = mix_weight(i);
+    const double shape = shape_value(i);
+    for (std::size_t j = 0; j < mix_width_; ++j) {
+      const std::size_t idx = wz_offset_ + j * prims_.size() + i;
+      grad[idx] += dot_dh[i] * softplus_deriv(params_[idx]);
+    }
+
+    // Pair loop over the upper triangle, entirely from the forward caches:
+    // h, the RQ r2/log and the periodic sin(2 arg) values make this pass
+    // free of exp/pow/sin.  Same visit order as the reference backward().
+    ws.du.data().assign(ws.du.data().size(), 0.0);
+    double dshape = 0.0;
+    const la::Matrix& u = ws.u[i];
+    const std::vector<double>& h = ws.h[i];
+    const double inv_shape = 1.0 / shape;
+    for (std::size_t p = 0; p < n; ++p) {
+      double* dup = ws.du.data().data() + p * latent_;
+      std::size_t t = ws.pair_base(p);
+      for (std::size_t q = p + 1; q < n; ++q, ++t) {
+        const double up_grad = a * ws.dsum[t];
+        if (up_grad == 0.0) continue;
+        const double hv = h[t];
+        const double* urow_p = u.data().data() + p * latent_;
+        const double* urow_q = u.data().data() + q * latent_;
+        double* duq = ws.du.data().data() + q * latent_;
+        switch (blk.type) {
+          case Primitive::rbf: {
+            const double coef = -2.0 * hv * up_grad;
+            for (std::size_t m = 0; m < latent_; ++m) {
+              const double gm = coef * (urow_p[m] - urow_q[m]);
+              dup[m] += gm;
+              duq[m] -= gm;
+            }
+            break;
+          }
+          case Primitive::rq: {
+            const double* aux = ws.aux[i].data() + t * 2;
+            const double tt = aux[0] / (2.0 * shape);
+            const double base = 1.0 + tt;
+            // dh/dr2 = -0.5 h / base; chain through r2 -> u.
+            const double coef = -hv / base * up_grad;
+            for (std::size_t m = 0; m < latent_; ++m) {
+              const double gm = coef * (urow_p[m] - urow_q[m]);
+              dup[m] += gm;
+              duq[m] -= gm;
+            }
+            dshape += up_grad * hv * (-aux[1] + tt / base) * shape;
+            break;
+          }
+          case Primitive::periodic: {
+            const double* s2v = ws.aux[i].data() + t * latent_;
+            const double coef = -2.0 * hv * M_PI * inv_shape * up_grad;
+            double sd = 0.0;  // sum_m sin(2 arg_m) * (u_p - u_q)_m
+            for (std::size_t m = 0; m < latent_; ++m) {
+              dup[m] += coef * s2v[m];
+              duq[m] -= coef * s2v[m];
+              sd += s2v[m] * (urow_p[m] - urow_q[m]);
+            }
+            // de/dp summed over m, chained to log p (see
+            // prim_shape_grad_cached): collapses to 2 h pi/p * sd.
+            dshape += up_grad * 2.0 * hv * M_PI * inv_shape * sd;
+            break;
+          }
+        }
+      }
+    }
+    if (blk.shape_offset != k_npos) grad[blk.shape_offset] += dshape;
+    // dL/dW_i = dU^T X ; dL/db_i = column sums of dU.
+    for (std::size_t m = 0; m < latent_; ++m) {
+      double db = 0.0;
+      for (std::size_t p = 0; p < n; ++p) {
+        const double dupm = ws.du(p, m);
+        db += dupm;
+        if (dupm == 0.0) continue;
+        double* wg = grad.data() + blk.w_offset + m * dim_;
+        const double* xp = x.data().data() + p * dim_;
+        for (std::size_t j = 0; j < dim_; ++j) wg[j] += dupm * xp[j];
       }
       grad[blk.b_offset + m] += db;
     }

@@ -49,6 +49,18 @@ class NeukKernel final : public Kernel {
                         const la::Matrix& x2) const override;
   std::unique_ptr<Kernel> clone() const override;
 
+  /// Fused training path.  matrix_ws computes each primitive's latent
+  /// embedding U_i = X W_i^T + b_i once per hyper-step (shared with the
+  /// gradient pass instead of being recomputed there), caches every
+  /// primitive value h_i(p, q) plus the per-pair quantities the gradients
+  /// need (RQ: r2 and log1p(r2/2a); periodic: sin(2 arg) per latent
+  /// coordinate, obtained from the forward sincos), and keeps the clamped
+  /// exp(S) values — backward_ws then runs without a single exp/pow/sin.
+  std::unique_ptr<FitWorkspace> fit_workspace(const la::Matrix& x) const override;
+  void matrix_ws(FitWorkspace& ws, la::Matrix& k) const override;
+  void backward_ws(FitWorkspace& ws, const la::Matrix& dk,
+                   std::span<double> grad) const override;
+
   std::size_t n_primitives() const { return prims_.size(); }
 
  private:
@@ -61,6 +73,8 @@ class NeukKernel final : public Kernel {
 
   /// Transform all rows of x through primitive i: U = X W^T + b.
   la::Matrix transform(std::size_t i, const la::Matrix& x) const;
+  /// Allocation-free variant writing into a caller-owned buffer.
+  void transform_into(std::size_t i, const la::Matrix& x, la::Matrix& u) const;
   la::Vector transform_point(std::size_t i, std::span<const double> x) const;
 
   /// exp(shape param) for primitive i (alpha for RQ, period for PER; 1.0 for

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/parallel.hpp"
+
 namespace kato::kern {
 
 namespace {
@@ -18,6 +20,24 @@ double ard_r2(std::span<const double> a, std::span<const double> b,
   }
   return r2;
 }
+
+/// Fit-scoped caches for StationaryArd.  Pairs (i, j > i) are stored packed
+/// row-major: pair_base(i) + (j - i - 1).
+class StationaryFitWs final : public Kernel::FitWorkspace {
+ public:
+  const la::Matrix* x = nullptr;
+  std::size_t n = 0;
+  std::size_t d = 0;
+  std::vector<double> diff2;  ///< per pair: d squared coordinate deltas
+  std::vector<double> r2;     ///< per pair, from the last matrix_ws call
+  std::vector<double> g;      ///< per pair: g(r2), ditto
+  std::vector<double> aux;    ///< per pair: log1p(r2 / 2 alpha), RQ only
+  std::vector<double> w;      ///< exponentiated ARD weights scratch
+  la::Matrix rowg;            ///< n x n_params partial grads; reduced in row
+                              ///< order so any thread count is bit-identical
+
+  std::size_t pair_base(std::size_t i) const { return i * (2 * n - i - 1) / 2; }
+};
 }  // namespace
 
 double softplus(double x) {
@@ -187,6 +207,150 @@ la::Matrix StationaryArd::input_grad(std::span<const double> x,
 
 std::unique_ptr<Kernel> StationaryArd::clone() const {
   return std::make_unique<StationaryArd>(*this);
+}
+
+std::unique_ptr<Kernel::FitWorkspace> StationaryArd::fit_workspace(
+    const la::Matrix& x) const {
+  auto ws = std::make_unique<StationaryFitWs>();
+  const std::size_t n = x.rows();
+  ws->x = &x;
+  ws->n = n;
+  ws->d = dim_;
+  const std::size_t pairs = n * (n - 1) / 2;
+  ws->diff2.resize(pairs * dim_);
+  ws->r2.resize(pairs);
+  ws->g.resize(pairs);
+  if (type_ == StationaryType::rq) ws->aux.resize(pairs);
+  ws->w.resize(dim_);
+  ws->rowg = la::Matrix(n, params_.size());
+  // Pairwise squared deltas are hyperparameter-independent: computed once per
+  // fit, reused by every LML iteration.
+  for (std::size_t i = 0; i < n; ++i) {
+    double* out = ws->diff2.data() + ws->pair_base(i) * dim_;
+    for (std::size_t j = i + 1; j < n; ++j)
+      for (std::size_t m = 0; m < dim_; ++m) {
+        const double diff = x(i, m) - x(j, m);
+        *out++ = diff * diff;
+      }
+  }
+  return ws;
+}
+
+void StationaryArd::matrix_ws(FitWorkspace& base, la::Matrix& k) const {
+  auto& ws = static_cast<StationaryFitWs&>(base);
+  const std::size_t n = ws.n;
+  if (k.rows() != n || k.cols() != n) k = la::Matrix(n, n);
+  const double s2 = amplitude2();
+  for (std::size_t m = 0; m < dim_; ++m) ws.w[m] = std::exp(params_[1 + m]);
+  const double a = type_ == StationaryType::rq ? alpha() : 0.0;
+
+  util::parallel_for(n, [&](std::size_t i0, std::size_t i1) {
+    for (std::size_t i = i0; i < i1; ++i) {
+      k(i, i) = s2;
+      const double* d2 = ws.diff2.data() + ws.pair_base(i) * dim_;
+      std::size_t t = ws.pair_base(i);
+      for (std::size_t j = i + 1; j < n; ++j, ++t, d2 += dim_) {
+        double r2 = 0.0;
+        for (std::size_t m = 0; m < dim_; ++m) r2 += ws.w[m] * d2[m];
+        ws.r2[t] = r2;
+        double gv;
+        switch (type_) {
+          case StationaryType::rbf:
+            gv = std::exp(-r2);
+            break;
+          case StationaryType::rq: {
+            // g = base^-alpha via log1p+exp; the log is cached for the
+            // alpha-gradient so backward_ws needs no transcendental at all.
+            const double lb = std::log1p(r2 / (2.0 * a));
+            ws.aux[t] = lb;
+            gv = std::exp(-a * lb);
+            break;
+          }
+          case StationaryType::matern32: {
+            const double r = std::sqrt(r2);
+            gv = (1.0 + k_sqrt3 * r) * std::exp(-k_sqrt3 * r);
+            break;
+          }
+          case StationaryType::matern52: {
+            const double r = std::sqrt(r2);
+            gv = (1.0 + k_sqrt5 * r + 5.0 * r2 / 3.0) * std::exp(-k_sqrt5 * r);
+            break;
+          }
+          default:
+            throw std::logic_error("StationaryArd::matrix_ws: unknown type");
+        }
+        ws.g[t] = gv;
+        const double kv = s2 * gv;
+        k(i, j) = kv;
+        k(j, i) = kv;
+      }
+    }
+  });
+}
+
+void StationaryArd::backward_ws(FitWorkspace& base, const la::Matrix& dk,
+                                std::span<double> grad) const {
+  auto& ws = static_cast<StationaryFitWs&>(base);
+  if (grad.size() != params_.size())
+    throw std::invalid_argument("StationaryArd::backward_ws: grad size mismatch");
+  const std::size_t n = ws.n;
+  const std::size_t np = params_.size();
+  const double s2 = amplitude2();
+  const bool is_rq = type_ == StationaryType::rq;
+  const double a = is_rq ? alpha() : 0.0;
+  ws.rowg.data().assign(ws.rowg.data().size(), 0.0);
+
+  // Each row accumulates the contributions of its pairs (i, j > i) plus its
+  // diagonal entry into rowg.row(i); the serial row-order reduction below
+  // makes the result independent of the parallel chunking.
+  util::parallel_for(n, [&](std::size_t i0, std::size_t i1) {
+    for (std::size_t i = i0; i < i1; ++i) {
+      double* row = ws.rowg.data().data() + i * np;
+      row[0] += dk(i, i) * s2;  // diagonal: r2 = 0, g = 1, dg terms vanish
+      const double* d2 = ws.diff2.data() + ws.pair_base(i) * dim_;
+      std::size_t t = ws.pair_base(i);
+      for (std::size_t j = i + 1; j < n; ++j, ++t, d2 += dim_) {
+        const double up = dk(i, j) + dk(j, i);
+        if (up == 0.0) continue;
+        const double gv = ws.g[t];
+        row[0] += up * s2 * gv;
+        // dg/dr2 recovered from the cached g: no exp/pow in this loop.
+        double dgr2;
+        switch (type_) {
+          case StationaryType::rbf:
+            dgr2 = -gv;
+            break;
+          case StationaryType::rq:
+            dgr2 = -0.5 * gv / (1.0 + ws.r2[t] / (2.0 * a));
+            break;
+          case StationaryType::matern32:
+            dgr2 = -1.5 * gv / (1.0 + k_sqrt3 * std::sqrt(ws.r2[t]));
+            break;
+          case StationaryType::matern52: {
+            const double r = std::sqrt(ws.r2[t]);
+            const double e = gv / (1.0 + k_sqrt5 * r + 5.0 * ws.r2[t] / 3.0);
+            dgr2 = -(5.0 / 6.0) * (1.0 + k_sqrt5 * r) * e;
+            break;
+          }
+          default:
+            throw std::logic_error("StationaryArd::backward_ws: unknown type");
+        }
+        const double c = up * s2 * dgr2;
+        for (std::size_t m = 0; m < dim_; ++m)
+          row[1 + m] += c * ws.w[m] * d2[m];
+        if (is_rq) {
+          const double tt = ws.r2[t] / (2.0 * a);
+          const double dg_da = gv * (-ws.aux[t] + tt / (1.0 + tt));
+          row[1 + dim_] += up * s2 * dg_da * a;
+        }
+      }
+    }
+  });
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* row = ws.rowg.data().data() + i * np;
+    for (std::size_t p = 0; p < np; ++p) grad[p] += row[p];
+  }
 }
 
 PeriodicArd::PeriodicArd(std::size_t dim) : dim_(dim) {

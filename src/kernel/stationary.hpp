@@ -35,6 +35,16 @@ class StationaryArd final : public Kernel {
                         const la::Matrix& x2) const override;
   std::unique_ptr<Kernel> clone() const override;
 
+  /// Fused training path: the workspace precomputes the pairwise squared
+  /// coordinate deltas once per fit (they do not depend on hyperparameters),
+  /// matrix_ws caches r2 and g(r2) per pair, and backward_ws recovers every
+  /// dg/dr2 from the cached g — the gradient pass is transcendental-free for
+  /// RBF and the Materns and touches the upper triangle only.
+  std::unique_ptr<FitWorkspace> fit_workspace(const la::Matrix& x) const override;
+  void matrix_ws(FitWorkspace& ws, la::Matrix& k) const override;
+  void backward_ws(FitWorkspace& ws, const la::Matrix& dk,
+                   std::span<double> grad) const override;
+
  private:
   double amplitude2() const;
   double weight(std::size_t j) const;

@@ -36,62 +36,15 @@ constexpr std::size_t k_chol_block = 48;
 }  // namespace
 
 std::optional<Matrix> cholesky(const Matrix& a) {
-  if (a.rows() != a.cols())
-    throw std::invalid_argument("cholesky: matrix must be square");
-  const std::size_t n = a.rows();
-  Matrix l(n, n);
-  // Copy the lower triangle; it is updated in place panel by panel.
-  for (std::size_t i = 0; i < n; ++i)
-    for (std::size_t j = 0; j <= i; ++j) l(i, j) = a(i, j);
-
-  for (std::size_t j0 = 0; j0 < n; j0 += k_chol_block) {
-    const std::size_t nb = std::min(k_chol_block, n - j0);
-    const std::size_t j1 = j0 + nb;
-    if (!factor_diag_block(l, j0, nb)) return std::nullopt;
-
-    // L21 = A21 * L11^{-T}: forward substitution along each row below the
-    // diagonal block.
-    for (std::size_t i = j1; i < n; ++i) {
-      double* li = l.data().data() + i * n;
-      for (std::size_t c = j0; c < j1; ++c) {
-        double s = li[c];
-        const double* lc = l.data().data() + c * n;
-        for (std::size_t k = j0; k < c; ++k) s -= li[k] * lc[k];
-        li[c] = s / lc[c];
-      }
-    }
-
-    // Trailing update A22 -= L21 * L21^T (lower triangle only).  li serves
-    // both roles: li[k] reads the panel columns just solved, li[j] updates
-    // the trailing columns of the same row.
-    for (std::size_t i = j1; i < n; ++i) {
-      double* li = l.data().data() + i * n;
-      for (std::size_t j = j1; j <= i; ++j) {
-        const double* lj = l.data().data() + j * n;
-        double s = 0.0;
-        for (std::size_t k = j0; k < j1; ++k) s += li[k] * lj[k];
-        li[j] -= s;
-      }
-    }
-  }
+  Matrix l;
+  if (!cholesky_into(a, l)) return std::nullopt;
   return l;
 }
 
 JitteredCholesky cholesky_jittered(const Matrix& a) {
-  const std::size_t n = a.rows();
-  double mean_diag = 0.0;
-  for (std::size_t i = 0; i < n; ++i) mean_diag += a(i, i);
-  mean_diag = n > 0 ? mean_diag / static_cast<double>(n) : 1.0;
-  if (mean_diag <= 0.0) mean_diag = 1.0;
-
-  double jitter = 0.0;
-  for (int attempt = 0; attempt < 8; ++attempt) {
-    Matrix shifted = a;
-    for (std::size_t i = 0; i < n; ++i) shifted(i, i) += jitter;
-    if (auto l = cholesky(shifted)) return {std::move(*l), jitter};
-    jitter = (jitter == 0.0) ? 1e-10 * mean_diag : jitter * 10.0;
-  }
-  throw std::runtime_error("cholesky_jittered: matrix not PD at max jitter");
+  JitteredCholesky result;
+  result.jitter = cholesky_jittered_into(a, result.l);
+  return result;
 }
 
 Vector solve_lower(const Matrix& l, const Vector& b) {
@@ -168,6 +121,143 @@ double cholesky_logdet(const Matrix& l) {
   double s = 0.0;
   for (std::size_t i = 0; i < l.rows(); ++i) s += std::log(l(i, i));
   return 2.0 * s;
+}
+
+bool cholesky_into(const Matrix& a, Matrix& l, double jitter) {
+  if (a.rows() != a.cols())
+    throw std::invalid_argument("cholesky_into: matrix must be square");
+  const std::size_t n = a.rows();
+  if (l.rows() != n || l.cols() != n) l = Matrix(n, n);
+  // Copy the lower triangle (plus jitter); factored in place panel by panel
+  // with the same blocked algorithm as cholesky() — bit-identical factors.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) l(i, j) = a(i, j);
+    l(i, i) += jitter;
+    for (std::size_t j = i + 1; j < n; ++j) l(i, j) = 0.0;
+  }
+  for (std::size_t j0 = 0; j0 < n; j0 += k_chol_block) {
+    const std::size_t nb = std::min(k_chol_block, n - j0);
+    const std::size_t j1 = j0 + nb;
+    if (!factor_diag_block(l, j0, nb)) return false;
+    for (std::size_t i = j1; i < n; ++i) {
+      double* li = l.data().data() + i * n;
+      for (std::size_t c = j0; c < j1; ++c) {
+        double s = li[c];
+        const double* lc = l.data().data() + c * n;
+        for (std::size_t k = j0; k < c; ++k) s -= li[k] * lc[k];
+        li[c] = s / lc[c];
+      }
+    }
+    for (std::size_t i = j1; i < n; ++i) {
+      double* li = l.data().data() + i * n;
+      for (std::size_t j = j1; j <= i; ++j) {
+        const double* lj = l.data().data() + j * n;
+        double s = 0.0;
+        for (std::size_t k = j0; k < j1; ++k) s += li[k] * lj[k];
+        li[j] -= s;
+      }
+    }
+  }
+  return true;
+}
+
+double cholesky_jittered_into(const Matrix& a, Matrix& l) {
+  const std::size_t n = a.rows();
+  double mean_diag = 0.0;
+  for (std::size_t i = 0; i < n; ++i) mean_diag += a(i, i);
+  mean_diag = n > 0 ? mean_diag / static_cast<double>(n) : 1.0;
+  if (mean_diag <= 0.0) mean_diag = 1.0;
+
+  double jitter = 0.0;
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    if (cholesky_into(a, l, jitter)) return jitter;
+    jitter = (jitter == 0.0) ? 1e-10 * mean_diag : jitter * 10.0;
+  }
+  throw std::runtime_error("cholesky_jittered_into: matrix not PD at max jitter");
+}
+
+void cholesky_solve_into(const Matrix& l, const Vector& b, Vector& x,
+                         Vector& tmp) {
+  const std::size_t n = l.rows();
+  if (b.size() != n)
+    throw std::invalid_argument("cholesky_solve_into: size mismatch");
+  tmp.resize(n);
+  x.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    for (std::size_t k = 0; k < i; ++k) s -= l(i, k) * tmp[k];
+    tmp[i] = s / l(i, i);
+  }
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = tmp[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) s -= l(k, ii) * x[k];
+    x[ii] = s / l(ii, ii);
+  }
+}
+
+void lower_inverse_transposed_into(const Matrix& l, Matrix& t) {
+  const std::size_t n = l.rows();
+  if (t.rows() != n || t.cols() != n) t = Matrix(n, n);
+  // Column j of X = L^{-1} satisfies L x = e_j; exploiting x_i = 0 for i < j
+  // the forward substitution costs n^3/6 MACs total.  Stored transposed
+  // (t(j, i) = X(i, j)) so each column is built along a contiguous row.
+  // Two columns advance together so each L row is loaded once for both.
+  std::size_t j = 0;
+  for (; j + 1 < n; j += 2) {
+    double* tj0 = t.data().data() + j * n;
+    double* tj1 = t.data().data() + (j + 1) * n;
+    for (std::size_t i = 0; i < j; ++i) tj0[i] = 0.0;
+    for (std::size_t i = 0; i <= j; ++i) tj1[i] = 0.0;
+    tj0[j] = 1.0 / l(j, j);
+    {
+      const std::size_t i = j + 1;
+      const double* li = l.data().data() + i * n;
+      tj0[i] = -li[j] * tj0[j] / li[i];
+      tj1[i] = 1.0 / li[i];
+    }
+    for (std::size_t i = j + 2; i < n; ++i) {
+      const double* li = l.data().data() + i * n;
+      double s0 = -li[j] * tj0[j];
+      double s1 = 0.0;
+      for (std::size_t k = j + 1; k < i; ++k) {
+        s0 -= li[k] * tj0[k];
+        s1 -= li[k] * tj1[k];
+      }
+      tj0[i] = s0 / li[i];
+      tj1[i] = s1 / li[i];
+    }
+  }
+  for (; j < n; ++j) {
+    double* tj = t.data().data() + j * n;
+    for (std::size_t i = 0; i < j; ++i) tj[i] = 0.0;
+    tj[j] = 1.0 / l(j, j);
+    for (std::size_t i = j + 1; i < n; ++i) {
+      const double* li = l.data().data() + i * n;
+      double s = 0.0;
+      for (std::size_t k = j; k < i; ++k) s -= li[k] * tj[k];
+      tj[i] = s / li[i];
+    }
+  }
+}
+
+void cholesky_inverse_into(const Matrix& l, Matrix& inv, Matrix& t_scratch) {
+  const std::size_t n = l.rows();
+  lower_inverse_transposed_into(l, t_scratch);
+  if (inv.rows() != n || inv.cols() != n) inv = Matrix(n, n);
+  // inv(i, j) = sum_k X(k, i) X(k, j) with X = L^{-1}: the sum starts at
+  // k = max(i, j) because X is lower triangular, and both factors are
+  // contiguous rows of the transposed storage.  Mirrored, so exactly
+  // symmetric — no post-hoc symmetrization needed.
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* ti = t_scratch.data().data() + i * n;
+    for (std::size_t j = 0; j <= i; ++j) {
+      const double* tj = t_scratch.data().data() + j * n;
+      double s = 0.0;
+      for (std::size_t k = i; k < n; ++k) s += ti[k] * tj[k];
+      inv(i, j) = s;
+      inv(j, i) = s;
+    }
+  }
 }
 
 }  // namespace kato::la

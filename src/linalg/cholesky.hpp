@@ -41,4 +41,34 @@ Matrix cholesky_inverse(const Matrix& l);
 /// log det(L L^T) = 2 * sum(log diag L).
 double cholesky_logdet(const Matrix& l);
 
+// --- Workspace-aware variants for the GP training loop ---
+// The LML loop factors, solves and inverts once per Adam step; these
+// overloads write into caller-owned buffers (resized on first use, reused
+// afterwards) so the loop is allocation-free, and the inverse runs through a
+// triangular inversion instead of 2n dense triangular solves (~3x fewer
+// flops, contiguous row access).
+
+/// Factor a (+ jitter on the diagonal) into the caller's buffer `l`.
+/// Returns false when not numerically positive definite; `a` is unchanged.
+bool cholesky_into(const Matrix& a, Matrix& l, double jitter = 0.0);
+
+/// Jitter-ladder factorization into `l` (same ladder as cholesky_jittered).
+/// Returns the jitter applied; throws std::runtime_error when the matrix
+/// cannot be factored at the largest jitter.
+double cholesky_jittered_into(const Matrix& a, Matrix& l);
+
+/// Solve (L L^T) x = b using `tmp` as the forward-solve scratch.
+void cholesky_solve_into(const Matrix& l, const Vector& b, Vector& x,
+                         Vector& tmp);
+
+/// t = (L^{-1})^T, upper triangular, row-major (row r holds column r of
+/// L^{-1}): both this inversion and the syrk in cholesky_inverse_into walk
+/// contiguous rows.
+void lower_inverse_transposed_into(const Matrix& l, Matrix& t);
+
+/// inv = (L L^T)^{-1} via T = (L^{-1})^T and inv = T T^T restricted to the
+/// triangular support.  Exactly symmetric by construction.  `t_scratch` is a
+/// caller-owned buffer.
+void cholesky_inverse_into(const Matrix& l, Matrix& inv, Matrix& t_scratch);
+
 }  // namespace kato::la

@@ -1,50 +1,180 @@
 #include "util/parallel.hpp"
 
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
 #include <cstdlib>
 #include <exception>
-#include <string>
+#include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
 namespace kato::util {
+
+namespace {
+
+constexpr std::size_t k_min_cap = 4;
+
+thread_local bool t_on_pool_thread = false;
+/// Depth of parallel_for frames on this thread.  The pool runs exactly one
+/// job at a time, so any nested call — from a pool worker *or* from the
+/// submitting thread's own chunk — must run inline: a second submission
+/// would overwrite the in-flight job and orphan its unclaimed chunks.
+thread_local int t_parallel_depth = 0;
+
+/// One parallel_for invocation: a fixed chunk list plus a claim counter.
+/// Chunk boundaries are computed by the caller (and depend only on the
+/// requested worker count), so which physical thread executes a chunk never
+/// affects results — fn writes disjoint state per chunk.
+struct Job {
+  const std::function<void(std::size_t, std::size_t)>* fn = nullptr;
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::vector<std::exception_ptr> errors;
+};
+
+/// Persistent worker pool.  Workers are spawned lazily up to thread_cap()-1
+/// (the caller always executes chunks too) and parked on a condition variable
+/// between jobs.  Only one job is in flight at a time: parallel_for is called
+/// from the main thread, and nested calls from workers run inline.
+class Pool {
+ public:
+  static Pool& instance() {
+    static Pool pool;
+    return pool;
+  }
+
+  void run(const std::shared_ptr<Job>& job, std::size_t helpers) {
+    // One submission at a time: the pool has a single job slot, so
+    // concurrent submitters (distinct non-pool threads) serialize here
+    // instead of overwriting each other's in-flight job.
+    std::lock_guard<std::mutex> submit_lock(submit_mu_);
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      ensure_workers(helpers);
+      job_ = job;
+      ++generation_;
+    }
+    cv_work_.notify_all();
+
+    work(*job);  // the caller is a full participant
+
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_done_.wait(lock, [&] { return job->done.load() == job->chunks.size(); });
+    job_.reset();
+  }
+
+  ~Pool() {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_work_.notify_all();
+    for (auto& t : workers_) t.join();
+  }
+
+ private:
+  Pool() = default;
+
+  void ensure_workers(std::size_t count) {
+    count = std::min(count, thread_cap() - 1);
+    while (workers_.size() < count)
+      workers_.emplace_back([this] { worker_loop(); });
+  }
+
+  static void work(Job& job) {
+    const std::size_t n_chunks = job.chunks.size();
+    for (std::size_t c = job.next.fetch_add(1); c < n_chunks;
+         c = job.next.fetch_add(1)) {
+      try {
+        (*job.fn)(job.chunks[c].first, job.chunks[c].second);
+      } catch (...) {
+        job.errors[c] = std::current_exception();
+      }
+      job.done.fetch_add(1);
+    }
+  }
+
+  void worker_loop() {
+    t_on_pool_thread = true;
+    std::uint64_t seen = 0;
+    for (;;) {
+      std::shared_ptr<Job> job;  // keeps the job alive past the caller's wait
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_work_.wait(lock, [&] { return stop_ || generation_ != seen; });
+        if (stop_) return;
+        seen = generation_;
+        job = job_;
+      }
+      if (!job) continue;
+      work(*job);
+      // The mutex round-trip orders this worker's done-updates against the
+      // caller's predicate check: without it the notify could fire in the
+      // window between the caller evaluating the predicate (false) and
+      // blocking, and the caller would sleep forever.
+      { std::lock_guard<std::mutex> lock(mu_); }
+      cv_done_.notify_all();
+    }
+  }
+
+  std::mutex submit_mu_;  ///< serializes whole submissions
+  std::mutex mu_;         ///< guards job_/generation_/workers_/stop_
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  std::vector<std::thread> workers_;
+  std::shared_ptr<Job> job_;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace
+
+std::size_t thread_cap() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return std::max<std::size_t>(hw == 0 ? k_min_cap : hw, k_min_cap);
+}
 
 std::size_t thread_count() {
   const char* env = std::getenv("KATO_THREADS");
   if (env == nullptr || *env == '\0') return 1;
   char* end = nullptr;
   const long parsed = std::strtol(env, &end, 10);
-  if (end == env || parsed < 1) return 1;
-  return parsed > 64 ? 64 : static_cast<std::size_t>(parsed);
+  if (end == env || *end != '\0') return 1;  // trailing garbage: reject
+  if (parsed < 1) return 1;
+  const std::size_t cap = thread_cap();
+  return std::min(static_cast<std::size_t>(parsed), cap);
 }
+
+bool on_pool_thread() { return t_on_pool_thread; }
 
 void parallel_for(std::size_t n,
                   const std::function<void(std::size_t, std::size_t)>& fn) {
   if (n == 0) return;
   std::size_t workers = thread_count();
   if (workers > n) workers = n;
-  if (workers <= 1 || n < 2) {
+  if (workers <= 1 || n < 2 || t_on_pool_thread || t_parallel_depth > 0) {
     fn(0, n);
     return;
   }
 
+  // Contiguous chunks, same partition formula as the historical per-call
+  // implementation: results must depend on the chunk boundaries only through
+  // disjoint writes, never on which pool thread ran a chunk.
+  auto job = std::make_shared<Job>();
+  job->fn = &fn;
   const std::size_t chunk = (n + workers - 1) / workers;
-  std::vector<std::thread> threads;
-  std::vector<std::exception_ptr> errors(workers);
-  threads.reserve(workers);
-  for (std::size_t w = 0; w < workers; ++w) {
-    const std::size_t begin = w * chunk;
-    const std::size_t end = std::min(begin + chunk, n);
-    if (begin >= end) break;
-    threads.emplace_back([&fn, &errors, w, begin, end] {
-      try {
-        fn(begin, end);
-      } catch (...) {
-        errors[w] = std::current_exception();
-      }
-    });
-  }
-  for (auto& t : threads) t.join();
-  for (auto& e : errors)
+  for (std::size_t begin = 0; begin < n; begin += chunk)
+    job->chunks.emplace_back(begin, std::min(begin + chunk, n));
+  job->errors.resize(job->chunks.size());
+
+  ++t_parallel_depth;
+  Pool::instance().run(job, job->chunks.size() - 1);
+  --t_parallel_depth;
+
+  for (auto& e : job->errors)
     if (e) std::rethrow_exception(e);
 }
 

@@ -1,27 +1,46 @@
 #pragma once
-// Deterministic thread-parallel helpers for the acquisition/prediction hot
-// paths.
+// Deterministic thread-parallel helpers for the GP training and
+// acquisition/prediction hot paths.
 //
 // Thread count comes from the KATO_THREADS environment variable (default 1 =
 // fully sequential, matching the library's historical behavior).  Work is
 // split into contiguous index ranges so a function that writes result[i] for
 // each i produces bit-identical output at any thread count — the property the
-// MACE proposal path relies on (tests/perf_regression_test.cpp asserts it).
+// MACE proposal path and the parallel MultiGp fit rely on
+// (tests/perf_regression_test.cpp asserts it).
+//
+// Workers live in a persistent process-wide pool: the first parallel_for call
+// spawns them and later calls reuse them, so the per-call cost is a wakeup
+// instead of a thread spawn+join.  parallel_for called from inside a pool
+// worker runs inline (sequentially) — nested parallelism stays deterministic
+// and cannot deadlock the pool.
 
 #include <cstddef>
 #include <functional>
 
 namespace kato::util {
 
-/// Worker count from KATO_THREADS, clamped to [1, 64].  Unset, empty or
-/// unparsable values mean 1 (sequential).  Read on every call so tests can
-/// flip the knob with setenv().
+/// Upper bound for thread_count(): max(hardware_concurrency, 4).  The floor
+/// of 4 keeps deliberate oversubscription possible on small CI boxes, where
+/// the bit-identical-at-any-thread-count tests would otherwise silently
+/// degenerate to the sequential path.
+std::size_t thread_cap();
+
+/// Worker count from KATO_THREADS, clamped to [1, thread_cap()].  Unset or
+/// empty means 1 (sequential).  Garbage is rejected, not best-effort parsed:
+/// any non-numeric trailing characters, negative or zero values fall back to
+/// 1.  Read on every call so tests can flip the knob with setenv().
 std::size_t thread_count();
 
+/// True when the calling thread is a pool worker (used to run nested
+/// parallel_for calls inline).
+bool on_pool_thread();
+
 /// Invoke fn(begin, end) over a partition of [0, n) using thread_count()
-/// workers.  Runs inline (no threads spawned) when the worker count is 1 or
-/// n is too small to be worth splitting.  fn must only write state disjoint
-/// across index ranges.  Exceptions thrown by fn are rethrown in the caller.
+/// workers.  Runs inline (no pool dispatch) when the worker count is 1, n is
+/// too small to be worth splitting, or the caller is itself a pool worker.
+/// fn must only write state disjoint across index ranges.  Exceptions thrown
+/// by fn are rethrown in the caller (first failing chunk wins).
 void parallel_for(std::size_t n,
                   const std::function<void(std::size_t, std::size_t)>& fn);
 
