@@ -34,8 +34,6 @@ void run_panel(const Panel& panel) {
   std::cout << "--- Fig.6" << panel.label << ": " << src_circuit->name()
             << "  ->  " << tgt_circuit->name() << " ---\n";
 
-  const auto source =
-      bo::build_transfer_source(*src_circuit, 200, bo::KernelKind::rbf, 777);
   const auto seeds = core::seed_list(1);
 
   bo::BoConfig cfg = core::bench_config();
@@ -43,12 +41,11 @@ void run_panel(const Panel& panel) {
   cfg.batch = 4;
   cfg.iterations = 15;
 
-  std::vector<core::MethodSeries> methods;
-  methods.push_back(core::run_constrained_series(
-      *tgt_circuit, bo::ConstrainedMethod::kato, cfg, seeds, &source,
-      "KATO-TL"));
-  methods.push_back(core::run_constrained_series(
-      *tgt_circuit, bo::ConstrainedMethod::kato, cfg, seeds, nullptr, "KATO"));
+  auto cmp = core::run_transfer_comparison(*src_circuit, *tgt_circuit, 200, cfg,
+                                           seeds);
+  const auto& source = cmp.source;
+  std::vector<core::MethodSeries> methods{std::move(cmp.with_transfer),
+                                          std::move(cmp.without_transfer)};
   core::print_series(std::cout, "constrained running best", methods, 40);
 
   // Speedup: sims for TL to reach the no-transfer final median.

@@ -17,6 +17,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -27,7 +28,12 @@
 #include "kernel/neuk.hpp"
 #include "linalg/cholesky.hpp"
 #include "moo/nsga2.hpp"
+#include "netlist/netlist_circuit.hpp"
 #include "util/parallel.hpp"
+
+#ifndef KATO_SOURCE_DIR
+#define KATO_SOURCE_DIR "."
+#endif
 
 using namespace kato;
 
@@ -281,6 +287,33 @@ int main(int argc, char** argv) {
     });
   }
 
+  // Netlist front-end (abl_netlist): one-time deck parse latency and the
+  // per-candidate re-elaboration cost the sizing loop pays on top of each
+  // simulation (compare abl_netlist_eval against dc_opamp2_eval above).
+  double netlist_elab_ms = 0.0;
+  {
+    const std::string path =
+        std::string(KATO_SOURCE_DIR) + "/circuits/netlists/opamp2.cir";
+    std::ifstream in(path);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    const std::string text = ss.str();
+    bench("abl_netlist_parse", [&] {
+      sink(static_cast<double>(
+          net::parse_netlist(text, "opamp2.cir").cards.size()));
+    });
+    ckt::NetlistCircuit circuit(net::parse_netlist(text, "opamp2.cir"),
+                                ckt::pdk_180nm());
+    const auto x = circuit.expert_design();
+    netlist_elab_ms = bench("abl_netlist_elaborate", [&] {
+      sink(static_cast<double>(circuit.elaborate(x).circuit.mna_size()));
+    });
+    bench("abl_netlist_eval", [&] {
+      const auto m = circuit.evaluate(x);
+      sink(m ? (*m)[0] : 0.0);
+    });
+  }
+
   // NSGA-II on an analytic problem (no surrogate cost).
   {
     auto fn = [](const std::vector<double>& x) {
@@ -315,6 +348,7 @@ int main(int argc, char** argv) {
     out << "  \"gp_fit_fused_ms\": " << fit_ws_ms << ",\n";
     out << "  \"gp_fit_parallel_speedup\": "
         << (multi_par_ms > 0.0 ? multi_serial_ms / multi_par_ms : 0.0) << ",\n";
+    out << "  \"abl_netlist_elaborate_ms\": " << netlist_elab_ms << ",\n";
     out << "  \"kato_threads\": " << util::thread_count() << "\n";
     out << "}\n";
     std::cout << "wrote BENCH_micro_perf.json\n";

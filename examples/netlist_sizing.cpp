@@ -1,0 +1,89 @@
+// Netlist sizing: turn any SPICE-subset deck into a KATO workload.
+//
+//   ./build/examples/netlist_sizing [deck.cir] [node]
+//
+// Defaults to the shipped two-stage OpAmp deck on the 180nm PDK.  Parses
+// the deck, prints the sizing variables and specs it declares, then runs a
+// short seeded BO loop (5 iterations — this doubles as the CTest workflow
+// check for the parser/elaborator path; raise the budget for real sizing).
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/kato.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+/// %g-style rendering so micrometer/picofarad ranges stay readable.
+std::string fmt_g(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.4g", v);
+  return buf;
+}
+
+}  // namespace
+
+#ifndef KATO_SOURCE_DIR
+#define KATO_SOURCE_DIR "."
+#endif
+
+int main(int argc, char** argv) {
+  using namespace kato;
+
+  const std::string deck_path =
+      argc > 1 ? argv[1]
+               : std::string(KATO_SOURCE_DIR) + "/circuits/netlists/opamp2.cir";
+  const std::string node = argc > 2 ? argv[2] : "180nm";
+
+  std::unique_ptr<ckt::SizingCircuit> circuit;
+  try {
+    circuit = ckt::make_circuit("netlist:" + deck_path, node);
+  } catch (const std::exception& err) {
+    std::cerr << "deck rejected: " << err.what() << "\n";
+    return 1;
+  }
+
+  std::cout << "Sizing " << circuit->name() << " (" << circuit->dim()
+            << " design variables from the deck)\n";
+  util::Table vars({"variable", "lo", "hi", "scale"});
+  const auto& space = circuit->space();
+  for (std::size_t i = 0; i < space.dim(); ++i)
+    vars.add_row({space.names[i], fmt_g(space.lo[i]), fmt_g(space.hi[i]),
+                  space.log_scale[i] ? "log" : "lin"});
+  std::cout << vars.to_string();
+  std::cout << "objective: minimize " << circuit->objective_name() << "; "
+            << circuit->constraints().size() << " constraint(s)\n\n";
+
+  KatoOptimizer optimizer(*circuit);
+  auto& cfg = optimizer.config();
+  cfg.n_init = 20;
+  cfg.iterations = 5;  // parse -> elaborate -> simulate, end to end
+  cfg.batch = 2;
+  cfg.nsga.population = 16;
+  cfg.nsga.generations = 8;
+  cfg.max_gp_points = 128;
+  cfg.hyper_every = 3;
+  cfg.gp_initial.iterations = 25;
+  cfg.gp_refit.iterations = 8;
+  const auto result = optimizer.optimize(/*seed=*/1);
+
+  std::cout << "ran " << result.trace.size() << " simulations\n";
+  if (result.best_metrics.empty()) {
+    std::cout << "no feasible design at this tiny budget (expected for hard "
+                 "specs) — the parse/elaborate/simulate pipeline still ran.\n";
+    return 0;
+  }
+  util::Table metrics({"metric", "value", "spec"});
+  metrics.add_row({circuit->objective_name(),
+                   util::fmt(result.best_metrics[0], 2), "minimize"});
+  for (std::size_t c = 0; c < circuit->constraints().size(); ++c) {
+    const auto& spec = circuit->constraints()[c];
+    metrics.add_row({spec.name + "(" + spec.unit + ")",
+                     util::fmt(result.best_metrics[1 + c], 2),
+                     (spec.is_lower_bound ? "> " : "< ") +
+                         util::fmt(spec.bound, 0)});
+  }
+  std::cout << metrics.to_string();
+  return 0;
+}

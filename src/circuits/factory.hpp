@@ -9,7 +9,19 @@
 
 namespace kato::ckt {
 
-/// kind in {"opamp2", "opamp3", "bandgap", "stage2"}, node in {"180nm", "40nm"}.
+/// Build a sizing circuit.
+///
+/// kind:
+///   "opamp2" | "opamp3" | "bandgap" | "stage2"   — the hand-written
+///       benchmark topologies;
+///   "netlist:<path.cir>"                         — any SPICE-subset deck,
+///       elaborated through the netlist front-end.  A relative path is
+///       tried as-is, then against the KATO_NETLIST_DIR environment
+///       variable.
+/// node: "180nm" | "40nm".
+///
+/// Unknown kinds/nodes throw std::invalid_argument listing what is
+/// registered; bad decks throw net::NetlistError with file/line.
 std::unique_ptr<SizingCircuit> make_circuit(const std::string& kind,
                                             const std::string& node);
 

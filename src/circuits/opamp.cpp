@@ -27,12 +27,7 @@ std::optional<std::vector<double>> measure_opamp(const sim::Circuit& ckt,
 
   const double gain_db = sim::dc_gain_db(sweep, out_node);
   const double gbw = sim::unity_gain_freq(sweep, out_node);
-  // A margin of >= 150 degrees means the unity crossing happens through the
-  // compensation-cap feedforward path rather than the amplifying path — the
-  // open-loop PM measurement is meaningless there, and such designs ring in
-  // closed loop.  Report them as unstable (PM 0) instead of spuriously good.
-  double pm = std::clamp(sim::phase_margin_deg(sweep, out_node), 0.0, 180.0);
-  if (pm >= 150.0) pm = 0.0;
+  const double pm = sim::stable_phase_margin_deg(sweep, out_node);
   return std::vector<double>{i_total * 1e6, gain_db, pm, gbw / 1e6};
 }
 

@@ -67,7 +67,8 @@ const Pdk& pdk_40nm() {
 const Pdk& pdk_by_name(const std::string& name) {
   if (name == "180nm") return pdk_180nm();
   if (name == "40nm") return pdk_40nm();
-  throw std::invalid_argument("pdk_by_name: unknown PDK " + name);
+  throw std::invalid_argument("pdk_by_name: unknown PDK '" + name +
+                              "'; registered nodes: 180nm, 40nm");
 }
 
 }  // namespace kato::ckt

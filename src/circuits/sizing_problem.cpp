@@ -9,9 +9,23 @@ namespace kato::ckt {
 
 void DesignSpace::add(const std::string& name, double lo_v, double hi_v,
                       bool log_v) {
-  if (!(hi_v > lo_v)) throw std::invalid_argument("DesignSpace: hi <= lo");
+  // Fail loudly here: a bad range would otherwise surface only as NaN/inf
+  // physical values deep inside a sizing run.
+  const std::string what = "DesignSpace::add('" + name + "'): ";
+  if (!std::isfinite(lo_v) || !std::isfinite(hi_v))
+    throw std::invalid_argument(what + "non-finite range [" +
+                                std::to_string(lo_v) + ", " +
+                                std::to_string(hi_v) + "]");
+  if (!(hi_v > lo_v))
+    throw std::invalid_argument(what + "need lo < hi, got [" +
+                                std::to_string(lo_v) + ", " +
+                                std::to_string(hi_v) + "]");
   if (log_v && !(lo_v > 0.0))
-    throw std::invalid_argument("DesignSpace: log variable needs lo > 0");
+    throw std::invalid_argument(what + "log-scale variable needs lo > 0, got " +
+                                std::to_string(lo_v));
+  for (const auto& existing : names)
+    if (existing == name)
+      throw std::invalid_argument(what + "duplicate variable name");
   names.push_back(name);
   lo.push_back(lo_v);
   hi.push_back(hi_v);

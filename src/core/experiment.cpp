@@ -36,6 +36,22 @@ void sanitize_traces(std::vector<std::vector<double>>& traces, bool minimize) {
 
 }  // namespace
 
+TransferComparison run_transfer_comparison(
+    const ckt::SizingCircuit& source_circuit, const ckt::SizingCircuit& target,
+    std::size_t source_samples, const bo::BoConfig& config,
+    const std::vector<std::uint64_t>& seeds, bo::KernelKind source_kernel,
+    std::uint64_t source_seed) {
+  TransferComparison cmp;
+  cmp.source = bo::build_transfer_source(source_circuit, source_samples,
+                                         source_kernel, source_seed);
+  cmp.with_transfer =
+      run_constrained_series(target, bo::ConstrainedMethod::kato, config, seeds,
+                             &cmp.source, "KATO-TL");
+  cmp.without_transfer = run_constrained_series(
+      target, bo::ConstrainedMethod::kato, config, seeds, nullptr, "KATO");
+  return cmp;
+}
+
 MethodSeries run_constrained_series(const ckt::SizingCircuit& circuit,
                                     bo::ConstrainedMethod method,
                                     const bo::BoConfig& config,

@@ -39,6 +39,27 @@ inline bo::BoConfig bench_config() {
   return cfg;
 }
 
+/// One cross-design / cross-technology transfer experiment: frozen source
+/// knowledge plus matched constrained-KATO series with and without it.
+struct TransferComparison {
+  bo::TransferSource source;
+  MethodSeries with_transfer;     ///< "KATO-TL" (KAT-GP + STL, Alg. 1)
+  MethodSeries without_transfer;  ///< "KATO"
+};
+
+/// Build `source_samples` random simulations of `source_circuit` into a
+/// TransferSource and run the with/without-transfer comparison on `target`.
+/// Works for any SizingCircuit pair — hand-written topologies or netlist
+/// decks (see `make_circuit("netlist:<path>", node)`) in any combination;
+/// this is the harness behind the Fig. 6 panels and the netlist transfer
+/// workflow.
+TransferComparison run_transfer_comparison(
+    const ckt::SizingCircuit& source_circuit, const ckt::SizingCircuit& target,
+    std::size_t source_samples, const bo::BoConfig& config,
+    const std::vector<std::uint64_t>& seeds,
+    bo::KernelKind source_kernel = bo::KernelKind::rbf,
+    std::uint64_t source_seed = 777);
+
 MethodSeries run_constrained_series(const ckt::SizingCircuit& circuit,
                                     bo::ConstrainedMethod method,
                                     const bo::BoConfig& config,

@@ -1,0 +1,39 @@
+#pragma once
+// Source locations and diagnostics for the netlist front-end.
+//
+// Every token, card and expression carries the file/line/column it came
+// from; NetlistError renders "file:line:col: message" so a bad deck points
+// straight at the offending card.
+
+#include <stdexcept>
+#include <string>
+
+namespace kato::net {
+
+struct SourceLoc {
+  std::string file;
+  int line = 0;  ///< 1-based; 0 = no location (file-level errors)
+  int col = 0;   ///< 1-based
+
+  std::string to_string() const {
+    if (line == 0) return file;
+    return file + ":" + std::to_string(line) + ":" + std::to_string(col);
+  }
+};
+
+/// Parse/elaboration diagnostic carrying the source location.
+class NetlistError : public std::runtime_error {
+ public:
+  NetlistError(SourceLoc loc, const std::string& message)
+      : std::runtime_error(loc.to_string() + ": " + message), loc_(std::move(loc)) {}
+
+  const SourceLoc& where() const { return loc_; }
+  int line() const { return loc_.line; }
+  int col() const { return loc_.col; }
+  const std::string& file() const { return loc_.file; }
+
+ private:
+  SourceLoc loc_;
+};
+
+}  // namespace kato::net

@@ -1,0 +1,276 @@
+#include "netlist/elaborate.hpp"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "sim/ac.hpp"
+
+namespace kato::net {
+
+std::map<std::string, double> pdk_builtins(const ckt::Pdk& pdk) {
+  return {
+      {"vdd", pdk.vdd},
+      {"lmin", pdk.lmin},
+      {"lmax", pdk.lmax},
+      {"is180", pdk.name == "180nm" ? 1.0 : 0.0},
+  };
+}
+
+namespace {
+
+sim::MosModel apply_model_overrides(sim::MosModel base, const ModelDef& def,
+                                    const Scope& scope) {
+  for (const auto& [key, expr] : def.overrides) {
+    const double v = eval_expr(*expr, scope);
+    if (key == "vth0")
+      base.vth0 = v;
+    else if (key == "kp")
+      base.kp = v;
+    else if (key == "lambda")
+      base.lambda_coef = v;
+    else if (key == "cox")
+      base.cox = v;
+    else if (key == "cgdo")
+      base.cgdo = v;
+    else if (key == "cj")
+      base.cj_w = v;
+    else if (key == "n")
+      base.subthreshold_n = v;
+    else
+      throw NetlistError(expr->loc, "unknown .model parameter '" + key +
+                                        "' (vth0 kp lambda cox cgdo cj n)");
+  }
+  return base;
+}
+
+sim::Diode apply_diode_overrides(sim::Diode base, const ModelDef& def,
+                                 const Scope& scope) {
+  for (const auto& [key, expr] : def.overrides) {
+    const double v = eval_expr(*expr, scope);
+    if (key == "is")
+      base.is_sat = v;
+    else if (key == "n")
+      base.ideality = v;
+    else if (key == "area")
+      base.area = v;
+    else if (key == "xti")
+      base.xti = v;
+    else if (key == "eg")
+      base.eg = v;
+    else
+      throw NetlistError(expr->loc, "unknown diode .model parameter '" + key +
+                                        "' (is n area xti eg)");
+  }
+  return base;
+}
+
+class Elaborator {
+ public:
+  Elaborator(const Deck& deck, const ckt::Pdk& pdk, const Scope& bindings)
+      : deck_(deck), bindings_(bindings) {
+    models_.emplace("nmos", pdk.nmos);
+    models_.emplace("pmos", pdk.pmos);
+    for (const auto& def : deck.models) {
+      if (def.name == "nmos" || def.name == "pmos")
+        throw NetlistError(def.loc, "model name '" + def.name +
+                                        "' shadows the builtin PDK model");
+      if (def.diode)
+        diode_models_.emplace(def.name,
+                              apply_diode_overrides(sim::Diode{}, def, bindings));
+      else
+        models_.emplace(def.name,
+                        apply_model_overrides(def.nmos ? pdk.nmos : pdk.pmos,
+                                              def, bindings));
+    }
+  }
+
+  Elaboration run() {
+    flatten(deck_.cards, /*prefix=*/"",
+            /*ports=*/{}, /*locals=*/nullptr, /*stack=*/{});
+    structural_lint();
+
+    if (deck_.ac.present) {
+      const double per_decade = eval_expr(*deck_.ac.per_decade, bindings_);
+      const double f_lo = eval_expr(*deck_.ac.f_lo, bindings_);
+      const double f_hi = eval_expr(*deck_.ac.f_hi, bindings_);
+      if (!(per_decade >= 1.0) || !(f_lo > 0.0) || !(f_hi > f_lo))
+        throw NetlistError(deck_.ac.loc,
+                           ".ac needs pts/decade >= 1 and 0 < f_lo < f_hi");
+      out_.freqs =
+          sim::log_freq_grid(f_lo, f_hi, static_cast<int>(per_decade));
+    }
+    if (deck_.temperature != nullptr) {
+      out_.temperature = eval_expr(*deck_.temperature, bindings_);
+      if (!(out_.temperature > 0.0))
+        throw NetlistError(deck_.temperature->loc,
+                           ".temp must be a positive Kelvin temperature");
+    }
+    return std::move(out_);
+  }
+
+ private:
+  /// Resolve a node name within one instantiation scope.  Ports map to
+  /// parent nodes; "0"/"gnd" are global ground; anything else is a local
+  /// node, flat-named with the instance prefix.
+  int resolve_node(const std::string& name, const std::string& prefix,
+                   const std::map<std::string, int>& ports,
+                   const SourceLoc& loc) {
+    if (name == "0" || name == "gnd") {
+      grounded_ = true;
+      return sim::Circuit::ground;
+    }
+    if (auto it = ports.find(name); it != ports.end()) return it->second;
+    const std::string flat = prefix + name;
+    if (auto it = out_.nodes.find(flat); it != out_.nodes.end())
+      return it->second;
+    const int node = out_.circuit.new_node(flat);
+    out_.nodes.emplace(flat, node);
+    touches_.resize(static_cast<std::size_t>(node) + 1, 0);
+    node_loc_.resize(static_cast<std::size_t>(node) + 1);
+    node_loc_[static_cast<std::size_t>(node)] = loc;
+    return node;
+  }
+
+  void touch(int node) {
+    if (node != sim::Circuit::ground)
+      ++touches_[static_cast<std::size_t>(node)];
+  }
+
+  void flatten(const std::vector<DeviceCard>& cards, const std::string& prefix,
+               const std::map<std::string, int>& ports, const Scope* locals,
+               std::vector<std::string> stack) {
+    const Scope& env = locals != nullptr ? *locals : bindings_;
+    for (const auto& card : cards) {
+      std::vector<int> n;
+      n.reserve(card.nodes.size());
+      for (const auto& name : card.nodes)
+        n.push_back(resolve_node(name, prefix, ports, card.loc));
+      // X-card port connections are wiring, not device terminals: the
+      // recursion below counts the real terminals behind each port, so a
+      // node wired only into a subckt that barely uses it still lints.
+      if (card.kind != DeviceCard::Kind::subckt)
+        for (int node : n) touch(node);
+
+      switch (card.kind) {
+        case DeviceCard::Kind::resistor:
+          out_.circuit.add_resistor(n[0], n[1], eval_expr(*card.value, env));
+          break;
+        case DeviceCard::Kind::capacitor:
+          out_.circuit.add_capacitor(n[0], n[1], eval_expr(*card.value, env));
+          break;
+        case DeviceCard::Kind::vsource: {
+          const double dc = eval_expr(*card.value, env);
+          const double ac = card.ac != nullptr ? eval_expr(*card.ac, env) : 0.0;
+          const int index = out_.circuit.add_vsource(n[0], n[1], dc, ac);
+          out_.vsources.emplace(prefix + card.name,
+                                static_cast<std::size_t>(index));
+          break;
+        }
+        case DeviceCard::Kind::isource:
+          out_.circuit.add_isource(n[0], n[1], eval_expr(*card.value, env));
+          break;
+        case DeviceCard::Kind::mosfet: {
+          const auto model = models_.find(card.model);
+          if (model == models_.end())
+            throw NetlistError(card.loc, "unknown MOSFET model '" + card.model +
+                                             "' (declare it with .model)");
+          const double w = eval_expr(*card.param("w"), env);
+          const double l = eval_expr(*card.param("l"), env);
+          if (!(w > 0.0) || !(l > 0.0))
+            throw NetlistError(card.loc, "MOSFET w/l must be positive");
+          out_.circuit.add_mosfet(n[0], n[1], n[2], w, l, model->second);
+          break;
+        }
+        case DeviceCard::Kind::diode: {
+          sim::Diode d;
+          if (!card.model.empty()) {
+            const auto it = diode_models_.find(card.model);
+            if (it == diode_models_.end())
+              throw NetlistError(card.loc, "unknown diode model '" +
+                                               card.model +
+                                               "' (declare it with '.model " +
+                                               card.model + " d ...')");
+            d = it->second;
+          }
+          d.a = n[0];
+          d.c = n[1];
+          if (const auto area = card.param("area"))
+            d.area = eval_expr(*area, env);
+          out_.circuit.add_diode(d);
+          break;
+        }
+        case DeviceCard::Kind::vccs:
+          out_.circuit.add_vccs(n[0], n[1], n[2], n[3],
+                                eval_expr(*card.value, env));
+          break;
+        case DeviceCard::Kind::subckt: {
+          const auto sub = deck_.subckts.find(card.model);
+          if (sub == deck_.subckts.end())
+            throw NetlistError(card.loc, "unknown subckt '" + card.model + "'");
+          const Subckt& def = sub->second;
+          for (const auto& seen : stack)
+            if (seen == def.name)
+              throw NetlistError(card.loc, "cyclic subckt instantiation: '" +
+                                               def.name + "' instantiates itself");
+          if (card.nodes.size() != def.ports.size())
+            throw NetlistError(card.loc,
+                               "subckt '" + def.name + "' has " +
+                                   std::to_string(def.ports.size()) +
+                                   " port(s), instance connects " +
+                                   std::to_string(card.nodes.size()));
+          std::map<std::string, int> sub_ports;
+          for (std::size_t i = 0; i < def.ports.size(); ++i)
+            sub_ports.emplace(def.ports[i], n[i]);
+          // Instance parameters: defaults overridden by the X card, both
+          // evaluated in the PARENT scope.
+          std::map<std::string, double> sub_params;
+          for (const auto& [key, expr] : def.defaults)
+            sub_params[key] = eval_expr(*expr, env);
+          for (const auto& [key, expr] : card.params) {
+            if (sub_params.count(key) == 0)
+              throw NetlistError(expr->loc,
+                                 "subckt '" + def.name +
+                                     "' has no parameter '" + key + "'");
+            sub_params[key] = eval_expr(*expr, env);
+          }
+          Scope sub_scope{&sub_params, &bindings_};
+          stack.push_back(def.name);
+          flatten(def.cards, prefix + card.name + ".", sub_ports, &sub_scope,
+                  stack);
+          stack.pop_back();
+          break;
+        }
+      }
+    }
+  }
+
+  void structural_lint() const {
+    if (!grounded_)
+      throw NetlistError({deck_.file, 0, 0},
+                         "netlist has no ground connection (node '0' or 'gnd')");
+    for (std::size_t node = 1; node < touches_.size(); ++node) {
+      if (touches_[node] < 2)
+        throw NetlistError(node_loc_[node],
+                           "dangling node '" + out_.circuit.node_name(
+                                                   static_cast<int>(node)) +
+                               "' (connected to only one device terminal)");
+    }
+  }
+
+  const Deck& deck_;
+  const Scope& bindings_;
+  Elaboration out_;
+  std::unordered_map<std::string, sim::MosModel> models_;
+  std::unordered_map<std::string, sim::Diode> diode_models_;
+  std::vector<int> touches_;        ///< per-node terminal count
+  std::vector<SourceLoc> node_loc_; ///< per-node first-use location
+  bool grounded_ = false;
+};
+
+}  // namespace
+
+Elaboration elaborate(const Deck& deck, const ckt::Pdk& pdk, const Scope& bindings) {
+  return Elaborator(deck, pdk, bindings).run();
+}
+
+}  // namespace kato::net

@@ -1,0 +1,49 @@
+#pragma once
+// Elaboration: flatten a parsed Deck into a sim::Circuit.
+//
+// Hierarchy is expanded depth-first: `X` instances map their connection
+// nodes onto the subckt ports and prefix internal nodes with the instance
+// path ("x1.mid"), so flat node names stay unique and diagnosable.  Node
+// indices are assigned in order of first appearance, which makes the MNA
+// system — and therefore the simulated metrics — a deterministic function
+// of card order alone.
+//
+// Elaboration is cheap by design (expression walks plus vector pushes, no
+// allocation-heavy passes) because the sizing loop re-elaborates the deck
+// once per candidate; `bench/micro_perf` tracks the latency (abl_netlist).
+//
+// Structural lint performed here, each reported with the card's file/line:
+//   - unknown model / subckt names, wrong port counts;
+//   - cyclic .subckt instantiation;
+//   - dangling nodes (touched by fewer than two device terminals);
+//   - no ground connection anywhere in the flattened circuit.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "circuits/pdk.hpp"
+#include "netlist/parser.hpp"
+#include "sim/circuit.hpp"
+
+namespace kato::net {
+
+struct Elaboration {
+  sim::Circuit circuit;
+  std::map<std::string, int> nodes;             ///< flat node name -> index
+  std::map<std::string, std::size_t> vsources;  ///< flat card name -> index
+  std::vector<double> freqs;  ///< AC grid from .ac; empty when absent
+  double temperature = 300.0;
+};
+
+/// PDK-derived builtin parameters available to every deck expression:
+/// vdd, lmin, lmax, is180 (1 when pdk.name == "180nm", else 0).
+std::map<std::string, double> pdk_builtins(const ckt::Pdk& pdk);
+
+/// Flatten `deck` against `pdk`.  `bindings` resolves identifiers in device
+/// expressions: .param constants, sizing-variable values and builtins
+/// (chain further frames via Scope::parent).  Throws NetlistError on any
+/// structural or expression error.
+Elaboration elaborate(const Deck& deck, const ckt::Pdk& pdk, const Scope& bindings);
+
+}  // namespace kato::net

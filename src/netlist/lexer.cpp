@@ -1,0 +1,201 @@
+#include "netlist/lexer.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace kato::net {
+
+namespace {
+
+bool ident_start(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+bool digit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
+
+char lower(char c) { return static_cast<char>(std::tolower(static_cast<unsigned char>(c))); }
+
+/// SPICE magnitude suffixes as powers of ten.  Longest match first ("meg"
+/// before "m").  All are powers of ten, so the value can be formed by
+/// appending the exponent to the digit string (exactness — see header).
+const char* suffix_exponent(const std::string& letters, std::size_t& len) {
+  if (letters.rfind("meg", 0) == 0) { len = 3; return "e6"; }
+  switch (letters.empty() ? '\0' : letters[0]) {
+    case 't': len = 1; return "e12";
+    case 'g': len = 1; return "e9";
+    case 'k': len = 1; return "e3";
+    case 'm': len = 1; return "e-3";
+    case 'u': len = 1; return "e-6";
+    case 'n': len = 1; return "e-9";
+    case 'p': len = 1; return "e-12";
+    case 'f': len = 1; return "e-15";
+    default: len = 0; return nullptr;
+  }
+}
+
+struct Cursor {
+  const std::string& src;
+  const std::string& file;
+  std::size_t pos = 0;
+  int line = 1;
+  int col = 1;
+
+  bool done() const { return pos >= src.size(); }
+  char peek(std::size_t ahead = 0) const {
+    return pos + ahead < src.size() ? src[pos + ahead] : '\0';
+  }
+  char advance() {
+    const char c = src[pos++];
+    if (c == '\n') {
+      ++line;
+      col = 1;
+    } else {
+      ++col;
+    }
+    return c;
+  }
+  SourceLoc loc() const { return {file, line, col}; }
+};
+
+}  // namespace
+
+std::vector<Token> tokenize(const std::string& text, const std::string& filename) {
+  std::vector<Token> out;
+  Cursor cur{text, filename};
+  bool line_has_tokens = false;
+
+  auto emit_eol = [&](const SourceLoc& loc) {
+    if (line_has_tokens) out.push_back({TokKind::eol, "", "", 0.0, loc});
+    line_has_tokens = false;
+  };
+
+  while (!cur.done()) {
+    const char c = cur.peek();
+    const SourceLoc loc = cur.loc();
+
+    if (c == '\n') {
+      cur.advance();
+      // Peek ahead past blank and comment lines: a '+' opening the next
+      // non-comment line is a continuation — suppress the eol so the
+      // logical line keeps going.
+      std::size_t look = cur.pos;
+      for (;;) {
+        while (look < text.size() &&
+               (text[look] == ' ' || text[look] == '\t' || text[look] == '\r'))
+          ++look;
+        if (look < text.size() && text[look] == '*') {
+          while (look < text.size() && text[look] != '\n') ++look;
+          if (look < text.size()) ++look;  // past the comment's newline
+          continue;
+        }
+        break;
+      }
+      if (look < text.size() && text[look] == '+' && line_has_tokens) {
+        // Consume up to and including the '+'.
+        while (cur.pos <= look) cur.advance();
+        continue;
+      }
+      emit_eol(loc);
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r') {
+      cur.advance();
+      continue;
+    }
+    if (c == ';') {  // inline comment
+      while (!cur.done() && cur.peek() != '\n') cur.advance();
+      continue;
+    }
+    if (c == '*' && !line_has_tokens) {  // full-line comment
+      while (!cur.done() && cur.peek() != '\n') cur.advance();
+      continue;
+    }
+
+    // Number: digit, or '.' followed by a digit.
+    if (digit(c) || (c == '.' && digit(cur.peek(1)))) {
+      std::string core;
+      std::string raw;
+      auto take = [&] {
+        raw.push_back(cur.peek());
+        core.push_back(lower(cur.peek()));
+        cur.advance();
+      };
+      while (digit(cur.peek()) || cur.peek() == '.') take();
+      if (lower(cur.peek()) == 'e' &&
+          (digit(cur.peek(1)) ||
+           ((cur.peek(1) == '+' || cur.peek(1) == '-') && digit(cur.peek(2))))) {
+        take();  // e
+        if (cur.peek() == '+' || cur.peek() == '-') take();
+        while (digit(cur.peek())) take();
+      } else if (ident_start(cur.peek())) {
+        // Magnitude suffix and/or trailing unit letters (10k, 0.3p, 10pF).
+        std::string letters;
+        std::string letters_raw;
+        while (ident_char(cur.peek())) {
+          letters_raw.push_back(cur.peek());
+          letters.push_back(lower(cur.peek()));
+          cur.advance();
+        }
+        std::size_t len = 0;
+        if (const char* exp = suffix_exponent(letters, len)) core += exp;
+        // Anything after the suffix is a unit annotation; ignored.
+        raw += letters_raw;
+      }
+      char* end = nullptr;
+      const double value = std::strtod(core.c_str(), &end);
+      if (end == nullptr || *end != '\0')
+        throw NetlistError(loc, "malformed number '" + raw + "'");
+      out.push_back({TokKind::number, core, raw, value, loc});
+      line_has_tokens = true;
+      continue;
+    }
+
+    // Identifier or directive (".param").
+    if (ident_start(c) || (c == '.' && ident_start(cur.peek(1)))) {
+      std::string low;
+      std::string raw;
+      if (c == '.') {
+        raw.push_back('.');
+        low.push_back('.');
+        cur.advance();
+      }
+      while (ident_char(cur.peek())) {
+        raw.push_back(cur.peek());
+        low.push_back(lower(cur.peek()));
+        cur.advance();
+      }
+      out.push_back({TokKind::ident, low, raw, 0.0, loc});
+      line_has_tokens = true;
+      continue;
+    }
+
+    // Punctuation.
+    switch (c) {
+      case '(': case ')': case '{': case '}': case '\'':
+      case '=': case ',': case '+': case '-': case '*': case '/': {
+        cur.advance();
+        out.push_back({TokKind::punct, std::string(1, c), std::string(1, c), 0.0, loc});
+        line_has_tokens = true;
+        continue;
+      }
+      case '<': case '>': {
+        cur.advance();
+        std::string p(1, c);
+        if (cur.peek() == '=') {
+          cur.advance();
+          p.push_back('=');
+        }
+        out.push_back({TokKind::punct, p, p, 0.0, loc});
+        line_has_tokens = true;
+        continue;
+      }
+      default:
+        throw NetlistError(loc, std::string("unexpected character '") + c + "'");
+    }
+  }
+  emit_eol(cur.loc());
+  out.push_back({TokKind::eof, "", "", 0.0, cur.loc()});
+  return out;
+}
+
+}  // namespace kato::net

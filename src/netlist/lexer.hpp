@@ -1,0 +1,52 @@
+#pragma once
+// Tokenizer for the SPICE-subset netlist grammar.
+//
+// Input conventions (classic SPICE):
+//   * a line whose first non-blank character is '*' is a comment;
+//   * ';' starts an inline comment running to end of line;
+//   * a line starting with '+' continues the previous logical line;
+//   * everything is case-insensitive — `text` is lowercased, `raw` keeps the
+//     original spelling for display (titles, metric names, units).
+//
+// Numbers accept SPICE magnitude suffixes (t g meg k m u n p f).  The suffix
+// is applied by appending the equivalent power-of-ten exponent to the digit
+// string before strtod, so `0.3p` parses to exactly the same double as
+// `0.3e-12` — this keeps netlist-elaborated circuits bit-identical to
+// hand-written C++ that uses e-notation literals.  Trailing unit letters
+// after the suffix (`10pF`) are ignored, as in SPICE.
+
+#include <string>
+#include <vector>
+
+#include "netlist/diag.hpp"
+
+namespace kato::net {
+
+enum class TokKind {
+  ident,   ///< names, directives (".param"), device/node names
+  number,  ///< numeric literal (value holds the parsed double)
+  punct,   ///< ( ) { } ' = , + - * / < > >= <=
+  eol,     ///< end of a logical line
+  eof,
+};
+
+struct Token {
+  TokKind kind = TokKind::eof;
+  std::string text;   ///< lowercased
+  std::string raw;    ///< original spelling
+  double value = 0.0;  ///< numbers only
+  SourceLoc loc;
+
+  bool is(TokKind k) const { return kind == k; }
+  bool is_punct(const char* p) const {
+    return kind == TokKind::punct && text == p;
+  }
+};
+
+/// Tokenize a whole deck.  Comment lines vanish; continuation lines are
+/// folded into their logical line (no eol emitted between them).  The stream
+/// always ends with one eof token.  Throws NetlistError on bad characters or
+/// malformed numbers.
+std::vector<Token> tokenize(const std::string& text, const std::string& filename);
+
+}  // namespace kato::net

@@ -1,0 +1,279 @@
+#include "netlist/netlist_circuit.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <set>
+
+#include "sim/ac.hpp"
+#include "sim/dc.hpp"
+
+namespace kato::ckt {
+
+namespace {
+
+/// Thrown by measure functions (isupply <= 0) to report the candidate as a
+/// failed simulation; evaluate() converts it to nullopt.
+struct SimFailure : std::exception {
+  const char* what() const noexcept override {
+    return "netlist measure reported simulation failure";
+  }
+};
+
+struct MeasureInfo {
+  std::size_t n_args;
+  bool needs_ac;
+  bool vsource_arg;  ///< arg 0 names a voltage source instead of a node
+};
+
+const MeasureInfo* measure_info(const std::string& name) {
+  static const std::map<std::string, MeasureInfo> table = {
+      {"isupply", {1, false, true}},  {"ivsrc", {1, false, true}},
+      {"vdc", {1, false, false}},     {"gain_db", {1, true, false}},
+      {"ugf", {1, true, false}},      {"pm", {1, true, false}},
+      {"gain_db_at", {2, true, false}},
+  };
+  const auto it = table.find(name);
+  return it == table.end() ? nullptr : &it->second;
+}
+
+bool is_math_fn(const std::string& name) {
+  static const std::set<std::string> fns = {"sqrt", "abs", "exp", "log",
+                                            "pow",  "min", "max", "cond"};
+  return fns.count(name) != 0;
+}
+
+/// Resolve a measure's first argument against the elaborated circuit.
+/// Numeric node names ("0", "1a") parse as number expressions; their name
+/// field carries the raw spelling, so both kinds resolve here.
+template <typename Map>
+typename Map::mapped_type resolve_target(const net::Expr& call, const Map& map,
+                                         const char* what) {
+  const bool named =
+      !call.args.empty() &&
+      (call.args[0]->kind == net::Expr::Kind::ident ||
+       (call.args[0]->kind == net::Expr::Kind::number &&
+        !call.args[0]->name.empty()));
+  if (!named)
+    throw net::NetlistError(call.loc, "'" + call.name + "' expects a " + what +
+                                          " name as its first argument");
+  const auto it = map.find(call.args[0]->name);
+  if (it == map.end())
+    throw net::NetlistError(call.args[0]->loc,
+                            std::string("unknown ") + what + " '" +
+                                call.args[0]->raw + "' in measure");
+  return it->second;
+}
+
+/// Compile-time-style validation of a measure expression: known functions,
+/// right arity, arguments naming real nodes / voltage sources.  Flags
+/// whether an AC sweep is needed.
+void validate_measure(const net::Expr& e, const net::Elaboration& elab,
+                      const net::Scope& scope, bool& needs_ac,
+                      net::SourceLoc& ac_loc) {
+  switch (e.kind) {
+    case net::Expr::Kind::number:
+      return;
+    case net::Expr::Kind::ident:
+      net::eval_expr(e, scope);  // throws on undefined names
+      return;
+    case net::Expr::Kind::negate:
+    case net::Expr::Kind::binary:
+      for (const auto& a : e.args)
+        validate_measure(*a, elab, scope, needs_ac, ac_loc);
+      return;
+    case net::Expr::Kind::call: {
+      if (const MeasureInfo* info = measure_info(e.name)) {
+        if (e.args.size() != info->n_args)
+          throw net::NetlistError(e.loc, "'" + e.name + "' expects " +
+                                             std::to_string(info->n_args) +
+                                             " argument(s)");
+        if (info->vsource_arg)
+          resolve_target(e, elab.vsources, "voltage source");
+        else
+          resolve_target(e, elab.nodes, "node");
+        if (info->needs_ac && !needs_ac) {
+          needs_ac = true;
+          ac_loc = e.loc;  // anchor the missing-.ac diagnostic here
+        }
+        for (std::size_t i = 1; i < e.args.size(); ++i)
+          validate_measure(*e.args[i], elab, scope, needs_ac, ac_loc);
+        return;
+      }
+      if (is_math_fn(e.name)) {
+        for (const auto& a : e.args)
+          validate_measure(*a, elab, scope, needs_ac, ac_loc);
+        return;
+      }
+      throw net::NetlistError(e.loc, "unknown measure function '" + e.name + "'");
+    }
+  }
+}
+
+/// Measure-function evaluation against one simulated candidate.
+class SimMeasure final : public net::MeasureHook {
+ public:
+  SimMeasure(const net::Elaboration& elab, const sim::DcResult& op,
+             const sim::AcSweep* sweep, const net::Scope& scope)
+      : elab_(elab), op_(op), sweep_(sweep), scope_(scope) {}
+
+  double call(const net::Expr& e) const override {
+    if (e.name == "isupply") {
+      // Branch current is positive p -> n through the source, so a supply
+      // delivering current has a negative branch current; flip the sign and
+      // require delivery (matches the hand-written OpAmp benchmarks).
+      const double i = -op_.vsource_current[resolve_target(e, elab_.vsources,
+                                                           "voltage source")];
+      if (!(i > 0.0)) throw SimFailure{};
+      return i;
+    }
+    if (e.name == "ivsrc")
+      return op_.vsource_current[resolve_target(e, elab_.vsources,
+                                                "voltage source")];
+    if (e.name == "vdc")
+      return op_.v(resolve_target(e, elab_.nodes, "node"));
+    const int node = resolve_target(e, elab_.nodes, "node");
+    if (e.name == "gain_db") return sim::dc_gain_db(*sweep_, node);
+    if (e.name == "ugf") return sim::unity_gain_freq(*sweep_, node);
+    if (e.name == "pm") return sim::stable_phase_margin_deg(*sweep_, node);
+    // gain_db_at — validated at construction, the only remaining case.
+    return sim::gain_db_at(*sweep_, node,
+                           net::eval_expr(*e.args[1], scope_, this));
+  }
+
+ private:
+  const net::Elaboration& elab_;
+  const sim::DcResult& op_;
+  const sim::AcSweep* sweep_;
+  const net::Scope& scope_;
+};
+
+}  // namespace
+
+NetlistCircuit::NetlistCircuit(net::Deck deck, const Pdk& pdk)
+    : deck_(std::move(deck)), pdk_(pdk) {
+  consts_ = net::pdk_builtins(pdk_);
+  const net::Scope const_scope{&consts_, nullptr};
+
+  for (const auto& p : deck_.params) {
+    if (consts_.count(p.name) != 0)
+      throw net::NetlistError(p.loc, ".param '" + p.name +
+                                         "' redefines a builtin parameter");
+    consts_[p.name] = net::eval_expr(*p.value, const_scope);
+  }
+
+  for (const auto& v : deck_.vars) {
+    if (consts_.count(v.name) != 0)
+      throw net::NetlistError(v.loc, "sizing variable '" + v.raw +
+                                         "' collides with a parameter");
+    const double lo = net::eval_expr(*v.lo, const_scope);
+    const double hi = net::eval_expr(*v.hi, const_scope);
+    try {
+      space_.add(v.raw, lo, hi, v.log_scale);
+    } catch (const std::invalid_argument& err) {
+      throw net::NetlistError(v.loc, err.what());
+    }
+  }
+  if (space_.dim() == 0)
+    throw net::NetlistError({deck_.file, 0, 0},
+                            "deck declares no .var sizing variables");
+
+  bool have_objective = false;
+  for (const auto& spec : deck_.specs) {
+    if (spec.is_objective) {
+      objective_ = spec;
+      have_objective = true;
+    } else {
+      const double bound = net::eval_expr(*spec.bound, const_scope);
+      specs_.push_back({spec.name, spec.unit, bound, spec.is_lower_bound});
+      spec_measures_.push_back(spec.measure);
+    }
+  }
+  if (!have_objective)
+    throw net::NetlistError({deck_.file, 0, 0},
+                            "deck declares no '.spec objective' line");
+
+  expert_.assign(space_.dim(), 0.5);
+  bool exact_expert = false;
+  for (const auto& e : deck_.experts) {
+    const bool exact = e.filter == pdk_.name;
+    if (!exact && e.filter != "*") continue;
+    if (e.unit_x.size() != space_.dim())
+      throw net::NetlistError(e.loc, ".expert has " +
+                                         std::to_string(e.unit_x.size()) +
+                                         " value(s) but the deck declares " +
+                                         std::to_string(space_.dim()) +
+                                         " sizing variables");
+    if (exact || !exact_expert) expert_ = e.unit_x;
+    exact_expert = exact_expert || exact;
+  }
+
+  // Trial elaboration at the expert/mid-box point: surfaces structural
+  // problems (dangling nodes, cyclic subckts, unknown models) and
+  // expression errors at load time.
+  const net::Elaboration trial = elaborate(expert_);
+  const auto trial_vars = bind_vars(expert_);
+  const net::Scope trial_scope{&trial_vars, &const_scope};
+  net::SourceLoc ac_loc;  // first AC measure call site
+  validate_measure(*objective_.measure, trial, trial_scope, needs_ac_, ac_loc);
+  for (const auto& m : spec_measures_)
+    validate_measure(*m, trial, trial_scope, needs_ac_, ac_loc);
+  if (needs_ac_ && !deck_.ac.present)
+    throw net::NetlistError(ac_loc,
+                            "AC measure used but the deck has no "
+                            "'.ac dec <pts> <f_lo> <f_hi>' line");
+}
+
+std::unique_ptr<NetlistCircuit> NetlistCircuit::from_file(const std::string& path,
+                                                          const Pdk& pdk) {
+  return std::make_unique<NetlistCircuit>(net::parse_netlist_file(path), pdk);
+}
+
+std::map<std::string, double> NetlistCircuit::bind_vars(
+    const std::vector<double>& unit_x) const {
+  const auto physical = space_.to_physical(unit_x);
+  std::map<std::string, double> vars;
+  for (std::size_t i = 0; i < deck_.vars.size(); ++i)
+    vars.emplace(deck_.vars[i].name, physical[i]);
+  return vars;
+}
+
+net::Elaboration NetlistCircuit::elaborate(
+    const std::vector<double>& unit_x) const {
+  const auto vars = bind_vars(unit_x);
+  const net::Scope const_scope{&consts_, nullptr};
+  const net::Scope env{&vars, &const_scope};
+  return net::elaborate(deck_, pdk_, env);
+}
+
+std::optional<std::vector<double>> NetlistCircuit::evaluate(
+    const std::vector<double>& unit_x) const {
+  const auto vars = bind_vars(unit_x);
+  const net::Scope const_scope{&consts_, nullptr};
+  const net::Scope env{&vars, &const_scope};
+  const net::Elaboration elab = net::elaborate(deck_, pdk_, env);
+
+  sim::DcOptions dc_opts;
+  dc_opts.temp = elab.temperature;
+  const auto op = sim::solve_dc(elab.circuit, dc_opts);
+  if (!op.converged) return std::nullopt;
+
+  sim::AcSweep sweep;
+  if (needs_ac_) {
+    sweep = sim::solve_ac(elab.circuit, op, elab.freqs);
+    if (!sweep.ok) return std::nullopt;
+  }
+
+  const SimMeasure hook(elab, op, needs_ac_ ? &sweep : nullptr, env);
+  try {
+    std::vector<double> metrics;
+    metrics.reserve(1 + specs_.size());
+    metrics.push_back(net::eval_expr(*objective_.measure, env, &hook));
+    for (const auto& m : spec_measures_)
+      metrics.push_back(net::eval_expr(*m, env, &hook));
+    return metrics;
+  } catch (const SimFailure&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace kato::ckt

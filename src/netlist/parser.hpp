@@ -1,0 +1,188 @@
+#pragma once
+// Parser for the SPICE-subset netlist grammar, producing an AST (`Deck`)
+// that the elaborator re-walks once per sizing candidate.
+//
+// Supported cards (names are case-insensitive; see README "Netlist
+// front-end" for the full grammar):
+//
+//   R<name> a b <value>                       resistor [ohm]
+//   C<name> a b <value>                       capacitor [F]
+//   V<name> p n [dc] <value> [ac <value>]     voltage source
+//   I<name> p n <value>                       current source (p -> n)
+//   M<name> d g s [b] <model> w=<v> l=<v>     MOSFET (bulk accepted, ignored)
+//   D<name> a c [<model>] [area=<v>]          junction diode
+//   G<name> p n cp cn <value>                 VCCS: i = gm (v_cp - v_cn)
+//   X<name> n1 .. nk <subckt> [p=<v> ...]     subcircuit instance
+//
+// Directives:
+//   .title <word>
+//   .param <name> = <expr>                    constant (params/builtins only)
+//   .var <name> <lo> <hi> [log|lin]           sizing variable -> DesignSpace
+//   .model <name> nmos|pmos [key=<v> ...]     MOSFET model (base = PDK card)
+//   .model <name> d [is|n|area|xti|eg=<v>]    junction-diode model
+//   .subckt <name> <ports...> [p=<default> ...]  ...  .ends
+//   .ac dec <pts/decade> <f_lo> <f_hi>
+//   .temp <kelvin>
+//   .spec objective <Name> <Unit> = <measure expr>
+//   .spec <Name> <Unit> >=|<= <bound> = <measure expr>
+//   .expert <pdk-name|*> <u1> ... <uD>        unit-box reference sizing
+//   .end                                      (optional)
+//
+// <value> is a bare (optionally signed) number, a parameter name, or an
+// arithmetic expression in braces/quotes: {2*w1} or '2*w1'.  Expressions
+// support + - * / ( ), SI-suffixed numbers, identifiers (.param constants,
+// .var sizing variables, subckt parameters, PDK builtins vdd/lmin/lmax/
+// is180) and the functions sqrt, abs, exp, log, pow, min, max,
+// cond(c,a,b).  Measure expressions (right of '=' in .spec) additionally
+// call isupply/ivsrc/vdc/gain_db/ugf/pm/gain_db_at — see elaborate.hpp.
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "netlist/diag.hpp"
+
+namespace kato::net {
+
+// --- Expressions -----------------------------------------------------------
+
+struct Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+struct Expr {
+  enum class Kind { number, ident, call, binary, negate };
+  Kind kind = Kind::number;
+  double number = 0.0;
+  std::string name;  ///< ident/call: lowercased name; binary: "+-*/"
+  std::string raw;   ///< ident: original spelling (display)
+  std::vector<ExprPtr> args;  ///< call args, binary [lhs, rhs], negate [x]
+  SourceLoc loc;
+};
+
+/// Identifier-resolution environment: a chain of name->value frames.
+struct Scope {
+  const std::map<std::string, double>* values = nullptr;
+  const Scope* parent = nullptr;
+
+  std::optional<double> lookup(const std::string& name) const {
+    for (const Scope* s = this; s != nullptr; s = s->parent)
+      if (s->values != nullptr)
+        if (auto it = s->values->find(name); it != s->values->end())
+          return it->second;
+    return std::nullopt;
+  }
+};
+
+/// Evaluate an expression.  Math functions are built in; any other call is
+/// forwarded to `call_hook` (nullptr -> error: measure functions are only
+/// valid in .spec lines).  Unknown identifiers throw NetlistError at the
+/// identifier's location.
+class MeasureHook {
+ public:
+  virtual ~MeasureHook() = default;
+  virtual double call(const Expr& call_site) const = 0;
+};
+double eval_expr(const Expr& e, const Scope& scope,
+                 const MeasureHook* hook = nullptr);
+
+// --- Cards -----------------------------------------------------------------
+
+struct DeviceCard {
+  enum class Kind { resistor, capacitor, vsource, isource, mosfet, diode, vccs, subckt };
+  Kind kind = Kind::resistor;
+  std::string name;                 ///< full card name ("m1"), lowercased
+  std::vector<std::string> nodes;   ///< connection nodes, lowercased
+  ExprPtr value;                    ///< R/C/I value, V dc; null otherwise
+  ExprPtr ac;                       ///< V only; null when quiet
+  std::string model;                ///< M/D model, X subckt name
+  std::vector<std::pair<std::string, ExprPtr>> params;  ///< w=/l=/overrides
+  SourceLoc loc;
+
+  /// Find a name=value parameter (lowercased key); null when absent.
+  ExprPtr param(const std::string& key) const {
+    for (const auto& [k, v] : params)
+      if (k == key) return v;
+    return nullptr;
+  }
+};
+
+struct ParamDef {
+  std::string name;
+  ExprPtr value;
+  SourceLoc loc;
+};
+
+struct VarDef {
+  std::string name;  ///< lowercased (expression matching)
+  std::string raw;   ///< original spelling (DesignSpace display)
+  ExprPtr lo;
+  ExprPtr hi;
+  bool log_scale = true;
+  SourceLoc loc;
+};
+
+struct ModelDef {
+  std::string name;
+  bool nmos = true;   ///< MOSFET polarity (meaningless when diode)
+  bool diode = false;  ///< ".model <name> d": junction-diode model
+  std::vector<std::pair<std::string, ExprPtr>> overrides;
+  SourceLoc loc;
+};
+
+struct SpecDef {
+  bool is_objective = false;
+  std::string name;  ///< display name, original spelling
+  std::string unit;  ///< display unit, original spelling
+  bool is_lower_bound = true;
+  ExprPtr bound;    ///< null for the objective
+  ExprPtr measure;
+  SourceLoc loc;
+};
+
+struct AcDef {
+  bool present = false;
+  ExprPtr per_decade;
+  ExprPtr f_lo;
+  ExprPtr f_hi;
+  SourceLoc loc;
+};
+
+struct ExpertDef {
+  std::string filter;  ///< lowercased PDK name, or "*"
+  std::vector<double> unit_x;
+  SourceLoc loc;
+};
+
+struct Subckt {
+  std::string name;
+  std::vector<std::string> ports;
+  std::vector<std::pair<std::string, ExprPtr>> defaults;
+  std::vector<DeviceCard> cards;
+  SourceLoc loc;
+};
+
+struct Deck {
+  std::string file;
+  std::string title;  ///< .title, else the file stem
+  std::vector<ParamDef> params;
+  std::vector<VarDef> vars;
+  std::vector<ModelDef> models;
+  std::vector<SpecDef> specs;
+  std::vector<ExpertDef> experts;
+  AcDef ac;
+  ExprPtr temperature;  ///< .temp [K]; null -> 300
+  std::vector<DeviceCard> cards;
+  std::map<std::string, Subckt> subckts;
+};
+
+/// Parse a deck from text.  `filename` feeds diagnostics and the default
+/// title.  Throws NetlistError on any syntax error.
+Deck parse_netlist(const std::string& text, const std::string& filename);
+
+/// Read and parse a file.  Throws std::invalid_argument when unreadable.
+Deck parse_netlist_file(const std::string& path);
+
+}  // namespace kato::net

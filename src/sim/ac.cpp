@@ -193,6 +193,12 @@ double phase_margin_deg(const AcSweep& sweep, int out_node) {
   return 0.0;
 }
 
+double stable_phase_margin_deg(const AcSweep& sweep, int out_node) {
+  double pm = std::clamp(phase_margin_deg(sweep, out_node), 0.0, 180.0);
+  if (pm >= 150.0) pm = 0.0;  // feedforward crossing: unstable in closed loop
+  return pm;
+}
+
 double gain_db_at(const AcSweep& sweep, int out_node, double f) {
   if (!sweep.ok || sweep.freq.empty()) return -300.0;
   std::size_t best = 0;

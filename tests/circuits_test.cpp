@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "circuits/factory.hpp"
 #include "circuits/sizing_problem.hpp"
@@ -34,6 +35,21 @@ TEST(DesignSpace, RejectsBadRanges) {
   ckt::DesignSpace s;
   EXPECT_THROW(s.add("bad", 5.0, 1.0), std::invalid_argument);
   EXPECT_THROW(s.add("bad-log", -1.0, 1.0, true), std::invalid_argument);
+  EXPECT_THROW(s.add("equal", 2.0, 2.0), std::invalid_argument);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(s.add("nan-lo", nan, 1.0), std::invalid_argument);
+  EXPECT_THROW(s.add("inf-hi", 1.0, inf), std::invalid_argument);
+  // Errors must name the offending variable — they surface from inside
+  // sizing runs and netlist decks.
+  try {
+    s.add("w1", 5.0, 1.0);
+    FAIL();
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("'w1'"), std::string::npos);
+  }
+  s.add("ok", 1.0, 2.0);
+  EXPECT_THROW(s.add("ok", 1.0, 2.0), std::invalid_argument);  // duplicate
 }
 
 TEST(MetricSpec, DirectionsAndViolation) {
