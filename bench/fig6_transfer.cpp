@@ -95,6 +95,10 @@ int main() {
       {"(d) topology", "opamp2", "40nm", "opamp3", "40nm", false},
       {"(e) node+topology", "opamp3", "180nm", "opamp2", "40nm", false},
       {"(f) node+topology", "opamp2", "180nm", "opamp3", "40nm", false},
+      // Beyond the paper's panels: node transfer on the time-domain
+      // step-buffer workload — slew/settling/overshoot specs driven by the
+      // transient engine instead of AC small-signal measures.
+      {"(g) node (transient)", "buffer", "180nm", "buffer", "40nm", false},
   };
   for (const auto& panel : panels) run_panel(panel);
   return 0;

@@ -29,6 +29,7 @@
 #include "linalg/cholesky.hpp"
 #include "moo/nsga2.hpp"
 #include "netlist/netlist_circuit.hpp"
+#include "sim/transient.hpp"
 #include "util/parallel.hpp"
 
 #ifndef KATO_SOURCE_DIR
@@ -314,6 +315,38 @@ int main(int argc, char** argv) {
     });
   }
 
+  // Transient engine (abl_tran): per-timestep cost of the Newton + LTE
+  // machinery on the step-buffer workload, and the full DC -> TRAN ->
+  // measures evaluation the transient sizing loop pays per candidate.
+  double tran_step_ms = 0.0;
+  {
+    const std::string path =
+        std::string(KATO_SOURCE_DIR) + "/circuits/netlists/buffer_tran.cir";
+    ckt::NetlistCircuit circuit(net::parse_netlist_file(path),
+                                ckt::pdk_180nm());
+    const auto x = circuit.expert_design();
+    const auto elab = circuit.elaborate(x);
+    constexpr std::size_t n_steps = 256;
+    sim::TranOptions topts;
+    topts.tstop = 3e-6;
+    topts.tstep = topts.tstop / static_cast<double>(n_steps);
+    topts.fixed_step = true;
+    // Pre-solve the t=0 operating point so every benched iteration reuses
+    // it (the buffer's waveform t=0 value equals its DC value) and the
+    // per-timestep number tracks only the Newton + companion stepping.
+    const auto op = sim::solve_dc(elab.circuit);
+    const double tran_ms = bench("abl_tran_step", [&] {
+      const auto res = sim::solve_tran(elab.circuit, topts, &op);
+      sink(res.ok ? res.time.back() : 0.0);
+    });
+    tran_step_ms = tran_ms / static_cast<double>(n_steps);
+    std::cout << "  -> per-timestep cost: " << tran_step_ms * 1e3 << " us\n";
+    bench("abl_tran_eval", [&] {
+      const auto m = circuit.evaluate(x);
+      sink(m ? (*m)[0] : 0.0);
+    });
+  }
+
   // NSGA-II on an analytic problem (no surrogate cost).
   {
     auto fn = [](const std::vector<double>& x) {
@@ -349,6 +382,7 @@ int main(int argc, char** argv) {
     out << "  \"gp_fit_parallel_speedup\": "
         << (multi_par_ms > 0.0 ? multi_serial_ms / multi_par_ms : 0.0) << ",\n";
     out << "  \"abl_netlist_elaborate_ms\": " << netlist_elab_ms << ",\n";
+    out << "  \"abl_tran_step_ms\": " << tran_step_ms << ",\n";
     out << "  \"kato_threads\": " << util::thread_count() << "\n";
     out << "}\n";
     std::cout << "wrote BENCH_micro_perf.json\n";

@@ -6,6 +6,10 @@
 // the deck, prints the sizing variables and specs it declares, then runs a
 // short seeded BO loop (5 iterations — this doubles as the CTest workflow
 // check for the parser/elaborator path; raise the budget for real sizing).
+// Works unchanged for time-domain decks: pass
+// circuits/netlists/buffer_tran.cir to size slew/settling/power specs
+// through the transient engine (the netlist_sizing_tran_example CTest
+// entry).
 
 #include <cstdio>
 #include <iostream>

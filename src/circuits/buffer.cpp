@@ -1,0 +1,118 @@
+#include "circuits/buffer.hpp"
+
+#include "sim/dc.hpp"
+#include "sim/transient.hpp"
+
+namespace kato::ckt {
+
+namespace {
+
+// Step-stimulus timing shared with circuits/netlists/buffer_tran.cir (the
+// deck must use the same literals for the golden-equivalence test).
+constexpr double k_td = 0.2e-6;    ///< step delay [s]
+constexpr double k_tedge = 10e-9;  ///< rise/fall time [s]
+constexpr double k_tstop = 3e-6;
+constexpr double k_tstep = 3e-9;
+constexpr double k_settle_frac = 0.02;  ///< 2% settling band
+
+}  // namespace
+
+StepBuffer::StepBuffer(const Pdk& pdk) : pdk_(pdk) {
+  space_.add("L1", pdk.lmin, pdk.lmax);
+  space_.add("W1", 20.0 * pdk.lmin, 2000.0 * pdk.lmin);
+  space_.add("L2", pdk.lmin, pdk.lmax);
+  space_.add("W2", 20.0 * pdk.lmin, 2000.0 * pdk.lmin);
+  const double cap_scale = pdk.vdd / 1.8;  // smaller nodes use smaller caps
+  space_.add("Cc", 0.3e-12 * cap_scale, 10e-12 * cap_scale);
+  space_.add("Rz", 100.0, 50e3);
+  space_.add("I1", 2e-6, 300e-6);
+  space_.add("I2", 2e-6, 500e-6);
+
+  const bool node180 = pdk.name == "180nm";
+  specs_ = {
+      {"Slew", "V/us", node180 ? 2.0 : 1.5, true},
+      {"Tsettle", "us", node180 ? 1.0 : 1.2, false},
+      {"Overshoot", "%", 5.0, false},
+  };
+}
+
+std::optional<std::vector<double>> StepBuffer::evaluate(
+    const std::vector<double>& unit_x) const {
+  const auto p = space_.to_physical(unit_x);
+  const double l1 = p[0], w1 = p[1], l2 = p[2], w2 = p[3];
+  const double cc = p[4], rz = p[5], i1 = p[6], i2 = p[7];
+
+  // Node creation and per-type device order mirror the deck card order of
+  // circuits/netlists/buffer_tran.cir (first-appearance node numbering).
+  sim::Circuit ckt;
+  const int vdd = ckt.new_node("vdd");
+  const int inp = ckt.new_node("inp");
+  const int ns = ckt.new_node("ns");
+  const int n1 = ckt.new_node("n1");
+  const int out = ckt.new_node("out");
+  const int n2 = ckt.new_node("n2");
+  const int bp = ckt.new_node("bp");
+  const int nc = ckt.new_node("nc");
+
+  const int vdd_src = ckt.add_vsource(vdd, sim::Circuit::ground, pdk_.vdd);
+  const double vlo = 0.35 * pdk_.vdd;  // PMOS-pair common mode
+  const double vhi = 0.5 * pdk_.vdd;
+  sim::Waveform step;
+  step.kind = sim::Waveform::Kind::pulse;
+  step.v1 = vlo;
+  step.v2 = vhi;
+  step.td = k_td;
+  step.tr = k_tedge;
+  step.tf = k_tedge;
+  step.pw = 1.0;  // effectively a single rising edge within tstop
+  step.period = 0.0;
+  ckt.add_vsource(inp, sim::Circuit::ground, vlo, 0.0, step);
+
+  // First stage: ideal tail from VDD, PMOS pair, NMOS mirror load; the
+  // inverting input is the output (unity-gain feedback).
+  ckt.add_isource(vdd, ns, i1);
+  ckt.add_mosfet(n1, out, ns, w1, l1, pdk_.pmos);
+  ckt.add_mosfet(n2, inp, ns, w1, l1, pdk_.pmos);
+  ckt.add_mosfet(n1, n1, sim::Circuit::ground, w1, l1, pdk_.nmos);
+  ckt.add_mosfet(n2, n1, sim::Circuit::ground, w1, l1, pdk_.nmos);
+
+  // Second stage: NMOS common source with PMOS mirror load carrying I2.
+  ckt.add_isource(bp, sim::Circuit::ground, i2);
+  ckt.add_resistor(n2, nc, rz);
+  ckt.add_mosfet(out, n2, sim::Circuit::ground, w2, l2, pdk_.nmos);
+  ckt.add_mosfet(bp, bp, vdd, 2.0 * w2, l2, pdk_.pmos);
+  ckt.add_mosfet(out, bp, vdd, 2.0 * w2, l2, pdk_.pmos);
+
+  // Miller compensation Rz + Cc, fixed load capacitance.
+  ckt.add_capacitor(nc, out, cc);
+  ckt.add_capacitor(out, sim::Circuit::ground,
+                    pdk_.name == "180nm" ? 3e-12 : 1e-12);
+
+  const auto op = sim::solve_dc(ckt);
+  if (!op.converged) return std::nullopt;
+
+  sim::TranOptions topts;
+  topts.tstep = k_tstep;
+  topts.tstop = k_tstop;
+  const auto tran = sim::solve_tran(ckt, topts, &op);
+  if (!tran.ok) return std::nullopt;
+
+  const double power =
+      sim::tran_avg_power(tran, ckt, static_cast<std::size_t>(vdd_src));
+  if (!(power > 0.0)) return std::nullopt;  // supply must deliver power
+  const double slew = sim::tran_slew_rate(tran, out);
+  const double tsettle = sim::tran_settling_time(tran, out, k_settle_frac);
+  const double overshoot = sim::tran_overshoot(tran, out);
+  return std::vector<double>{power * 1e6, slew / 1e6, tsettle * 1e6,
+                             overshoot * 100.0};
+}
+
+std::vector<double> StepBuffer::expert_design() const {
+  // Feasible, deliberately conservative sizings (the "Human Expert" rows) —
+  // comfortable margins on slew/settling/overshoot, generous currents.
+  if (pdk_.name == "180nm")
+    return {0.4537, 0.0732, 0.1869, 0.7354, 0.3845, 0.3617, 0.2721, 0.7390};
+  return {0.0491, 0.1074, 0.3264, 0.9743, 0.4486, 0.2455, 0.2624, 0.7001};
+}
+
+}  // namespace kato::ckt

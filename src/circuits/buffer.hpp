@@ -1,0 +1,44 @@
+#pragma once
+// Unity-gain step-response buffer: the built-in transient workload.
+//
+// The two-stage Miller OTA of `TwoStageOpAmp` wired as a voltage follower
+// (output fed back to the inverting input) and driven by a pulse step at the
+// non-inverting input.  All specs are large-signal/time-domain — the
+// behaviors DC/AC small-signal analysis cannot express:
+//
+//   metrics[0]  Power(uW)      time-average supply power (minimized)
+//   metrics[1]  Slew(V/us)     10%-90% output slew rate        >= bound
+//   metrics[2]  Tsettle(us)    2%-band settling time           <= bound
+//   metrics[3]  Overshoot(%)   peak excursion past final value <= bound
+//
+// Same eight design variables as the two-stage OpAmp (L1 W1 L2 W2 Cc Rz I1
+// I2), so node-transfer experiments (180nm <-> 40nm) run unchanged and
+// topology-transfer pairs it with the AC-domain amps.  The netlist twin is
+// `circuits/netlists/buffer_tran.cir` — card order mirrors the construction
+// order here, so deck and built-in produce bit-close metrics (pinned by
+// tests/tran_test.cpp TranGolden).
+
+#include "circuits/pdk.hpp"
+#include "circuits/sizing_problem.hpp"
+
+namespace kato::ckt {
+
+class StepBuffer final : public SizingCircuit {
+ public:
+  explicit StepBuffer(const Pdk& pdk);
+
+  std::string name() const override { return "step-buffer-" + pdk_.name; }
+  const DesignSpace& space() const override { return space_; }
+  std::string objective_name() const override { return "Power(uW)"; }
+  const std::vector<MetricSpec>& constraints() const override { return specs_; }
+  std::optional<std::vector<double>> evaluate(
+      const std::vector<double>& unit_x) const override;
+  std::vector<double> expert_design() const override;
+
+ private:
+  Pdk pdk_;
+  DesignSpace space_;
+  std::vector<MetricSpec> specs_;
+};
+
+}  // namespace kato::ckt

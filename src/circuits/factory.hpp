@@ -5,6 +5,7 @@
 #include <string>
 
 #include "circuits/bandgap.hpp"
+#include "circuits/buffer.hpp"
 #include "circuits/opamp.hpp"
 
 namespace kato::ckt {
@@ -14,6 +15,8 @@ namespace kato::ckt {
 /// kind:
 ///   "opamp2" | "opamp3" | "bandgap" | "stage2"   — the hand-written
 ///       benchmark topologies;
+///   "buffer"                                     — the unity-gain
+///       step-response buffer (time-domain slew/settling specs);
 ///   "netlist:<path.cir>"                         — any SPICE-subset deck,
 ///       elaborated through the netlist front-end.  A relative path is
 ///       tried as-is, then against the KATO_NETLIST_DIR environment

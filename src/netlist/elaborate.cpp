@@ -1,6 +1,7 @@
 #include "netlist/elaborate.hpp"
 
 #include <cmath>
+#include <stdexcept>
 #include <unordered_map>
 
 #include "sim/ac.hpp"
@@ -99,6 +100,26 @@ class Elaborator {
       out_.freqs =
           sim::log_freq_grid(f_lo, f_hi, static_cast<int>(per_decade));
     }
+    if (deck_.tran.present) {
+      out_.tran.present = true;
+      out_.tran.tstep = eval_expr(*deck_.tran.tstep, bindings_);
+      out_.tran.tstop = eval_expr(*deck_.tran.tstop, bindings_);
+      if (!(out_.tran.tstep > 0.0) || !(out_.tran.tstop >= out_.tran.tstep))
+        throw NetlistError(deck_.tran.loc,
+                           ".tran needs 0 < tstep <= tstop");
+      out_.tran.fixed_step = deck_.tran.fixed_step;
+      out_.tran.backward_euler = deck_.tran.backward_euler;
+    }
+    for (const auto& ic : deck_.ics) {
+      if (!deck_.tran.present)
+        throw NetlistError(ic.loc, ".ic without a .tran line");
+      if (ic.node == "0" || ic.node == "gnd")
+        throw NetlistError(ic.loc, "cannot set an initial condition on ground");
+      const auto it = out_.nodes.find(ic.node);
+      if (it == out_.nodes.end())
+        throw NetlistError(ic.loc, "unknown node '" + ic.node + "' in .ic");
+      out_.tran.ics.emplace_back(it->second, eval_expr(*ic.value, bindings_));
+    }
     if (deck_.temperature != nullptr) {
       out_.temperature = eval_expr(*deck_.temperature, bindings_);
       if (!(out_.temperature > 0.0))
@@ -109,6 +130,51 @@ class Elaborator {
   }
 
  private:
+  /// Build the sim::Waveform for a V card (Kind::none when quiet).
+  sim::Waveform build_waveform(const DeviceCard& card, const Scope& env) {
+    sim::Waveform w;
+    if (card.wave.empty()) return w;
+    auto arg = [&](std::size_t i) { return eval_expr(*card.wave_args[i], env); };
+    const std::size_t n_args = card.wave_args.size();
+    if (card.wave == "pulse") {
+      if (n_args != 7)
+        throw NetlistError(card.wave_loc,
+                           "pulse needs 7 arguments (v1 v2 td tr tf pw per), got " +
+                               std::to_string(n_args));
+      w.kind = sim::Waveform::Kind::pulse;
+      w.v1 = arg(0);
+      w.v2 = arg(1);
+      w.td = arg(2);
+      w.tr = arg(3);
+      w.tf = arg(4);
+      w.pw = arg(5);
+      w.period = arg(6);
+    } else if (card.wave == "sin") {
+      if (n_args < 3 || n_args > 5)
+        throw NetlistError(card.wave_loc,
+                           "sin needs 3 to 5 arguments (vo va freq [td theta]), got " +
+                               std::to_string(n_args));
+      w.kind = sim::Waveform::Kind::sine;
+      w.vo = arg(0);
+      w.va = arg(1);
+      w.freq = arg(2);
+      w.td = n_args > 3 ? arg(3) : 0.0;
+      w.theta = n_args > 4 ? arg(4) : 0.0;
+    } else {  // pwl — the parser only admits pulse/pwl/sin
+      if (n_args < 4 || n_args % 2 != 0)
+        throw NetlistError(card.wave_loc,
+                           "pwl needs an even number (>= 4) of arguments "
+                           "(t1 v1 t2 v2 ...), got " +
+                               std::to_string(n_args));
+      w.kind = sim::Waveform::Kind::pwl;
+      for (std::size_t i = 0; i < n_args; i += 2) {
+        w.t.push_back(arg(i));
+        w.v.push_back(arg(i + 1));
+      }
+    }
+    return w;
+  }
+
   /// Resolve a node name within one instantiation scope.  Ports map to
   /// parent nodes; "0"/"gnd" are global ground; anything else is a local
   /// node, flat-named with the instance prefix.
@@ -159,9 +225,19 @@ class Elaborator {
           out_.circuit.add_capacitor(n[0], n[1], eval_expr(*card.value, env));
           break;
         case DeviceCard::Kind::vsource: {
-          const double dc = eval_expr(*card.value, env);
+          const sim::Waveform wave = build_waveform(card, env);
+          // Omitted DC value with a waveform: the operating point sits at
+          // the waveform's t = 0 value (classic SPICE behavior).
+          const double dc = card.value != nullptr
+                                ? eval_expr(*card.value, env)
+                                : sim::waveform_value(wave, 0.0, 0.0);
           const double ac = card.ac != nullptr ? eval_expr(*card.ac, env) : 0.0;
-          const int index = out_.circuit.add_vsource(n[0], n[1], dc, ac);
+          int index = 0;
+          try {
+            index = out_.circuit.add_vsource(n[0], n[1], dc, ac, wave);
+          } catch (const std::invalid_argument& err) {
+            throw NetlistError(card.wave_loc, err.what());
+          }
           out_.vsources.emplace(prefix + card.name,
                                 static_cast<std::size_t>(index));
           break;

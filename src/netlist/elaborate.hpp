@@ -28,11 +28,22 @@
 
 namespace kato::net {
 
+/// Transient run parameters resolved from `.tran` / `.ic` cards.
+struct TranSetup {
+  bool present = false;
+  double tstep = 0.0;
+  double tstop = 0.0;
+  bool fixed_step = false;
+  bool backward_euler = false;
+  std::vector<std::pair<int, double>> ics;  ///< node index -> initial volts
+};
+
 struct Elaboration {
   sim::Circuit circuit;
   std::map<std::string, int> nodes;             ///< flat node name -> index
   std::map<std::string, std::size_t> vsources;  ///< flat card name -> index
   std::vector<double> freqs;  ///< AC grid from .ac; empty when absent
+  TranSetup tran;             ///< transient setup; present iff the deck has .tran
   double temperature = 300.0;
 };
 

@@ -172,7 +172,8 @@ std::vector<Token> tokenize(const std::string& text, const std::string& filename
     // Punctuation.
     switch (c) {
       case '(': case ')': case '{': case '}': case '\'':
-      case '=': case ',': case '+': case '-': case '*': case '/': {
+      case '=': case ',': case '+': case '-': case '*': case '/':
+      case '%': {
         cur.advance();
         out.push_back({TokKind::punct, std::string(1, c), std::string(1, c), 0.0, loc});
         line_has_tokens = true;

@@ -25,7 +25,7 @@ namespace kato::net {
 enum class TokKind {
   ident,   ///< names, directives (".param"), device/node names
   number,  ///< numeric literal (value holds the parsed double)
-  punct,   ///< ( ) { } ' = , + - * / < > >= <=
+  punct,   ///< ( ) { } ' = , + - * / % < > >= <=
   eol,     ///< end of a logical line
   eof,
 };

@@ -6,34 +6,63 @@
 
 #include "sim/ac.hpp"
 #include "sim/dc.hpp"
+#include "sim/transient.hpp"
 
 namespace kato::ckt {
 
 namespace {
 
-/// Thrown by measure functions (isupply <= 0) to report the candidate as a
-/// failed simulation; evaluate() converts it to nullopt.
+/// Thrown by measure guards (isupply/avg_power <= 0) to report the
+/// candidate as a failed simulation; evaluate() converts it to nullopt.
 struct SimFailure : std::exception {
-  const char* what() const noexcept override {
-    return "netlist measure reported simulation failure";
-  }
+  explicit SimFailure(std::string what) : what_(std::move(what)) {}
+  const char* what() const noexcept override { return what_.c_str(); }
+  std::string what_;
 };
 
 struct MeasureInfo {
   std::size_t n_args;
   bool needs_ac;
-  bool vsource_arg;  ///< arg 0 names a voltage source instead of a node
+  bool needs_tran;
+  bool vsource_arg;     ///< arg 0 names a voltage source instead of a node
+  bool second_node_arg; ///< arg 1 also names a node (prop_delay)
 };
 
-const MeasureInfo* measure_info(const std::string& name) {
+const std::map<std::string, MeasureInfo>& measure_table() {
   static const std::map<std::string, MeasureInfo> table = {
-      {"isupply", {1, false, true}},  {"ivsrc", {1, false, true}},
-      {"vdc", {1, false, false}},     {"gain_db", {1, true, false}},
-      {"ugf", {1, true, false}},      {"pm", {1, true, false}},
-      {"gain_db_at", {2, true, false}},
+      {"isupply", {1, false, false, true, false}},
+      {"ivsrc", {1, false, false, true, false}},
+      {"vdc", {1, false, false, false, false}},
+      {"gain_db", {1, true, false, false, false}},
+      {"ugf", {1, true, false, false, false}},
+      {"pm", {1, true, false, false, false}},
+      {"gain_db_at", {2, true, false, false, false}},
+      {"slew_rate", {1, false, true, false, false}},
+      {"settling_time", {2, false, true, false, false}},
+      {"overshoot", {1, false, true, false, false}},
+      {"prop_delay", {2, false, true, false, true}},
+      {"avg_power", {1, false, true, true, false}},
+      {"value_at", {2, false, true, false, false}},
+      {"vmax", {1, false, true, false, false}},
+      {"vmin", {1, false, true, false, false}},
   };
+  return table;
+}
+
+const MeasureInfo* measure_info(const std::string& name) {
+  const auto& table = measure_table();
   const auto it = table.find(name);
   return it == table.end() ? nullptr : &it->second;
+}
+
+/// "isupply ivsrc vdc ..." — the supported set, for diagnostics.
+std::string supported_measures() {
+  std::string out;
+  for (const auto& entry : measure_table()) {
+    if (!out.empty()) out += ' ';
+    out += entry.first;
+  }
+  return out;
 }
 
 bool is_math_fn(const std::string& name) {
@@ -42,34 +71,47 @@ bool is_math_fn(const std::string& name) {
   return fns.count(name) != 0;
 }
 
-/// Resolve a measure's first argument against the elaborated circuit.
+/// Resolve a measure's argument `arg` against the elaborated circuit.
 /// Numeric node names ("0", "1a") parse as number expressions; their name
 /// field carries the raw spelling, so both kinds resolve here.
 template <typename Map>
 typename Map::mapped_type resolve_target(const net::Expr& call, const Map& map,
-                                         const char* what) {
+                                         const char* what,
+                                         std::size_t arg = 0) {
+  static const char* const positions[] = {"first", "second"};
   const bool named =
-      !call.args.empty() &&
-      (call.args[0]->kind == net::Expr::Kind::ident ||
-       (call.args[0]->kind == net::Expr::Kind::number &&
-        !call.args[0]->name.empty()));
+      call.args.size() > arg &&
+      (call.args[arg]->kind == net::Expr::Kind::ident ||
+       (call.args[arg]->kind == net::Expr::Kind::number &&
+        !call.args[arg]->name.empty()));
   if (!named)
     throw net::NetlistError(call.loc, "'" + call.name + "' expects a " + what +
-                                          " name as its first argument");
-  const auto it = map.find(call.args[0]->name);
+                                          " name as its " +
+                                          positions[arg == 0 ? 0 : 1] +
+                                          " argument");
+  const auto it = map.find(call.args[arg]->name);
   if (it == map.end())
-    throw net::NetlistError(call.args[0]->loc,
+    throw net::NetlistError(call.args[arg]->loc,
                             std::string("unknown ") + what + " '" +
-                                call.args[0]->raw + "' in measure");
+                                call.args[arg]->raw + "' in measure");
   return it->second;
 }
 
+/// Analyses a deck's measure expressions require, with the call site that
+/// first demanded each (anchor for the missing-.ac / missing-.tran
+/// diagnostics).
+struct MeasureNeeds {
+  bool ac = false;
+  net::SourceLoc ac_loc;
+  bool tran = false;
+  net::SourceLoc tran_loc;
+};
+
 /// Compile-time-style validation of a measure expression: known functions,
 /// right arity, arguments naming real nodes / voltage sources.  Flags
-/// whether an AC sweep is needed.
+/// which analyses (AC sweep, transient run) are needed.
 void validate_measure(const net::Expr& e, const net::Elaboration& elab,
-                      const net::Scope& scope, bool& needs_ac,
-                      net::SourceLoc& ac_loc) {
+                      const net::Scope& scope, MeasureNeeds& needs) {
   switch (e.kind) {
     case net::Expr::Kind::number:
       return;
@@ -78,8 +120,7 @@ void validate_measure(const net::Expr& e, const net::Elaboration& elab,
       return;
     case net::Expr::Kind::negate:
     case net::Expr::Kind::binary:
-      for (const auto& a : e.args)
-        validate_measure(*a, elab, scope, needs_ac, ac_loc);
+      for (const auto& a : e.args) validate_measure(*a, elab, scope, needs);
       return;
     case net::Expr::Kind::call: {
       if (const MeasureInfo* info = measure_info(e.name)) {
@@ -91,20 +132,29 @@ void validate_measure(const net::Expr& e, const net::Elaboration& elab,
           resolve_target(e, elab.vsources, "voltage source");
         else
           resolve_target(e, elab.nodes, "node");
-        if (info->needs_ac && !needs_ac) {
-          needs_ac = true;
-          ac_loc = e.loc;  // anchor the missing-.ac diagnostic here
+        if (info->needs_ac && !needs.ac) {
+          needs.ac = true;
+          needs.ac_loc = e.loc;
+        }
+        if (info->needs_tran && !needs.tran) {
+          needs.tran = true;
+          needs.tran_loc = e.loc;
+        }
+        if (info->second_node_arg) {
+          resolve_target(e, elab.nodes, "node", 1);
+          return;  // both arguments are names, nothing left to walk
         }
         for (std::size_t i = 1; i < e.args.size(); ++i)
-          validate_measure(*e.args[i], elab, scope, needs_ac, ac_loc);
+          validate_measure(*e.args[i], elab, scope, needs);
         return;
       }
       if (is_math_fn(e.name)) {
-        for (const auto& a : e.args)
-          validate_measure(*a, elab, scope, needs_ac, ac_loc);
+        for (const auto& a : e.args) validate_measure(*a, elab, scope, needs);
         return;
       }
-      throw net::NetlistError(e.loc, "unknown measure function '" + e.name + "'");
+      throw net::NetlistError(e.loc, "unknown measure function '" + e.name +
+                                         "' (supported: " +
+                                         supported_measures() + ")");
     }
   }
 }
@@ -113,8 +163,9 @@ void validate_measure(const net::Expr& e, const net::Elaboration& elab,
 class SimMeasure final : public net::MeasureHook {
  public:
   SimMeasure(const net::Elaboration& elab, const sim::DcResult& op,
-             const sim::AcSweep* sweep, const net::Scope& scope)
-      : elab_(elab), op_(op), sweep_(sweep), scope_(scope) {}
+             const sim::AcSweep* sweep, const sim::TranResult* tran,
+             const net::Scope& scope)
+      : elab_(elab), op_(op), sweep_(sweep), tran_(tran), scope_(scope) {}
 
   double call(const net::Expr& e) const override {
     if (e.name == "isupply") {
@@ -123,27 +174,53 @@ class SimMeasure final : public net::MeasureHook {
       // require delivery (matches the hand-written OpAmp benchmarks).
       const double i = -op_.vsource_current[resolve_target(e, elab_.vsources,
                                                            "voltage source")];
-      if (!(i > 0.0)) throw SimFailure{};
+      if (!(i > 0.0)) throw SimFailure("isupply(" + e.args[0]->raw +
+                                       ") <= 0: supply delivers no current");
       return i;
     }
     if (e.name == "ivsrc")
       return op_.vsource_current[resolve_target(e, elab_.vsources,
                                                 "voltage source")];
+    if (e.name == "avg_power") {
+      // Same delivery guard as isupply: a supply that absorbs (or passes
+      // no) average power marks the candidate as a failed simulation.
+      const double p = sim::tran_avg_power(
+          *tran_, elab_.circuit,
+          resolve_target(e, elab_.vsources, "voltage source"));
+      if (!(p > 0.0)) throw SimFailure("avg_power(" + e.args[0]->raw +
+                                       ") <= 0: supply delivers no power");
+      return p;
+    }
     if (e.name == "vdc")
       return op_.v(resolve_target(e, elab_.nodes, "node"));
     const int node = resolve_target(e, elab_.nodes, "node");
     if (e.name == "gain_db") return sim::dc_gain_db(*sweep_, node);
     if (e.name == "ugf") return sim::unity_gain_freq(*sweep_, node);
     if (e.name == "pm") return sim::stable_phase_margin_deg(*sweep_, node);
-    // gain_db_at — validated at construction, the only remaining case.
-    return sim::gain_db_at(*sweep_, node,
-                           net::eval_expr(*e.args[1], scope_, this));
+    if (e.name == "gain_db_at")
+      return sim::gain_db_at(*sweep_, node,
+                             net::eval_expr(*e.args[1], scope_, this));
+    if (e.name == "slew_rate") return sim::tran_slew_rate(*tran_, node);
+    if (e.name == "settling_time")
+      return sim::tran_settling_time(*tran_, node,
+                                     net::eval_expr(*e.args[1], scope_, this));
+    if (e.name == "overshoot") return sim::tran_overshoot(*tran_, node);
+    if (e.name == "prop_delay")
+      return sim::tran_prop_delay(*tran_, node,
+                                  resolve_target(e, elab_.nodes, "node", 1));
+    if (e.name == "value_at")
+      return sim::tran_value_at(*tran_, node,
+                                net::eval_expr(*e.args[1], scope_, this));
+    if (e.name == "vmax") return sim::tran_vmax(*tran_, node);
+    // vmin — validated at construction, the only remaining case.
+    return sim::tran_vmin(*tran_, node);
   }
 
  private:
   const net::Elaboration& elab_;
   const sim::DcResult& op_;
   const sim::AcSweep* sweep_;
+  const sim::TranResult* tran_;
   const net::Scope& scope_;
 };
 
@@ -213,14 +290,20 @@ NetlistCircuit::NetlistCircuit(net::Deck deck, const Pdk& pdk)
   const net::Elaboration trial = elaborate(expert_);
   const auto trial_vars = bind_vars(expert_);
   const net::Scope trial_scope{&trial_vars, &const_scope};
-  net::SourceLoc ac_loc;  // first AC measure call site
-  validate_measure(*objective_.measure, trial, trial_scope, needs_ac_, ac_loc);
+  MeasureNeeds needs;
+  validate_measure(*objective_.measure, trial, trial_scope, needs);
   for (const auto& m : spec_measures_)
-    validate_measure(*m, trial, trial_scope, needs_ac_, ac_loc);
+    validate_measure(*m, trial, trial_scope, needs);
+  needs_ac_ = needs.ac;
+  needs_tran_ = needs.tran;
   if (needs_ac_ && !deck_.ac.present)
-    throw net::NetlistError(ac_loc,
+    throw net::NetlistError(needs.ac_loc,
                             "AC measure used but the deck has no "
                             "'.ac dec <pts> <f_lo> <f_hi>' line");
+  if (needs_tran_ && !deck_.tran.present)
+    throw net::NetlistError(needs.tran_loc,
+                            "transient measure used but the deck has no "
+                            "'.tran <tstep> <tstop>' line");
 }
 
 std::unique_ptr<NetlistCircuit> NetlistCircuit::from_file(const std::string& path,
@@ -247,33 +330,64 @@ net::Elaboration NetlistCircuit::elaborate(
 
 std::optional<std::vector<double>> NetlistCircuit::evaluate(
     const std::vector<double>& unit_x) const {
+  return evaluate_detailed(unit_x).metrics;
+}
+
+NetlistCircuit::EvalOutcome NetlistCircuit::evaluate_detailed(
+    const std::vector<double>& unit_x) const {
   const auto vars = bind_vars(unit_x);
   const net::Scope const_scope{&consts_, nullptr};
   const net::Scope env{&vars, &const_scope};
   const net::Elaboration elab = net::elaborate(deck_, pdk_, env);
 
+  EvalOutcome out;
   sim::DcOptions dc_opts;
   dc_opts.temp = elab.temperature;
   const auto op = sim::solve_dc(elab.circuit, dc_opts);
-  if (!op.converged) return std::nullopt;
+  if (!op.converged) {
+    out.failure = "DC operating point failed: " +
+                  (op.reason.empty() ? "did not converge" : op.reason);
+    return out;
+  }
 
   sim::AcSweep sweep;
   if (needs_ac_) {
     sweep = sim::solve_ac(elab.circuit, op, elab.freqs);
-    if (!sweep.ok) return std::nullopt;
+    if (!sweep.ok) {
+      out.failure = "AC sweep failed (singular linearized system)";
+      return out;
+    }
   }
 
-  const SimMeasure hook(elab, op, needs_ac_ ? &sweep : nullptr, env);
+  sim::TranResult tran;
+  if (needs_tran_) {
+    sim::TranOptions topts;
+    topts.tstep = elab.tran.tstep;
+    topts.tstop = elab.tran.tstop;
+    topts.fixed_step = elab.tran.fixed_step;
+    topts.backward_euler = elab.tran.backward_euler;
+    topts.temp = elab.temperature;
+    topts.initial_conditions = elab.tran.ics;
+    tran = sim::solve_tran(elab.circuit, topts, &op);
+    if (!tran.ok) {
+      out.failure = "transient analysis failed: " + tran.reason;
+      return out;
+    }
+  }
+
+  const SimMeasure hook(elab, op, needs_ac_ ? &sweep : nullptr,
+                        needs_tran_ ? &tran : nullptr, env);
   try {
     std::vector<double> metrics;
     metrics.reserve(1 + specs_.size());
     metrics.push_back(net::eval_expr(*objective_.measure, env, &hook));
     for (const auto& m : spec_measures_)
       metrics.push_back(net::eval_expr(*m, env, &hook));
-    return metrics;
-  } catch (const SimFailure&) {
-    return std::nullopt;
+    out.metrics = std::move(metrics);
+  } catch (const SimFailure& failure) {
+    out.failure = failure.what();
   }
+  return out;
 }
 
 }  // namespace kato::ckt

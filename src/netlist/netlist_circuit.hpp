@@ -4,8 +4,8 @@
 // The deck's `.var` lines become the DesignSpace, `.spec` lines the
 // objective and MetricSpec constraints.  Each evaluate() binds the unit-box
 // point to the sizing variables, re-elaborates the deck into a fresh
-// sim::Circuit, runs DC (and AC when any measure needs it) and computes the
-// metric vector from the measure expressions:
+// sim::Circuit, runs DC (then AC and/or TRAN when any measure needs them)
+// and computes the metric vector from the measure expressions:
 //
 //   isupply(vname)   current delivered by voltage source vname (positive =
 //                    sourcing); a non-positive value marks the design as a
@@ -18,11 +18,25 @@
 //                    screen (sim::stable_phase_margin_deg)
 //   gain_db_at(node, f)  |H| in dB at the grid point nearest f
 //
+// Transient measures (require a `.tran` line; see sim/transient.hpp for the
+// exact definitions):
+//
+//   slew_rate(node)            10%-90% slew of the initial->final swing [V/s]
+//   settling_time(node, frac)  time to stay within frac * |swing| of the
+//                              final value [s]
+//   overshoot(node)            peak excursion past the final value / |swing|
+//   prop_delay(in, out)        50%-crossing delay between two nodes [s]
+//   avg_power(vname)           time-average power delivered by the source
+//                              [W]; non-positive marks a simulation failure
+//   value_at(node, t)          node voltage at time t [V] (linear interp)
+//   vmax(node) / vmin(node)    extreme node voltage over the run [V]
+//
 // Construction validates the whole pipeline eagerly — a trial elaboration
 // at the mid-box point plus a walk of every measure expression — so decks
 // with undefined params, dangling nodes, cyclic subckts, unknown measure
-// names or AC measures without an `.ac` line fail at load time with
-// file/line diagnostics, not mid-optimization.
+// names, AC measures without an `.ac` line or transient measures without a
+// `.tran` line fail at load time with file/line diagnostics, not
+// mid-optimization.
 
 #include <map>
 #include <memory>
@@ -55,6 +69,16 @@ class NetlistCircuit final : public SizingCircuit {
       const std::vector<double>& unit_x) const override;
   std::vector<double> expert_design() const override { return expert_; }
 
+  /// evaluate() plus a human-readable failure reason: when `metrics` is
+  /// empty, `failure` says which stage rejected the candidate (DC
+  /// non-convergence carries the sim::DcResult reason, transient failures
+  /// the sim::TranResult reason, measure guards the offending measure).
+  struct EvalOutcome {
+    std::optional<std::vector<double>> metrics;
+    std::string failure;
+  };
+  EvalOutcome evaluate_detailed(const std::vector<double>& unit_x) const;
+
   const net::Deck& deck() const { return deck_; }
 
   /// Elaborate at a unit-box point without simulating (benchmarks, tests).
@@ -72,6 +96,7 @@ class NetlistCircuit final : public SizingCircuit {
   std::vector<net::ExprPtr> spec_measures_;  ///< parallel to specs_
   std::vector<double> expert_;
   bool needs_ac_ = false;
+  bool needs_tran_ = false;
 };
 
 }  // namespace kato::ckt

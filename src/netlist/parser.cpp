@@ -307,11 +307,14 @@ class Parser {
         card.nodes.push_back(take_name_arg(s_, "a node name"));
         card.nodes.push_back(take_name_arg(s_, "a node name"));
         if (s_.peek().kind == TokKind::ident && s_.peek().text == "dc") s_.next();
-        card.value = parse_value(s_);
+        // The DC value may be omitted when a waveform follows (the
+        // operating point then uses the waveform's t = 0 value).
+        if (!at_waveform(s_)) card.value = parse_value(s_);
         if (s_.peek().kind == TokKind::ident && s_.peek().text == "ac") {
           s_.next();
           card.ac = parse_value(s_);
         }
+        if (at_waveform(s_)) parse_waveform(card);
         break;
       }
       case 'i': {
@@ -374,6 +377,34 @@ class Parser {
     }
     s_.expect_eol(("'" + head.text + "' card").c_str());
     return card;
+  }
+
+  /// Is the next token a waveform keyword opening its argument list?
+  bool at_waveform(const Stream& s) const {
+    const Token& t = s.peek();
+    if (t.kind != TokKind::ident) return false;
+    if (t.text != "pulse" && t.text != "pwl" && t.text != "sin") return false;
+    return s.peek(1).is_punct("(");
+  }
+
+  /// `pulse(...)` / `pwl(...)` / `sin(...)`: values separated by spaces or
+  /// commas (classic SPICE accepts both inside waveform parentheses).
+  void parse_waveform(DeviceCard& card) {
+    const Token& head = s_.next();
+    card.wave = head.text;
+    card.wave_loc = head.loc;
+    s_.next();  // '('
+    while (!s_.peek().is_punct(")")) {
+      if (s_.peek().is_punct(",")) {
+        s_.next();
+        continue;
+      }
+      if (s_.at_line_end())
+        throw NetlistError(s_.peek().loc,
+                           "expected ')' closing " + card.wave + "(...)");
+      card.wave_args.push_back(parse_value(s_));
+    }
+    s_.next();  // ')'
   }
 
   void parse_directive() {
@@ -476,6 +507,45 @@ class Parser {
       deck_.ac.f_lo = parse_value(s_);
       deck_.ac.f_hi = parse_value(s_);
       s_.expect_eol(".ac");
+    } else if (d == ".tran") {
+      if (deck_.tran.present)
+        throw NetlistError(head.loc, "duplicate .tran directive");
+      deck_.tran.present = true;
+      deck_.tran.loc = head.loc;
+      deck_.tran.tstep = parse_value(s_);
+      deck_.tran.tstop = parse_value(s_);
+      while (!s_.at_line_end()) {
+        const Token& flag = s_.next();
+        if (flag.kind == TokKind::ident && flag.text == "fixed")
+          deck_.tran.fixed_step = true;
+        else if (flag.kind == TokKind::ident && flag.text == "be")
+          deck_.tran.backward_euler = true;
+        else
+          throw NetlistError(flag.loc, "unknown .tran option '" + flag.raw +
+                                           "' (supported: fixed, be)");
+      }
+      s_.expect_eol(".tran");
+    } else if (d == ".ic") {
+      do {
+        IcDef ic;
+        const Token& v = s_.peek();
+        ic.loc = v.loc;
+        if (v.kind != TokKind::ident || v.text != "v" ||
+            !s_.peek(1).is_punct("("))
+          throw NetlistError(v.loc, "expected v(<node>)=<value> in .ic");
+        s_.next();
+        s_.next();  // '('
+        ic.node = take_name_arg(s_, "a node name");
+        if (!s_.peek().is_punct(")"))
+          throw NetlistError(s_.peek().loc, "expected ')' in .ic");
+        s_.next();
+        if (!s_.peek().is_punct("="))
+          throw NetlistError(s_.peek().loc, "expected '=' in .ic");
+        s_.next();
+        ic.value = parse_value(s_);
+        deck_.ics.push_back(std::move(ic));
+      } while (!s_.at_line_end());
+      s_.expect_eol(".ic");
     } else if (d == ".temp") {
       deck_.temperature = parse_value(s_);
       s_.expect_eol(".temp");
@@ -515,8 +585,22 @@ class Parser {
       s_.expect_eol(".expert");
       deck_.experts.push_back(std::move(def));
     } else {
-      throw NetlistError(head.loc, "unknown directive '" + head.raw + "'");
+      throw NetlistError(head.loc,
+                         "unknown directive '" + head.raw +
+                             "' (supported: .title .param .var .model "
+                             ".subckt/.ends .ac .tran .ic .temp .spec "
+                             ".expert .end)");
     }
+  }
+
+  /// Spec display unit: raw tokens concatenated up to the '='/'>='/'<='
+  /// delimiter, so compound units ("V/us", "%") survive tokenization.
+  std::string parse_spec_unit() {
+    std::string unit;
+    while (!s_.at_line_end() && !s_.peek().is_punct("=") &&
+           !s_.peek().is_punct(">=") && !s_.peek().is_punct("<="))
+      unit += s_.next().raw;
+    return unit;
   }
 
   SpecDef parse_spec(const SourceLoc& loc) {
@@ -530,7 +614,7 @@ class Parser {
         if (existing.is_objective)
           throw NetlistError(loc, "duplicate .spec objective");
       spec.name = s_.next().raw;
-      spec.unit = s_.next().raw;
+      spec.unit = parse_spec_unit();
       if (!s_.peek().is_punct("="))
         throw NetlistError(s_.peek().loc,
                            "expected '= <measure expr>' in .spec objective");
@@ -540,7 +624,7 @@ class Parser {
       return spec;
     }
     spec.name = s_.next().raw;
-    spec.unit = s_.next().raw;
+    spec.unit = parse_spec_unit();
     const Token& dir = s_.peek();
     if (dir.is_punct(">="))
       spec.is_lower_bound = true;

@@ -7,7 +7,7 @@
 //
 //   R<name> a b <value>                       resistor [ohm]
 //   C<name> a b <value>                       capacitor [F]
-//   V<name> p n [dc] <value> [ac <value>]     voltage source
+//   V<name> p n [dc] <value> [ac <value>] [<waveform>]  voltage source
 //   I<name> p n <value>                       current source (p -> n)
 //   M<name> d g s [b] <model> w=<v> l=<v>     MOSFET (bulk accepted, ignored)
 //   D<name> a c [<model>] [area=<v>]          junction diode
@@ -22,6 +22,8 @@
 //   .model <name> d [is|n|area|xti|eg=<v>]    junction-diode model
 //   .subckt <name> <ports...> [p=<default> ...]  ...  .ends
 //   .ac dec <pts/decade> <f_lo> <f_hi>
+//   .tran <tstep> <tstop> [fixed] [be]
+//   .ic v(<node>)=<value> ...
 //   .temp <kelvin>
 //   .spec objective <Name> <Unit> = <measure expr>
 //   .spec <Name> <Unit> >=|<= <bound> = <measure expr>
@@ -34,7 +36,14 @@
 // .var sizing variables, subckt parameters, PDK builtins vdd/lmin/lmax/
 // is180) and the functions sqrt, abs, exp, log, pow, min, max,
 // cond(c,a,b).  Measure expressions (right of '=' in .spec) additionally
-// call isupply/ivsrc/vdc/gain_db/ugf/pm/gain_db_at — see elaborate.hpp.
+// call isupply/ivsrc/vdc/gain_db/ugf/pm/gain_db_at and the transient
+// measures slew_rate/settling_time/overshoot/prop_delay/avg_power/vmax/vmin
+// — see netlist_circuit.hpp.
+//
+// <waveform> on a V card is `pulse(v1 v2 td tr tf pw per)`,
+// `pwl(t1 v1 t2 v2 ...)` or `sin(vo va freq [td theta])`; arguments are
+// values separated by spaces or commas.  When the DC value is omitted the
+// source's operating-point value is the waveform at t = 0.
 
 #include <map>
 #include <memory>
@@ -97,6 +106,9 @@ struct DeviceCard {
   std::vector<std::string> nodes;   ///< connection nodes, lowercased
   ExprPtr value;                    ///< R/C/I value, V dc; null otherwise
   ExprPtr ac;                       ///< V only; null when quiet
+  std::string wave;                 ///< V only: "pulse"/"pwl"/"sin", empty = none
+  std::vector<ExprPtr> wave_args;   ///< waveform arguments, in card order
+  SourceLoc wave_loc;               ///< anchor for waveform diagnostics
   std::string model;                ///< M/D model, X subckt name
   std::vector<std::pair<std::string, ExprPtr>> params;  ///< w=/l=/overrides
   SourceLoc loc;
@@ -150,6 +162,22 @@ struct AcDef {
   SourceLoc loc;
 };
 
+struct TranDef {
+  bool present = false;
+  ExprPtr tstep;
+  ExprPtr tstop;
+  bool fixed_step = false;     ///< `fixed`: uniform grid, no LTE control
+  bool backward_euler = false; ///< `be`: force backward Euler throughout
+  SourceLoc loc;
+};
+
+/// One `v(<node>)=<value>` entry of an `.ic` card.
+struct IcDef {
+  std::string node;  ///< lowercased node name
+  ExprPtr value;
+  SourceLoc loc;
+};
+
 struct ExpertDef {
   std::string filter;  ///< lowercased PDK name, or "*"
   std::vector<double> unit_x;
@@ -173,6 +201,8 @@ struct Deck {
   std::vector<SpecDef> specs;
   std::vector<ExpertDef> experts;
   AcDef ac;
+  TranDef tran;
+  std::vector<IcDef> ics;
   ExprPtr temperature;  ///< .temp [K]; null -> 300
   std::vector<DeviceCard> cards;
   std::map<std::string, Subckt> subckts;

@@ -63,14 +63,10 @@ void stamp_conductances(const Circuit& ckt, const DcResult& op, la::CMatrix& g) 
   }
 }
 
-/// Gather all capacitor stamps (explicit caps + MOSFET parasitics) once.
-struct CapStamp {
-  int a;
-  int b;
-  double c;
-};
-std::vector<CapStamp> gather_caps(const Circuit& ckt) {
-  std::vector<CapStamp> caps;
+}  // namespace
+
+std::vector<CapElement> linear_caps(const Circuit& ckt) {
+  std::vector<CapElement> caps;
   for (const auto& c : ckt.capacitors()) caps.push_back({c.a, c.b, c.c});
   for (const auto& mos : ckt.mosfets()) {
     const MosCaps mc = mosfet_caps(mos.model, mos.w, mos.l);
@@ -80,8 +76,6 @@ std::vector<CapStamp> gather_caps(const Circuit& ckt) {
   }
   return caps;
 }
-
-}  // namespace
 
 std::vector<double> log_freq_grid(double f_lo, double f_hi, int per_decade) {
   if (!(f_lo > 0.0) || !(f_hi > f_lo) || per_decade < 1)
@@ -104,7 +98,7 @@ AcSweep solve_ac(const Circuit& ckt, const DcResult& op,
 
   la::CMatrix g(size, size);
   stamp_conductances(ckt, op, g);
-  const auto caps = gather_caps(ckt);
+  const auto caps = linear_caps(ckt);
 
   la::CVector rhs_template(size, cd(0.0, 0.0));
   const auto& vs = ckt.vsources();

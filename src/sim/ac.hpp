@@ -27,6 +27,18 @@ struct AcSweep {
 /// Logarithmic frequency grid [f_lo, f_hi] with `per_decade` points/decade.
 std::vector<double> log_freq_grid(double f_lo, double f_hi, int per_decade);
 
+/// One linear capacitor between two nodes (either may be ground).
+struct CapElement {
+  int a;
+  int b;
+  double c;
+};
+
+/// Every linear capacitance in the circuit: explicit capacitors plus the
+/// MOSFET parasitics (cgs/cgd/cdb) — the dynamic element set shared by the
+/// AC and transient analyses, so both see identical circuit dynamics.
+std::vector<CapElement> linear_caps(const Circuit& ckt);
+
 /// Run the sweep.  `op` must come from a converged solve_dc on `ckt`.
 AcSweep solve_ac(const Circuit& ckt, const DcResult& op,
                  const std::vector<double>& freqs);

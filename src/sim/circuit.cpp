@@ -1,8 +1,84 @@
 #include "sim/circuit.hpp"
 
+#include <cmath>
 #include <stdexcept>
 
 namespace kato::sim {
+
+namespace {
+
+constexpr double k_two_pi = 6.283185307179586;
+
+/// Throws std::invalid_argument describing the first malformed parameter.
+void validate_waveform(const Waveform& w) {
+  switch (w.kind) {
+    case Waveform::Kind::none:
+      return;
+    case Waveform::Kind::pulse:
+      if (!(w.td >= 0.0))
+        throw std::invalid_argument("pulse: delay td must be >= 0");
+      if (!(w.tr > 0.0) || !(w.tf > 0.0))
+        throw std::invalid_argument("pulse: rise/fall times must be > 0");
+      if (!(w.pw >= 0.0))
+        throw std::invalid_argument("pulse: pulse width pw must be >= 0");
+      if (w.period != 0.0 && !(w.period >= w.tr + w.pw + w.tf))
+        throw std::invalid_argument(
+            "pulse: period must be 0 (single pulse) or >= tr + pw + tf");
+      return;
+    case Waveform::Kind::sine:
+      if (!(w.freq > 0.0))
+        throw std::invalid_argument("sin: frequency must be > 0");
+      if (!(w.td >= 0.0))
+        throw std::invalid_argument("sin: delay td must be >= 0");
+      if (!(w.theta >= 0.0))
+        throw std::invalid_argument("sin: damping theta must be >= 0");
+      return;
+    case Waveform::Kind::pwl: {
+      if (w.t.size() != w.v.size() || w.t.size() < 2)
+        throw std::invalid_argument("pwl: needs at least two (time, value) pairs");
+      if (!(w.t.front() >= 0.0))
+        throw std::invalid_argument("pwl: times must be >= 0");
+      for (std::size_t i = 1; i < w.t.size(); ++i)
+        if (!(w.t[i] > w.t[i - 1]))
+          throw std::invalid_argument("pwl: times must be strictly increasing");
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+double waveform_value(const Waveform& w, double dc, double time) {
+  switch (w.kind) {
+    case Waveform::Kind::none:
+      return dc;
+    case Waveform::Kind::pulse: {
+      if (time < w.td) return w.v1;
+      double tau = time - w.td;
+      if (w.period > 0.0) tau = std::fmod(tau, w.period);
+      if (tau < w.tr) return w.v1 + (w.v2 - w.v1) * tau / w.tr;
+      if (tau < w.tr + w.pw) return w.v2;
+      if (tau < w.tr + w.pw + w.tf)
+        return w.v2 + (w.v1 - w.v2) * (tau - w.tr - w.pw) / w.tf;
+      return w.v1;
+    }
+    case Waveform::Kind::sine: {
+      if (time < w.td) return w.vo;
+      const double tau = time - w.td;
+      const double damp = w.theta > 0.0 ? std::exp(-tau * w.theta) : 1.0;
+      return w.vo + w.va * damp * std::sin(k_two_pi * w.freq * tau);
+    }
+    case Waveform::Kind::pwl: {
+      if (time <= w.t.front()) return w.v.front();
+      if (time >= w.t.back()) return w.v.back();
+      std::size_t i = 1;
+      while (w.t[i] < time) ++i;
+      const double f = (time - w.t[i - 1]) / (w.t[i] - w.t[i - 1]);
+      return w.v[i - 1] + f * (w.v[i] - w.v[i - 1]);
+    }
+  }
+  return dc;
+}
 
 int Circuit::new_node(std::string name) {
   names_.push_back(std::move(name));
@@ -36,9 +112,14 @@ void Circuit::add_capacitor(int a, int b, double farads) {
 }
 
 int Circuit::add_vsource(int p, int n, double dc, double ac) {
+  return add_vsource(p, n, dc, ac, Waveform{});
+}
+
+int Circuit::add_vsource(int p, int n, double dc, double ac, Waveform wave) {
   check_node(p);
   check_node(n);
-  vsources_.push_back({p, n, dc, ac});
+  validate_waveform(wave);
+  vsources_.push_back({p, n, dc, ac, std::move(wave)});
   return static_cast<int>(vsources_.size()) - 1;
 }
 

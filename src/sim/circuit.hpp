@@ -24,11 +24,40 @@ struct Capacitor {
   double c;
 };
 
+/// Time-varying stimulus attached to a voltage source (transient analysis).
+/// `none` keeps the source at its DC value for all time — quiet supplies are
+/// untouched by the transient engine.
+struct Waveform {
+  enum class Kind { none, pulse, pwl, sine };
+  Kind kind = Kind::none;
+  /// pulse(v1 v2 td tr tf pw per): v1 until td, rise tr to v2, hold pw,
+  /// fall tf back to v1; per = 0 means a single pulse, otherwise repeat.
+  double v1 = 0.0;
+  double v2 = 0.0;
+  double td = 0.0;  ///< delay [s] (also the sine start delay)
+  double tr = 0.0;
+  double tf = 0.0;
+  double pw = 0.0;
+  double period = 0.0;
+  /// sine(vo va freq [td theta]): vo + va e^{-(t-td) theta} sin(2π f (t-td)).
+  double vo = 0.0;
+  double va = 0.0;
+  double freq = 0.0;
+  double theta = 0.0;
+  /// pwl(t1 v1 t2 v2 ...): linear interpolation, clamped outside [t1, tn].
+  std::vector<double> t;
+  std::vector<double> v;
+};
+
+/// Waveform value at time `time`; `dc` is returned for Kind::none.
+double waveform_value(const Waveform& w, double dc, double time);
+
 struct VSource {
   int p;
   int n;
   double dc;
   double ac;  ///< AC stimulus magnitude (0 for quiet supplies)
+  Waveform wave;  ///< transient stimulus (Kind::none = constant at dc)
 };
 
 /// DC current flowing out of node p, through the source, into node n.
@@ -85,6 +114,10 @@ class Circuit {
   void add_capacitor(int a, int b, double farads);
   /// Returns the voltage-source index (for reading its branch current).
   int add_vsource(int p, int n, double dc, double ac = 0.0);
+  /// Voltage source with a transient waveform; `dc` remains the value used
+  /// by the DC and AC analyses.  Throws std::invalid_argument on malformed
+  /// waveform parameters (see validate_waveform).
+  int add_vsource(int p, int n, double dc, double ac, Waveform wave);
   void add_isource(int p, int n, double dc);
   void add_vccs(int p, int n, int cp, int cn, double gm);
   void add_diode(const Diode& d);

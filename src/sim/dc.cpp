@@ -2,160 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
-#include "linalg/lu.hpp"
+#include "sim/mna.hpp"
 
 namespace kato::sim {
-
-namespace {
-
-struct DiodeEval {
-  double i;
-  double g;
-};
-
-/// Diode current with SPICE-style saturation-current temperature scaling and
-/// exponent limiting for Newton robustness.
-DiodeEval eval_diode(const Diode& d, double v, double temp) {
-  const double vt = thermal_voltage(temp);
-  const double nvt = d.ideality * vt;
-  const double is_t = d.area * d.is_sat *
-                      std::pow(temp / 300.0, d.xti / d.ideality) *
-                      std::exp((temp / 300.0 - 1.0) * d.eg / nvt);
-  const double z = v / nvt;
-  constexpr double z_max = 40.0;
-  DiodeEval e;
-  if (z > z_max) {
-    const double e_max = std::exp(z_max);
-    e.i = is_t * (e_max * (1.0 + z - z_max) - 1.0);
-    e.g = is_t * e_max / nvt;
-  } else {
-    const double ez = std::exp(z);
-    e.i = is_t * (ez - 1.0);
-    e.g = is_t * ez / nvt + 1e-12;
-  }
-  return e;
-}
-
-class MnaAssembler {
- public:
-  MnaAssembler(const Circuit& ckt, double gmin, double temp)
-      : ckt_(ckt), gmin_(gmin), temp_(temp), n_(ckt.n_nodes() - 1),
-        size_(ckt.mna_size()) {}
-
-  /// Build Jacobian and residual at x; returns false on non-finite values.
-  bool assemble(const la::Vector& x, la::Matrix& jac, la::Vector& res) const {
-    jac = la::Matrix(size_, size_);
-    res.assign(size_, 0.0);
-    auto v = [&](int node) {
-      return node == 0 ? 0.0 : x[static_cast<std::size_t>(node) - 1];
-    };
-    auto idx = [](int node) { return static_cast<std::size_t>(node) - 1; };
-    auto kcl = [&](int node, double current) {
-      if (node != 0) res[idx(node)] += current;
-    };
-    auto stamp = [&](int node, int wrt, double g) {
-      if (node != 0 && wrt != 0) jac(idx(node), idx(wrt)) += g;
-    };
-
-    // gmin from every node to ground.
-    for (std::size_t i = 0; i < n_; ++i) {
-      res[i] += gmin_ * x[i];
-      jac(i, i) += gmin_;
-    }
-
-    for (const auto& r : ckt_.resistors()) {
-      const double g = 1.0 / r.r;
-      const double i = g * (v(r.a) - v(r.b));
-      kcl(r.a, i);
-      kcl(r.b, -i);
-      stamp(r.a, r.a, g);
-      stamp(r.a, r.b, -g);
-      stamp(r.b, r.a, -g);
-      stamp(r.b, r.b, g);
-    }
-    for (const auto& s : ckt_.isources()) {
-      kcl(s.p, s.dc);
-      kcl(s.n, -s.dc);
-    }
-    for (const auto& c : ckt_.vccs()) {
-      const double i = c.gm * (v(c.cp) - v(c.cn));
-      kcl(c.p, i);
-      kcl(c.n, -i);
-      stamp(c.p, c.cp, c.gm);
-      stamp(c.p, c.cn, -c.gm);
-      stamp(c.n, c.cp, -c.gm);
-      stamp(c.n, c.cn, c.gm);
-    }
-    for (const auto& d : ckt_.diodes()) {
-      const auto e = eval_diode(d, v(d.a) - v(d.c), temp_);
-      kcl(d.a, e.i);
-      kcl(d.c, -e.i);
-      stamp(d.a, d.a, e.g);
-      stamp(d.a, d.c, -e.g);
-      stamp(d.c, d.a, -e.g);
-      stamp(d.c, d.c, e.g);
-    }
-    for (const auto& mos : ckt_.mosfets()) {
-      const MosOp op = eval_mosfet(mos.model, mos.w, mos.l, v(mos.g) - v(mos.s),
-                                   v(mos.d) - v(mos.s), temp_);
-      kcl(mos.d, op.ids);
-      kcl(mos.s, -op.ids);
-      stamp(mos.d, mos.g, op.gm);
-      stamp(mos.d, mos.d, op.gds);
-      stamp(mos.d, mos.s, -(op.gm + op.gds));
-      stamp(mos.s, mos.g, -op.gm);
-      stamp(mos.s, mos.d, -op.gds);
-      stamp(mos.s, mos.s, op.gm + op.gds);
-    }
-    // Voltage sources: branch current unknowns.
-    const auto& vs = ckt_.vsources();
-    for (std::size_t k = 0; k < vs.size(); ++k) {
-      const std::size_t bi = n_ + k;
-      const double ib = x[bi];
-      kcl(vs[k].p, ib);
-      kcl(vs[k].n, -ib);
-      if (vs[k].p != 0) jac(idx(vs[k].p), bi) += 1.0;
-      if (vs[k].n != 0) jac(idx(vs[k].n), bi) -= 1.0;
-      res[bi] = v(vs[k].p) - v(vs[k].n) - vs[k].dc;
-      if (vs[k].p != 0) jac(bi, idx(vs[k].p)) += 1.0;
-      if (vs[k].n != 0) jac(bi, idx(vs[k].n)) -= 1.0;
-    }
-    for (double r : res)
-      if (!std::isfinite(r)) return false;
-    return true;
-  }
-
-  /// Newton iteration from the given start; returns converged flag.
-  bool newton(la::Vector& x, const DcOptions& opts) const {
-    la::Matrix jac;
-    la::Vector res;
-    for (int it = 0; it < opts.max_iterations; ++it) {
-      if (!assemble(x, jac, res)) return false;
-      for (auto& r : res) r = -r;
-      auto step = la::lu_solve(jac, res);
-      if (!step) return false;
-      double max_dv = 0.0;
-      for (std::size_t i = 0; i < size_; ++i) {
-        double dv = (*step)[i];
-        if (i < n_) dv = std::clamp(dv, -opts.max_step, opts.max_step);
-        x[i] += dv;
-        if (i < n_) max_dv = std::max(max_dv, std::abs(dv));
-      }
-      if (max_dv < opts.v_tol) return true;
-    }
-    return false;
-  }
-
- private:
-  const Circuit& ckt_;
-  double gmin_;
-  double temp_;
-  std::size_t n_;
-  std::size_t size_;
-};
-
-}  // namespace
 
 DcResult solve_dc(const Circuit& ckt, const DcOptions& opts,
                   const la::Vector* initial) {
@@ -164,20 +15,34 @@ DcResult solve_dc(const Circuit& ckt, const DcOptions& opts,
   if (initial && initial->size() == ckt.n_nodes())
     for (std::size_t i = 0; i < n; ++i) x[i] = (*initial)[i + 1];
 
+  const NewtonOptions newton{opts.max_iterations, opts.v_tol, opts.max_step};
+  const bool override_sources = !opts.vsource_override.empty();
+  if (override_sources &&
+      opts.vsource_override.size() != ckt.vsources().size())
+    throw std::invalid_argument(
+        "solve_dc: vsource_override has " +
+        std::to_string(opts.vsource_override.size()) + " value(s) but the "
+        "circuit has " + std::to_string(ckt.vsources().size()) + " source(s)");
+
+  DcResult result;
   bool converged = false;
+  std::string why;
   for (double gmin : opts.gmin_ladder) {
     MnaAssembler assembler(ckt, gmin, opts.temp);
-    converged = assembler.newton(x, opts);
+    if (override_sources) assembler.set_vsource_values(&opts.vsource_override);
+    converged = assembler.newton(x, newton, &why);
     if (!converged && gmin == opts.gmin_ladder.front()) {
       // A cold start that fails at the loosest gmin rarely recovers; restart
       // from zero once in case the warm start was pathological.
       x.assign(ckt.mna_size(), 0.0);
-      converged = assembler.newton(x, opts);
+      converged = assembler.newton(x, newton, &why);
     }
+    if (!converged)
+      result.reason = why + " at gmin=" + fmt_double(gmin);
   }
-
-  DcResult result;
   result.converged = converged;
+  if (converged) result.reason.clear();
+
   result.node_voltage.assign(ckt.n_nodes(), 0.0);
   for (std::size_t i = 0; i < n; ++i) result.node_voltage[i + 1] = x[i];
   result.vsource_current.resize(ckt.vsources().size());
@@ -185,8 +50,14 @@ DcResult solve_dc(const Circuit& ckt, const DcOptions& opts,
     result.vsource_current[k] = x[n + k];
 
   // Sanity: a "converged" solution with wild voltages is treated as failure.
-  for (double v : result.node_voltage)
-    if (!std::isfinite(v) || std::abs(v) > 1e3) result.converged = false;
+  for (double v : result.node_voltage) {
+    if (!std::isfinite(v) || std::abs(v) > 1e3) {
+      result.converged = false;
+      if (result.reason.empty())
+        result.reason = "operating point out of range (node voltage not "
+                        "finite or |v| > 1 kV)";
+    }
+  }
 
   result.mosfet_op.reserve(ckt.mosfets().size());
   for (const auto& mos : ckt.mosfets()) {

@@ -5,6 +5,7 @@
 // the BO drivers treat non-convergence as an infeasible design).
 
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "linalg/matrix.hpp"
@@ -22,10 +23,18 @@ struct DcOptions {
   /// cascoded regulation loop) fail to track coarser continuation.
   std::vector<double> gmin_ladder{1e-2, 1e-3, 1e-4, 1e-5, 1e-6, 1e-7,
                                   1e-8, 1e-9, 1e-10, 1e-11, 1e-12};
+  /// When non-empty (index-parallel to ckt.vsources()), replaces each
+  /// source's DC value in the branch equations — the transient engine uses
+  /// this to bias the circuit at the waveform's t = 0 values.
+  std::vector<double> vsource_override;
 };
 
 struct DcResult {
   bool converged = false;
+  /// Failure description when !converged ("Newton did not converge ...",
+  /// "singular MNA Jacobian", "operating point out of range ..."); empty on
+  /// success.  Surfaced through NetlistCircuit infeasibility reporting.
+  std::string reason;
   la::Vector node_voltage;          ///< index by node id (entry 0 = ground = 0)
   std::vector<double> vsource_current;  ///< branch current per voltage source
   std::vector<MosOp> mosfet_op;     ///< operating point per MOSFET

@@ -1,0 +1,181 @@
+#include "sim/mna.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "linalg/lu.hpp"
+
+namespace kato::sim {
+
+std::string fmt_double(double v) {
+  std::ostringstream ss;
+  ss << v;
+  return ss.str();
+}
+
+namespace {
+
+struct DiodeEval {
+  double i;
+  double g;
+};
+
+/// Diode current with SPICE-style saturation-current temperature scaling and
+/// exponent limiting for Newton robustness.
+DiodeEval eval_diode(const Diode& d, double v, double temp) {
+  const double vt = thermal_voltage(temp);
+  const double nvt = d.ideality * vt;
+  const double is_t = d.area * d.is_sat *
+                      std::pow(temp / 300.0, d.xti / d.ideality) *
+                      std::exp((temp / 300.0 - 1.0) * d.eg / nvt);
+  const double z = v / nvt;
+  constexpr double z_max = 40.0;
+  DiodeEval e;
+  if (z > z_max) {
+    const double e_max = std::exp(z_max);
+    e.i = is_t * (e_max * (1.0 + z - z_max) - 1.0);
+    e.g = is_t * e_max / nvt;
+  } else {
+    const double ez = std::exp(z);
+    e.i = is_t * (ez - 1.0);
+    e.g = is_t * ez / nvt + 1e-12;
+  }
+  return e;
+}
+
+}  // namespace
+
+bool MnaAssembler::assemble(const la::Vector& x, la::Matrix& jac,
+                            la::Vector& res) const {
+  // Reuse the caller's storage across Newton iterations (and, via a
+  // caller-held workspace, across timesteps): this sits on the transient
+  // per-timestep hot path tracked by abl_tran_step_ms.
+  if (jac.rows() != size_ || jac.cols() != size_)
+    jac = la::Matrix(size_, size_);
+  else
+    std::fill(jac.data().begin(), jac.data().end(), 0.0);
+  res.assign(size_, 0.0);
+  auto v = [&](int node) {
+    return node == 0 ? 0.0 : x[static_cast<std::size_t>(node) - 1];
+  };
+  auto idx = [](int node) { return static_cast<std::size_t>(node) - 1; };
+  auto kcl = [&](int node, double current) {
+    if (node != 0) res[idx(node)] += current;
+  };
+  auto stamp = [&](int node, int wrt, double g) {
+    if (node != 0 && wrt != 0) jac(idx(node), idx(wrt)) += g;
+  };
+
+  // gmin from every node to ground.
+  for (std::size_t i = 0; i < n_; ++i) {
+    res[i] += gmin_ * x[i];
+    jac(i, i) += gmin_;
+  }
+
+  for (const auto& r : ckt_.resistors()) {
+    const double g = 1.0 / r.r;
+    const double i = g * (v(r.a) - v(r.b));
+    kcl(r.a, i);
+    kcl(r.b, -i);
+    stamp(r.a, r.a, g);
+    stamp(r.a, r.b, -g);
+    stamp(r.b, r.a, -g);
+    stamp(r.b, r.b, g);
+  }
+  for (const auto& s : ckt_.isources()) {
+    kcl(s.p, s.dc);
+    kcl(s.n, -s.dc);
+  }
+  for (const auto& c : ckt_.vccs()) {
+    const double i = c.gm * (v(c.cp) - v(c.cn));
+    kcl(c.p, i);
+    kcl(c.n, -i);
+    stamp(c.p, c.cp, c.gm);
+    stamp(c.p, c.cn, -c.gm);
+    stamp(c.n, c.cp, -c.gm);
+    stamp(c.n, c.cn, c.gm);
+  }
+  for (const auto& d : ckt_.diodes()) {
+    const auto e = eval_diode(d, v(d.a) - v(d.c), temp_);
+    kcl(d.a, e.i);
+    kcl(d.c, -e.i);
+    stamp(d.a, d.a, e.g);
+    stamp(d.a, d.c, -e.g);
+    stamp(d.c, d.a, -e.g);
+    stamp(d.c, d.c, e.g);
+  }
+  for (const auto& mos : ckt_.mosfets()) {
+    const MosOp op = eval_mosfet(mos.model, mos.w, mos.l, v(mos.g) - v(mos.s),
+                                 v(mos.d) - v(mos.s), temp_);
+    kcl(mos.d, op.ids);
+    kcl(mos.s, -op.ids);
+    stamp(mos.d, mos.g, op.gm);
+    stamp(mos.d, mos.d, op.gds);
+    stamp(mos.d, mos.s, -(op.gm + op.gds));
+    stamp(mos.s, mos.g, -op.gm);
+    stamp(mos.s, mos.d, -op.gds);
+    stamp(mos.s, mos.s, op.gm + op.gds);
+  }
+  // Companion stamps (transient integration rule for capacitors).
+  if (companions_ != nullptr) {
+    for (const auto& c : *companions_) {
+      const double i = c.geq * (v(c.a) - v(c.b)) + c.ieq;
+      kcl(c.a, i);
+      kcl(c.b, -i);
+      stamp(c.a, c.a, c.geq);
+      stamp(c.a, c.b, -c.geq);
+      stamp(c.b, c.a, -c.geq);
+      stamp(c.b, c.b, c.geq);
+    }
+  }
+  // Voltage sources: branch current unknowns.
+  const auto& vs = ckt_.vsources();
+  for (std::size_t k = 0; k < vs.size(); ++k) {
+    const std::size_t bi = n_ + k;
+    const double ib = x[bi];
+    const double value = vsrc_values_ != nullptr ? (*vsrc_values_)[k] : vs[k].dc;
+    kcl(vs[k].p, ib);
+    kcl(vs[k].n, -ib);
+    if (vs[k].p != 0) jac(idx(vs[k].p), bi) += 1.0;
+    if (vs[k].n != 0) jac(idx(vs[k].n), bi) -= 1.0;
+    res[bi] = v(vs[k].p) - v(vs[k].n) - value;
+    if (vs[k].p != 0) jac(bi, idx(vs[k].p)) += 1.0;
+    if (vs[k].n != 0) jac(bi, idx(vs[k].n)) -= 1.0;
+  }
+  for (double r : res)
+    if (!std::isfinite(r)) return false;
+  return true;
+}
+
+bool MnaAssembler::newton(la::Vector& x, const NewtonOptions& opts,
+                          std::string* reason) const {
+  la::Matrix& jac = jac_ws_;
+  la::Vector& res = res_ws_;
+  for (int it = 0; it < opts.max_iterations; ++it) {
+    if (!assemble(x, jac, res)) {
+      if (reason) *reason = "non-finite device currents in the MNA residual";
+      return false;
+    }
+    for (auto& r : res) r = -r;
+    auto step = la::lu_solve(jac, res);
+    if (!step) {
+      if (reason) *reason = "singular MNA Jacobian";
+      return false;
+    }
+    double max_dv = 0.0;
+    for (std::size_t i = 0; i < size_; ++i) {
+      double dv = (*step)[i];
+      if (i < n_) dv = std::clamp(dv, -opts.max_step, opts.max_step);
+      x[i] += dv;
+      if (i < n_) max_dv = std::max(max_dv, std::abs(dv));
+    }
+    if (max_dv < opts.v_tol) return true;
+  }
+  if (reason)
+    *reason = "Newton did not converge in " +
+              std::to_string(opts.max_iterations) + " iterations";
+  return false;
+}
+
+}  // namespace kato::sim

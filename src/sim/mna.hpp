@@ -1,0 +1,86 @@
+#pragma once
+// Shared MNA Newton assembler used by the DC and transient solvers.
+//
+// The assembler stamps the nonlinear device equations (resistors, sources,
+// VCCS, diodes, MOSFETs, voltage-source branch rows) exactly as the DC
+// operating-point analysis always has; the transient solver layers two
+// extensions on top of the same path:
+//
+//   * companion stamps — linear Norton equivalents (geq, ieq) produced by
+//     the integration rule for each capacitor at the current timestep;
+//   * voltage-source value overrides — the waveform value at the timestep
+//     replaces the DC value in the branch equation (quiet sources keep dc).
+//
+// Keeping one assembler guarantees a transient run linearizes the devices
+// with the same code (and therefore bit-identical arithmetic) as the DC
+// solve that seeds it.
+
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "sim/circuit.hpp"
+
+namespace kato::sim {
+
+/// Linear companion element: current geq * (v(a) - v(b)) + ieq flowing
+/// a -> b (either node may be ground).
+struct CompanionStamp {
+  int a;
+  int b;
+  double geq;
+  double ieq;
+};
+
+/// Compact double-to-string rendering ("1e-12", "0.5") for solver failure
+/// reasons — shared by the DC and transient diagnostics.
+std::string fmt_double(double v);
+
+/// Newton-iteration knobs shared by DC and transient (see DcOptions for the
+/// recommended DC values).
+struct NewtonOptions {
+  int max_iterations = 200;
+  double v_tol = 1e-9;    ///< convergence on max |dV|
+  double max_step = 0.5;  ///< damping: max voltage change per iteration [V]
+};
+
+class MnaAssembler {
+ public:
+  MnaAssembler(const Circuit& ckt, double gmin, double temp)
+      : ckt_(ckt), gmin_(gmin), temp_(temp), n_(ckt.n_nodes() - 1),
+        size_(ckt.mna_size()) {}
+
+  /// Override the voltage-source values (index-parallel to ckt.vsources());
+  /// nullptr restores the DC values.  The pointee must outlive the calls.
+  void set_vsource_values(const std::vector<double>* values) {
+    vsrc_values_ = values;
+  }
+
+  /// Attach companion stamps (transient integration rule); nullptr detaches.
+  void set_companions(const std::vector<CompanionStamp>* companions) {
+    companions_ = companions;
+  }
+
+  /// Build Jacobian and residual at x; returns false on non-finite values.
+  bool assemble(const la::Vector& x, la::Matrix& jac, la::Vector& res) const;
+
+  /// Damped Newton iteration from the given start; returns the converged
+  /// flag.  On failure `reason` (when non-null) receives a description.
+  bool newton(la::Vector& x, const NewtonOptions& opts,
+              std::string* reason = nullptr) const;
+
+ private:
+  const Circuit& ckt_;
+  double gmin_;
+  double temp_;
+  std::size_t n_;
+  std::size_t size_;
+  const std::vector<double>* vsrc_values_ = nullptr;
+  const std::vector<CompanionStamp>* companions_ = nullptr;
+  /// Newton scratch, reused across iterations and timesteps (one assembler
+  /// lives for a whole transient run; not thread-safe, like the class).
+  mutable la::Matrix jac_ws_;
+  mutable la::Vector res_ws_;
+};
+
+}  // namespace kato::sim

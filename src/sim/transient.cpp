@@ -1,0 +1,416 @@
+#include "sim/transient.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "sim/ac.hpp"
+
+namespace kato::sim {
+
+namespace {
+
+constexpr double k_swing_eps = 1e-12;  ///< below this, "no transition"
+
+/// Waveform discontinuities / slope breaks in (0, tstop): the step control
+/// lands on them exactly and restarts with backward Euler afterwards.
+void waveform_breakpoints(const Waveform& w, double tstop,
+                          std::vector<double>& out) {
+  auto add = [&](double t) {
+    if (t > 0.0 && t < tstop) out.push_back(t);
+  };
+  switch (w.kind) {
+    case Waveform::Kind::none:
+      return;
+    case Waveform::Kind::pulse:
+      for (double base = w.td; base < tstop; base += w.period) {
+        add(base);
+        add(base + w.tr);
+        add(base + w.tr + w.pw);
+        add(base + w.tr + w.pw + w.tf);
+        // One pulse (period == 0), or a cap against degenerate decks with
+        // millions of periods — later corners are left to the LTE control.
+        if (w.period <= 0.0 || out.size() > 65536) break;
+      }
+      return;
+    case Waveform::Kind::sine:
+      add(w.td);
+      return;
+    case Waveform::Kind::pwl:
+      for (double t : w.t) add(t);
+      return;
+  }
+}
+
+/// Lagrange extrapolation of the node-voltage part of the MNA vector
+/// through the accepted history points, evaluated at time t.
+la::Vector predict(const std::vector<double>& ts,
+                   const std::vector<la::Vector>& xs, double t) {
+  const std::size_t m = ts.size();
+  la::Vector p(xs[0].size(), 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    double w = 1.0;
+    for (std::size_t j = 0; j < m; ++j)
+      if (j != i) w *= (t - ts[j]) / (ts[i] - ts[j]);
+    for (std::size_t k = 0; k < p.size(); ++k) p[k] += w * xs[i][k];
+  }
+  return p;
+}
+
+}  // namespace
+
+TranResult solve_tran(const Circuit& ckt, const TranOptions& opts,
+                      const DcResult* op0) {
+  TranResult out;
+  if (!(opts.tstop > 0.0)) {
+    out.reason = "tstop must be > 0";
+    return out;
+  }
+  double tstep = opts.tstep > 0.0 ? opts.tstep : opts.tstop / 1000.0;
+  tstep = std::min(tstep, opts.tstop);
+  const double dtmax =
+      opts.fixed_step ? tstep
+                      : std::min(opts.dtmax > 0.0 ? opts.dtmax : opts.tstop / 50.0,
+                                 opts.tstop);
+  const double hmin = opts.tstop * 1e-12;
+
+  const std::size_t n = ckt.n_nodes() - 1;
+  const std::size_t nv = ckt.vsources().size();
+  const std::size_t size = ckt.mna_size();
+
+  std::vector<double> src(nv, 0.0);
+  auto eval_sources = [&](double t) {
+    for (std::size_t k = 0; k < nv; ++k)
+      src[k] = waveform_value(ckt.vsources()[k].wave, ckt.vsources()[k].dc, t);
+  };
+
+  // --- t = 0 operating point ---------------------------------------------
+  eval_sources(0.0);
+  bool reuse = op0 != nullptr && op0->converged &&
+               op0->node_voltage.size() == ckt.n_nodes() &&
+               op0->vsource_current.size() == nv;
+  if (reuse)
+    for (std::size_t k = 0; k < nv; ++k)
+      if (src[k] != ckt.vsources()[k].dc) reuse = false;
+
+  la::Vector x(size, 0.0);
+  if (reuse) {
+    for (std::size_t i = 0; i < n; ++i) x[i] = op0->node_voltage[i + 1];
+    for (std::size_t k = 0; k < nv; ++k) x[n + k] = op0->vsource_current[k];
+  } else {
+    DcOptions dc = opts.dc;
+    dc.temp = opts.temp;
+    dc.vsource_override = src;
+    const la::Vector* warm =
+        op0 != nullptr && op0->node_voltage.size() == ckt.n_nodes()
+            ? &op0->node_voltage
+            : nullptr;
+    const DcResult op = solve_dc(ckt, dc, warm);
+    if (!op.converged) {
+      out.reason = "t=0 operating point failed: " +
+                   (op.reason.empty() ? "did not converge" : op.reason);
+      return out;
+    }
+    for (std::size_t i = 0; i < n; ++i) x[i] = op.node_voltage[i + 1];
+    for (std::size_t k = 0; k < nv; ++k) x[n + k] = op.vsource_current[k];
+  }
+  for (const auto& [node, vic] : opts.initial_conditions) {
+    if (node <= 0 || static_cast<std::size_t>(node) >= ckt.n_nodes()) {
+      out.reason = "initial condition on unknown node " + std::to_string(node);
+      return out;
+    }
+    x[static_cast<std::size_t>(node) - 1] = vic;
+  }
+
+  // --- capacitor states (explicit + MOSFET parasitics) --------------------
+  const auto caps = linear_caps(ckt);
+  auto vat = [&](const la::Vector& xx, int node) {
+    return node == 0 ? 0.0 : xx[static_cast<std::size_t>(node) - 1];
+  };
+  std::vector<double> cap_v(caps.size());
+  std::vector<double> cap_i(caps.size(), 0.0);  // i_C = 0 at the DC point
+  for (std::size_t i = 0; i < caps.size(); ++i)
+    cap_v[i] = vat(x, caps[i].a) - vat(x, caps[i].b);
+
+  // --- waveform breakpoints ----------------------------------------------
+  std::vector<double> breaks;
+  for (const auto& vs : ckt.vsources())
+    waveform_breakpoints(vs.wave, opts.tstop, breaks);
+  std::sort(breaks.begin(), breaks.end());
+
+  auto record = [&](double t) {
+    out.time.push_back(t);
+    la::Vector nodes(ckt.n_nodes(), 0.0);
+    for (std::size_t i = 0; i < n; ++i) nodes[i + 1] = x[i];
+    out.node_voltage.push_back(std::move(nodes));
+    std::vector<double> ivs(nv);
+    for (std::size_t k = 0; k < nv; ++k) ivs[k] = x[n + k];
+    out.vsource_current.push_back(std::move(ivs));
+  };
+  record(0.0);
+
+  MnaAssembler assembler(ckt, /*gmin=*/1e-12, opts.temp);
+  std::vector<CompanionStamp> comps(caps.size());
+  assembler.set_companions(&comps);
+  assembler.set_vsource_values(&src);
+
+  // Predictor history: up to 3 most recent accepted points.
+  std::vector<double> hist_t;
+  std::vector<la::Vector> hist_x;
+  auto push_history = [&](double t) {
+    if (hist_t.size() == 3) {
+      hist_t.erase(hist_t.begin());
+      hist_x.erase(hist_x.begin());
+    }
+    hist_t.push_back(t);
+    hist_x.push_back(x);
+  };
+  push_history(0.0);
+
+  double t = 0.0;
+  double h = std::min(tstep, dtmax);
+  bool be_next = true;  // backward-Euler startup
+  std::size_t next_break = 0;
+  double grid_next = tstep;  // fixed_step: next nominal k*tstep point
+  int rejects = 0;
+  constexpr std::size_t max_points = 2000000;
+
+  while (t < opts.tstop * (1.0 - 1e-12)) {
+    if (out.time.size() >= max_points) {
+      out.reason = "more than " + std::to_string(max_points) +
+                   " timesteps before tstop (step control collapsed)";
+      return out;
+    }
+    double h_try = std::min({h, dtmax, opts.tstop - t});
+    bool at_break = false;
+    if (!opts.fixed_step) {
+      while (next_break < breaks.size() && breaks[next_break] <= t + hmin)
+        ++next_break;
+      if (next_break < breaks.size() &&
+          t + h_try > breaks[next_break] - hmin) {
+        h_try = breaks[next_break] - t;
+        at_break = true;
+      }
+    } else {
+      // Land every step on the nominal grid, so a Newton-failure recovery
+      // sub-step (below) re-aligns instead of de-phasing all later points.
+      while (grid_next <= t + hmin) grid_next += tstep;
+      if (t + h_try > grid_next - hmin)
+        h_try = std::min(grid_next, opts.tstop) - t;
+    }
+
+    const bool use_be = opts.backward_euler || be_next;
+    for (std::size_t i = 0; i < caps.size(); ++i) {
+      const double geq = (use_be ? 1.0 : 2.0) * caps[i].c / h_try;
+      const double ieq =
+          use_be ? -geq * cap_v[i] : -geq * cap_v[i] - cap_i[i];
+      comps[i] = {caps[i].a, caps[i].b, geq, ieq};
+    }
+    eval_sources(t + h_try);
+
+    la::Vector x_new = x;
+    std::string why;
+    if (!assembler.newton(x_new, opts.newton, &why)) {
+      h = h_try * 0.25;
+      be_next = true;
+      if (h < hmin || ++rejects > 100) {
+        out.reason = "Newton failed at t=" + fmt_double(t + h_try) + ": " + why;
+        return out;
+      }
+      continue;
+    }
+
+    // LTE control: predictor-corrector difference against reltol/abstol.
+    double grow = 2.0;
+    if (!opts.fixed_step && hist_t.size() >= 2) {
+      const la::Vector x_pred = predict(hist_t, hist_x, t + h_try);
+      double ratio = std::numeric_limits<double>::infinity();
+      for (std::size_t i = 0; i < n; ++i) {
+        const double err = std::abs(x_new[i] - x_pred[i]);
+        if (err <= 0.0) continue;
+        const double tol = opts.reltol * std::max(std::abs(x_new[i]),
+                                                  std::abs(x_pred[i])) +
+                           opts.abstol;
+        ratio = std::min(ratio, tol / err);
+      }
+      const double order_exp = use_be ? 0.5 : 1.0 / 3.0;
+      if (ratio < 1.0 && h_try > 4.0 * hmin) {
+        h = h_try * std::max(0.1, 0.9 * std::pow(ratio, order_exp));
+        if (++rejects > 100) {
+          out.reason = "LTE step control stalled at t=" + fmt_double(t);
+          return out;
+        }
+        continue;
+      }
+      grow = std::clamp(0.9 * std::pow(ratio, order_exp), 0.3, 2.0);
+    }
+
+    // Accept: update capacitor companion states from this step's rule.
+    for (std::size_t i = 0; i < caps.size(); ++i) {
+      const double vc = vat(x_new, caps[i].a) - vat(x_new, caps[i].b);
+      cap_i[i] = comps[i].geq * vc + comps[i].ieq;
+      cap_v[i] = vc;
+    }
+    x = std::move(x_new);
+    t += h_try;
+    record(t);
+    rejects = 0;
+    if (at_break) {
+      // Discontinuity: restart the integrator (BE + fresh history) so the
+      // trapezoidal rule does not ring across the corner.
+      hist_t.clear();
+      hist_x.clear();
+      push_history(t);
+      be_next = true;
+      h = std::min(tstep, dtmax);
+    } else {
+      push_history(t);
+      be_next = false;
+      h = opts.fixed_step ? tstep : h_try * grow;
+    }
+  }
+
+  out.ok = true;
+  return out;
+}
+
+// --- Measure library -------------------------------------------------------
+
+namespace {
+
+/// First time v(node) crosses `level` moving in direction `dir` (+1 rising,
+/// -1 falling) at or after `t_from`; NaN when it never does.
+double first_crossing(const TranResult& r, int node, double level, int dir,
+                      double t_from) {
+  for (std::size_t i = 1; i < r.time.size(); ++i) {
+    if (r.time[i] < t_from) continue;
+    const double v0 = r.v(i - 1, node);
+    const double v1 = r.v(i, node);
+    const bool hit = dir > 0 ? (v0 < level && v1 >= level)
+                             : (v0 > level && v1 <= level);
+    if (!hit) continue;
+    const double tc =
+        r.time[i - 1] + (level - v0) / (v1 - v0) * (r.time[i] - r.time[i - 1]);
+    if (tc >= t_from) return tc;
+  }
+  return std::numeric_limits<double>::quiet_NaN();
+}
+
+/// 50% crossing of a node's own initial->final transition; NaN when the
+/// node has no swing or never crosses.
+double half_swing_crossing(const TranResult& r, int node) {
+  const double v0 = r.v(0, node);
+  const double vf = r.v(r.n_points() - 1, node);
+  const double swing = vf - v0;
+  if (std::abs(swing) < k_swing_eps)
+    return std::numeric_limits<double>::quiet_NaN();
+  return first_crossing(r, node, v0 + 0.5 * swing, swing > 0.0 ? +1 : -1,
+                        r.time.front());
+}
+
+}  // namespace
+
+double tran_value_at(const TranResult& res, int node, double t) {
+  if (res.time.empty()) return 0.0;
+  if (t <= res.time.front()) return res.v(0, node);
+  if (t >= res.time.back()) return res.v(res.n_points() - 1, node);
+  std::size_t i = 1;
+  while (res.time[i] < t) ++i;
+  const double f = (t - res.time[i - 1]) / (res.time[i] - res.time[i - 1]);
+  return res.v(i - 1, node) + f * (res.v(i, node) - res.v(i - 1, node));
+}
+
+double tran_vmax(const TranResult& res, int node) {
+  double m = -std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < res.n_points(); ++i)
+    m = std::max(m, res.v(i, node));
+  return m;
+}
+
+double tran_vmin(const TranResult& res, int node) {
+  double m = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < res.n_points(); ++i)
+    m = std::min(m, res.v(i, node));
+  return m;
+}
+
+double tran_slew_rate(const TranResult& res, int node) {
+  if (res.n_points() < 2) return 0.0;
+  const double v0 = res.v(0, node);
+  const double vf = res.v(res.n_points() - 1, node);
+  const double swing = vf - v0;
+  if (std::abs(swing) < k_swing_eps) return 0.0;
+  const int dir = swing > 0.0 ? +1 : -1;
+  const double t10 =
+      first_crossing(res, node, v0 + 0.1 * swing, dir, res.time.front());
+  if (std::isnan(t10)) return 0.0;
+  const double t90 = first_crossing(res, node, v0 + 0.9 * swing, dir, t10);
+  if (std::isnan(t90) || !(t90 > t10)) return 0.0;
+  return 0.8 * std::abs(swing) / (t90 - t10);
+}
+
+double tran_settling_time(const TranResult& res, int node, double tol_frac) {
+  if (res.n_points() < 2) return 0.0;
+  const double v0 = res.v(0, node);
+  const double vf = res.v(res.n_points() - 1, node);
+  const double swing = vf - v0;
+  if (std::abs(swing) < k_swing_eps) return 0.0;
+  const double band = std::abs(tol_frac) * std::abs(swing);
+  // Last excursion outside the band around the final value.  The final
+  // sample is the band's center, so last_out < n_points() - 1 always and
+  // the interpolation below is well-defined.
+  std::size_t last_out = res.n_points();  // sentinel: never out
+  for (std::size_t i = res.n_points(); i-- > 0;) {
+    if (std::abs(res.v(i, node) - vf) > band) {
+      last_out = i;
+      break;
+    }
+  }
+  if (last_out == res.n_points()) return 0.0;
+  // Interpolate the re-entry into the band between last_out and last_out+1.
+  const double va = res.v(last_out, node);
+  const double vb = res.v(last_out + 1, node);
+  const double edge = vf + (va > vf ? band : -band);
+  const double f = vb == va ? 1.0 : (edge - va) / (vb - va);
+  return res.time[last_out] +
+         f * (res.time[last_out + 1] - res.time[last_out]);
+}
+
+double tran_overshoot(const TranResult& res, int node) {
+  if (res.n_points() < 2) return 0.0;
+  const double v0 = res.v(0, node);
+  const double vf = res.v(res.n_points() - 1, node);
+  const double swing = vf - v0;
+  if (std::abs(swing) < k_swing_eps) return 0.0;
+  const double peak = swing > 0.0 ? tran_vmax(res, node) - vf
+                                  : vf - tran_vmin(res, node);
+  return std::max(0.0, peak / std::abs(swing));
+}
+
+double tran_prop_delay(const TranResult& res, int in_node, int out_node) {
+  if (res.n_points() < 2) return 0.0;
+  const double window = res.time.back() - res.time.front();
+  const double t_in = half_swing_crossing(res, in_node);
+  const double t_out = half_swing_crossing(res, out_node);
+  if (std::isnan(t_in) || std::isnan(t_out)) return window;
+  return t_out - t_in;
+}
+
+double tran_avg_power(const TranResult& res, const Circuit& ckt,
+                      std::size_t vsource_index) {
+  if (res.n_points() == 0) return 0.0;
+  const auto& vs = ckt.vsources()[vsource_index];
+  auto power = [&](std::size_t i) {
+    const double v = res.v(i, vs.p) - res.v(i, vs.n);
+    // Branch current is positive p -> n through the source; a source
+    // delivering power pushes current out of p, i.e. negative branch current.
+    return v * -res.vsource_current[i][vsource_index];
+  };
+  if (res.n_points() == 1) return power(0);
+  double acc = 0.0;
+  for (std::size_t i = 1; i < res.n_points(); ++i)
+    acc += 0.5 * (power(i) + power(i - 1)) * (res.time[i] - res.time[i - 1]);
+  return acc / (res.time.back() - res.time.front());
+}
+
+}  // namespace kato::sim

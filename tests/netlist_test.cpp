@@ -317,6 +317,30 @@ TEST(NetlistDiag, MeasureFunctionOutsideSpec) {
       4, "only valid in .spec");
 }
 
+TEST(NetlistDiag, UnknownMeasureListsSupportedSet) {
+  // The unknown-measure diagnostic names the whole supported set, so a typo
+  // in a .spec line is self-documenting.
+  expect_diag(
+      "vs in 0 1.0\n"
+      ".var u 1 2 lin\n"
+      "r1 in out {u}\n"
+      "r2 out 0 1k\n"
+      ".spec objective V V = slewrate(out)\n",
+      5,
+      "unknown measure function 'slewrate' (supported: avg_power gain_db "
+      "gain_db_at isupply ivsrc overshoot pm prop_delay settling_time "
+      "slew_rate ugf value_at vdc vmax vmin)");
+}
+
+TEST(NetlistDiag, UnknownDirectiveListsSupportedSet) {
+  expect_diag(
+      "vs in 0 1.0\n"
+      ".noise out\n",
+      2,
+      "unknown directive '.noise' (supported: .title .param .var .model "
+      ".subckt/.ends .ac .tran .ic .temp .spec .expert .end)");
+}
+
 TEST(NetlistDiag, UnknownMeasureTarget) {
   expect_diag(
       "vs in 0 1.0\n"
