@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Diff a BENCH_micro_perf.json run against the committed baseline.
+
+Usage:
+    compare_baseline.py <current.json> <baseline.json> [--tol 0.25]
+
+Prints a GitHub-flavored markdown delta table (pipe it into
+$GITHUB_STEP_SUMMARY from the workflow) covering every tracked top-level
+`*_ms` field, plus the speedup ratios for context.  Exits non-zero when any
+tracked `*_ms` field regressed by more than --tol (default 25%) relative to
+the baseline — absolute per-iteration times, so expect noise on shared
+runners; KATO_BENCH_TOL overrides the threshold without editing workflows.
+
+Only the Python standard library is used.
+"""
+
+import json
+import os
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def main(argv):
+    if len(argv) < 3:
+        print(__doc__)
+        return 2
+    current = load(argv[1])
+    baseline = load(argv[2])
+    tol = 0.25
+    if "--tol" in argv:
+        tol = float(argv[argv.index("--tol") + 1])
+    if os.environ.get("KATO_BENCH_TOL"):
+        tol = float(os.environ["KATO_BENCH_TOL"])
+
+    tracked = sorted(
+        k
+        for k in baseline
+        if k.endswith("_ms") and isinstance(baseline[k], (int, float)) and k in current
+    )
+    ratios = sorted(
+        k
+        for k in baseline
+        if k.endswith("_speedup") and isinstance(baseline[k], (int, float)) and k in current
+    )
+
+    failures = []
+    print("### micro_perf vs committed baseline (tol %.0f%%)" % (tol * 100))
+    print()
+    print("| field | baseline | current | delta | status |")
+    print("| --- | ---: | ---: | ---: | :-- |")
+    for k in tracked:
+        base = float(baseline[k])
+        cur = float(current[k])
+        delta = (cur - base) / base if base > 0 else 0.0
+        status = "ok"
+        if base > 0 and delta > tol:
+            status = "REGRESSED"
+            failures.append(k)
+        elif delta < -tol:
+            status = "improved"
+        print(
+            "| %s | %.4f ms | %.4f ms | %+.1f%% | %s |"
+            % (k, base, cur, delta * 100, status)
+        )
+    for k in ratios:
+        print(
+            "| %s | %.2fx | %.2fx | — | ratio |"
+            % (k, float(baseline[k]), float(current[k]))
+        )
+    print()
+    if failures:
+        print("**Regressed fields:** " + ", ".join(failures))
+        return 1
+    print("No tracked `*_ms` field regressed beyond %.0f%%." % (tol * 100))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -11,6 +11,7 @@
 // harness: `gp_predict_batch` must stay >= 2x faster than the per-point
 // loop (`speedup` field in the JSON).
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdlib>
@@ -20,6 +21,8 @@
 #include <sstream>
 #include <string>
 #include <vector>
+
+#include "linalg/lu.hpp"
 
 #include "bo/mace.hpp"
 #include "bo/surrogate.hpp"
@@ -347,6 +350,129 @@ int main(int argc, char** argv) {
     });
   }
 
+  // Sparse MNA solver (abl_sparse): on the ~150-node ladder deck, compare
+  // (a) the raw linear-solve kernel — dense in-place LU vs sparse numeric
+  // refactorization with the recorded pivot sequence — and (b) the full
+  // transient candidate evaluation on both solve paths (KATO_SPARSE A/B).
+  double sparse_lu_ms = 0.0;
+  double sparse_lu_dense_ms = 0.0;
+  double sparse_tran_ms = 0.0;
+  double sparse_tran_dense_ms = 0.0;
+  double eval_batch_speedup = 0.0;
+  {
+    const std::string path =
+        std::string(KATO_SOURCE_DIR) + "/circuits/netlists/ladder.cir";
+    ckt::NetlistCircuit circuit(net::parse_netlist_file(path),
+                                ckt::pdk_180nm());
+    const auto x = circuit.expert_design();
+    const auto elab = circuit.elaborate(x);
+    const std::size_t size = elab.circuit.mna_size();
+
+    // (a) Linear-solve kernel on the DC Jacobian at the operating point.
+    const auto op = sim::solve_dc(elab.circuit);
+    la::Vector xop(size, 0.0);
+    for (std::size_t i = 0; i + 1 < elab.circuit.n_nodes(); ++i)
+      xop[i] = op.node_voltage[i + 1];
+    for (std::size_t k = 0; k < elab.circuit.vsources().size(); ++k)
+      xop[elab.circuit.n_nodes() - 1 + k] = op.vsource_current[k];
+    sim::MnaAssembler assembler(elab.circuit, 1e-12, 300.0);
+    la::Matrix jac;
+    la::Vector res;
+    assembler.assemble(xop, jac, res);
+
+    std::vector<la::Coord> coords;
+    for (std::size_t r = 0; r < size; ++r)
+      for (std::size_t c = 0; c < size; ++c)
+        if (jac(r, c) != 0.0) coords.push_back({r, c});
+    const la::SparsePattern pattern(size, coords);
+    std::vector<double> vals(pattern.nnz());
+    for (std::size_t s = 0; s < coords.size(); ++s)
+      vals[pattern.slot(coords[s].r, coords[s].c)] = jac(coords[s].r, coords[s].c);
+    la::SparseLu lu;
+    lu.analyze(pattern);
+    lu.factor(vals);  // pivot + record symbolic structure (excluded)
+    la::Vector sol;
+    sparse_lu_ms = bench("abl_sparse_lu", [&] {
+      lu.factor(vals);  // in-place numeric refactorization
+      lu.solve(res, sol);
+      sink(sol[0]);
+    });
+    la::Matrix jac_ws;
+    la::Vector res_ws;
+    sparse_lu_dense_ms = bench("abl_sparse_lu_dense", [&] {
+      jac_ws = jac;
+      res_ws = res;
+      la::lu_solve_into(jac_ws, res_ws, sol);
+      sink(sol[0]);
+    });
+    std::cout << "  -> sparse lu speedup: " << sparse_lu_dense_ms / sparse_lu_ms
+              << "x (nnz " << pattern.nnz() << " -> lu " << lu.lu_nnz()
+              << ", n " << size << ")\n";
+
+    // (b) Whole-candidate transient evaluation, sparse vs dense path.
+    const char* prev_sparse = std::getenv("KATO_SPARSE");
+    const std::string saved_sparse = prev_sparse ? prev_sparse : "";
+    setenv("KATO_SPARSE", "1", 1);
+    sparse_tran_ms = bench("abl_sparse_tran_eval", [&] {
+      const auto m = circuit.evaluate(x);
+      sink(m ? (*m)[0] : 0.0);
+    });
+    setenv("KATO_SPARSE", "0", 1);
+    sparse_tran_dense_ms = bench(
+        "abl_sparse_tran_eval_dense",
+        [&] {
+          const auto m = circuit.evaluate(x);
+          sink(m ? (*m)[0] : 0.0);
+        },
+        600.0);
+    if (prev_sparse)
+      setenv("KATO_SPARSE", saved_sparse.c_str(), 1);
+    else
+      unsetenv("KATO_SPARSE");
+    std::cout << "  -> sparse tran eval speedup: "
+              << sparse_tran_dense_ms / sparse_tran_ms << "x\n";
+
+    // Batch evaluation: 8 deterministic candidates around the expert point,
+    // serial loop at 1 thread vs evaluate_batch on the 4-thread pool.
+    util::Rng cand_rng(31);
+    std::vector<std::vector<double>> cands;
+    for (int c = 0; c < 8; ++c) {
+      auto cx = x;
+      for (auto& v : cx)
+        v = std::clamp(v + 0.1 * (cand_rng.uniform() - 0.5), 0.0, 1.0);
+      cands.push_back(std::move(cx));
+    }
+    const char* prev_threads = std::getenv("KATO_THREADS");
+    const std::string saved_threads = prev_threads ? prev_threads : "";
+    setenv("KATO_THREADS", "1", 1);
+    const double batch_serial_ms = bench(
+        "eval_batch_serial_q8",
+        [&] {
+          double acc = 0.0;
+          for (const auto& cand : cands) {
+            const auto m = circuit.evaluate(cand);
+            acc += m ? (*m)[0] : 0.0;
+          }
+          sink(acc);
+        },
+        600.0);
+    setenv("KATO_THREADS", "4", 1);
+    const double batch_par_ms = bench(
+        "eval_batch_threads4_q8",
+        [&] {
+          const auto ms = circuit.evaluate_batch(cands);
+          sink(ms[0] ? (*ms[0])[0] : 0.0);
+        },
+        600.0);
+    if (prev_threads)
+      setenv("KATO_THREADS", saved_threads.c_str(), 1);
+    else
+      unsetenv("KATO_THREADS");
+    eval_batch_speedup = batch_serial_ms / batch_par_ms;
+    std::cout << "  -> eval batch speedup (4 threads): " << eval_batch_speedup
+              << "x\n";
+  }
+
   // NSGA-II on an analytic problem (no surrogate cost).
   {
     auto fn = [](const std::vector<double>& x) {
@@ -383,6 +509,18 @@ int main(int argc, char** argv) {
         << (multi_par_ms > 0.0 ? multi_serial_ms / multi_par_ms : 0.0) << ",\n";
     out << "  \"abl_netlist_elaborate_ms\": " << netlist_elab_ms << ",\n";
     out << "  \"abl_tran_step_ms\": " << tran_step_ms << ",\n";
+    out << "  \"abl_sparse_lu_ms\": " << sparse_lu_ms << ",\n";
+    out << "  \"abl_sparse_lu_dense_ms\": " << sparse_lu_dense_ms << ",\n";
+    out << "  \"sparse_lu_speedup\": "
+        << (sparse_lu_ms > 0.0 ? sparse_lu_dense_ms / sparse_lu_ms : 0.0)
+        << ",\n";
+    out << "  \"abl_sparse_tran_eval_ms\": " << sparse_tran_ms << ",\n";
+    out << "  \"abl_sparse_tran_eval_dense_ms\": " << sparse_tran_dense_ms
+        << ",\n";
+    out << "  \"sparse_tran_eval_speedup\": "
+        << (sparse_tran_ms > 0.0 ? sparse_tran_dense_ms / sparse_tran_ms : 0.0)
+        << ",\n";
+    out << "  \"eval_batch_speedup\": " << eval_batch_speedup << ",\n";
     out << "  \"kato_threads\": " << util::thread_count() << "\n";
     out << "}\n";
     std::cout << "wrote BENCH_micro_perf.json\n";

@@ -21,21 +21,18 @@ class ConstrainedState {
 
   /// Simulate one design; returns true when it improved the incumbent.
   bool simulate(const std::vector<double>& x) {
-    const auto metrics = circuit_.evaluate(x);
-    result_.x_history.push_back(x);
-    result_.metrics_history.push_back(metrics);
-    bool improved = false;
-    if (metrics) {
-      xs_.push_back(x);
-      ys_.push_back(*metrics);
-      if (circuit_.feasible(*metrics) && (*metrics)[0] < best_) {
-        best_ = (*metrics)[0];
-        result_.best_x = x;
-        result_.best_metrics = *metrics;
-        improved = true;
-      }
-    }
-    result_.trace.push_back(best_);
+    return record(x, circuit_.evaluate(x));
+  }
+
+  /// Simulate a whole proposal batch through SizingCircuit::evaluate_batch
+  /// (thread-parallel for circuits that override it), then record in
+  /// submission order — history, trace and incumbent bookkeeping are
+  /// bit-identical to calling simulate() in a loop.
+  std::vector<char> simulate_batch(const std::vector<std::vector<double>>& xs) {
+    const auto metrics = circuit_.evaluate_batch(xs);
+    std::vector<char> improved(xs.size());
+    for (std::size_t i = 0; i < xs.size(); ++i)
+      improved[i] = record(xs[i], metrics[i]) ? 1 : 0;
     return improved;
   }
 
@@ -84,6 +81,25 @@ class ConstrainedState {
   }
 
  private:
+  bool record(const std::vector<double>& x,
+              const std::optional<std::vector<double>>& metrics) {
+    result_.x_history.push_back(x);
+    result_.metrics_history.push_back(metrics);
+    bool improved = false;
+    if (metrics) {
+      xs_.push_back(x);
+      ys_.push_back(*metrics);
+      if (circuit_.feasible(*metrics) && (*metrics)[0] < best_) {
+        best_ = (*metrics)[0];
+        result_.best_x = x;
+        result_.best_metrics = *metrics;
+        improved = true;
+      }
+    }
+    result_.trace.push_back(best_);
+    return improved;
+  }
+
   const ckt::SizingCircuit& circuit_;
   RunResult result_;
   std::vector<std::vector<double>> xs_;  ///< valid sims only
@@ -207,9 +223,18 @@ RunResult run_constrained(const ckt::SizingCircuit& circuit,
   const std::size_t dim = circuit.dim();
   const auto& specs = circuit.constraints();
 
-  // Initial random design set.
-  for (std::size_t i = 0; i < config.n_init; ++i)
-    (void)state.simulate(rng.uniform_vec(dim));
+  // Draws consume the RNG stream in the same order as the historical
+  // one-point-at-a-time loop; evaluation happens as one (possibly
+  // thread-parallel) batch.
+  auto random_batch = [&](std::size_t count) {
+    std::vector<std::vector<double>> pts;
+    pts.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) pts.push_back(rng.uniform_vec(dim));
+    return pts;
+  };
+
+  // Initial random design set (DOE).
+  (void)state.simulate_batch(random_batch(config.n_init));
 
   // Surrogates.
   util::Rng model_rng = rng.split();
@@ -234,8 +259,7 @@ RunResult run_constrained(const ckt::SizingCircuit& circuit,
 
   for (std::size_t it = 0; it < config.iterations; ++it) {
     if (state.n_valid() < 4) {  // not enough data to model: explore
-      for (std::size_t b = 0; b < config.batch; ++b)
-        (void)state.simulate(rng.uniform_vec(dim));
+      (void)state.simulate_batch(random_batch(config.batch));
       continue;
     }
     la::Matrix x;
@@ -266,21 +290,19 @@ RunResult run_constrained(const ckt::SizingCircuit& circuit,
           const auto a_kat = select_batch(p_kat, n_kat, dim, rng);
           const auto a_self =
               select_batch(p_self, config.batch - n_kat, dim, rng);
-          for (const auto& cand : a_kat)
-            if (state.simulate(cand)) w_kat += 1.0;  // Eq. 14
-          for (const auto& cand : a_self)
-            if (state.simulate(cand)) w_self += 1.0;
+          for (char imp : state.simulate_batch(a_kat))
+            if (imp) w_kat += 1.0;  // Eq. 14
+          for (char imp : state.simulate_batch(a_self))
+            if (imp) w_self += 1.0;
         } else if (transfer) {
           // Transfer without STL: trust KAT-GP exclusively (ablation mode).
           const auto p =
               mace_proposals(*kat_model, specs, y_best, mace_opts, rng, seeds);
-          for (const auto& cand : select_batch(p, config.batch, dim, rng))
-            (void)state.simulate(cand);
+          (void)state.simulate_batch(select_batch(p, config.batch, dim, rng));
         } else {
           const auto p =
               mace_proposals(*self_model, specs, y_best, mace_opts, rng, seeds);
-          for (const auto& cand : select_batch(p, config.batch, dim, rng))
-            (void)state.simulate(cand);
+          (void)state.simulate_batch(select_batch(p, config.batch, dim, rng));
         }
         break;
       }
@@ -288,8 +310,7 @@ RunResult run_constrained(const ckt::SizingCircuit& circuit,
         mace_opts.variant = MaceVariant::full;
         const auto p =
             mace_proposals(*self_model, specs, y_best, mace_opts, rng, seeds);
-        for (const auto& cand : select_batch(p, config.batch, dim, rng))
-          (void)state.simulate(cand);
+        (void)state.simulate_batch(select_batch(p, config.batch, dim, rng));
         break;
       }
       case ConstrainedMethod::mesmoc: {
@@ -308,8 +329,7 @@ RunResult run_constrained(const ckt::SizingCircuit& circuit,
                                  : 1.0;
           scored.push_back({pf * lcb, std::move(pool[c])});
         }
-        for (const auto& cand : top_k_distinct(scored, config.batch, dim, rng))
-          (void)state.simulate(cand);
+        (void)state.simulate_batch(top_k_distinct(scored, config.batch, dim, rng));
         break;
       }
       case ConstrainedMethod::usemoc: {
@@ -327,8 +347,7 @@ RunResult run_constrained(const ckt::SizingCircuit& circuit,
           for (const auto& p : preds) spread += std::sqrt(std::max(p.var, 0.0));
           scored.push_back({spread * std::sqrt(pf), std::move(pool[c])});
         }
-        for (const auto& cand : top_k_distinct(scored, config.batch, dim, rng))
-          (void)state.simulate(cand);
+        (void)state.simulate_batch(top_k_distinct(scored, config.batch, dim, rng));
         break;
       }
     }
@@ -398,22 +417,15 @@ class FomState {
       : circuit_(circuit), norm_(norm) {}
 
   bool simulate(const std::vector<double>& x) {
-    const auto metrics = circuit_.evaluate(x);
-    result_.x_history.push_back(x);
-    result_.metrics_history.push_back(metrics);
-    bool improved = false;
-    if (metrics) {
-      const double fom = ckt::fom_value(norm_, *metrics);
-      xs_.push_back(x);
-      neg_fom_.push_back(-fom);
-      if (fom > best_) {
-        best_ = fom;
-        result_.best_x = x;
-        result_.best_metrics = *metrics;
-        improved = true;
-      }
-    }
-    result_.trace.push_back(best_);
+    return record(x, circuit_.evaluate(x));
+  }
+
+  /// Batch counterpart of simulate(); see ConstrainedState::simulate_batch.
+  std::vector<char> simulate_batch(const std::vector<std::vector<double>>& xs) {
+    const auto metrics = circuit_.evaluate_batch(xs);
+    std::vector<char> improved(xs.size());
+    for (std::size_t i = 0; i < xs.size(); ++i)
+      improved[i] = record(xs[i], metrics[i]) ? 1 : 0;
     return improved;
   }
 
@@ -463,6 +475,26 @@ class FomState {
   }
 
  private:
+  bool record(const std::vector<double>& x,
+              const std::optional<std::vector<double>>& metrics) {
+    result_.x_history.push_back(x);
+    result_.metrics_history.push_back(metrics);
+    bool improved = false;
+    if (metrics) {
+      const double fom = ckt::fom_value(norm_, *metrics);
+      xs_.push_back(x);
+      neg_fom_.push_back(-fom);
+      if (fom > best_) {
+        best_ = fom;
+        result_.best_x = x;
+        result_.best_metrics = *metrics;
+        improved = true;
+      }
+    }
+    result_.trace.push_back(best_);
+    return improved;
+  }
+
   const ckt::SizingCircuit& circuit_;
   const ckt::FomNormalization& norm_;
   RunResult result_;
@@ -481,12 +513,19 @@ RunResult run_fom(const ckt::SizingCircuit& circuit,
   FomState state(circuit, norm);
   const std::size_t dim = circuit.dim();
 
-  for (std::size_t i = 0; i < config.n_init; ++i)
-    (void)state.simulate(rng.uniform_vec(dim));
+  // Same draw-then-batch discipline as run_constrained: the RNG stream is
+  // untouched, only the evaluation is batched.
+  auto random_batch = [&](std::size_t count) {
+    std::vector<std::vector<double>> pts;
+    pts.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) pts.push_back(rng.uniform_vec(dim));
+    return pts;
+  };
+
+  (void)state.simulate_batch(random_batch(config.n_init));
 
   if (method == FomMethod::random_search) {
-    for (std::size_t i = 0; i < config.batch * config.iterations; ++i)
-      (void)state.simulate(rng.uniform_vec(dim));
+    (void)state.simulate_batch(random_batch(config.batch * config.iterations));
     return state.take_result();
   }
   if (method == FomMethod::tlmbo && source == nullptr)
@@ -531,8 +570,7 @@ RunResult run_fom(const ckt::SizingCircuit& circuit,
 
   for (std::size_t it = 0; it < config.iterations; ++it) {
     if (state.n_valid() < 4) {
-      for (std::size_t b = 0; b < config.batch; ++b)
-        (void)state.simulate(rng.uniform_vec(dim));
+      (void)state.simulate_batch(random_batch(config.batch));
       continue;
     }
     const double y_best = state.best_neg();
@@ -548,8 +586,7 @@ RunResult run_fom(const ckt::SizingCircuit& circuit,
         scored.push_back(
             {expected_improvement({p.mean, p.var}, y_best), std::move(cand)});
       }
-      for (const auto& cand : top_k_distinct(scored, config.batch, dim, rng))
-        (void)state.simulate(cand);
+      (void)state.simulate_batch(top_k_distinct(scored, config.batch, dim, rng));
       continue;
     }
 
@@ -567,21 +604,19 @@ RunResult run_fom(const ckt::SizingCircuit& circuit,
           mace_proposals_unconstrained(*model, y_best, mace_opts, rng, seeds);
       const auto n_kat = static_cast<std::size_t>(std::lround(
           w_kat / (w_kat + w_self) * static_cast<double>(config.batch)));
-      for (const auto& cand : select_batch(p_kat, n_kat, dim, rng))
-        if (state.simulate(cand)) w_kat += 1.0;
-      for (const auto& cand :
-           select_batch(p_self, config.batch - n_kat, dim, rng))
-        if (state.simulate(cand)) w_self += 1.0;
+      for (char imp : state.simulate_batch(select_batch(p_kat, n_kat, dim, rng)))
+        if (imp) w_kat += 1.0;
+      for (char imp : state.simulate_batch(
+               select_batch(p_self, config.batch - n_kat, dim, rng)))
+        if (imp) w_self += 1.0;
     } else if (transfer) {
       const auto p =
           mace_proposals_unconstrained(*kat_model, y_best, mace_opts, rng, seeds);
-      for (const auto& cand : select_batch(p, config.batch, dim, rng))
-        (void)state.simulate(cand);
+      (void)state.simulate_batch(select_batch(p, config.batch, dim, rng));
     } else {
       const auto p =
           mace_proposals_unconstrained(*model, y_best, mace_opts, rng, seeds);
-      for (const auto& cand : select_batch(p, config.batch, dim, rng))
-        (void)state.simulate(cand);
+      (void)state.simulate_batch(select_batch(p, config.batch, dim, rng));
     }
   }
 

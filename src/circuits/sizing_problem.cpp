@@ -46,6 +46,14 @@ std::vector<double> DesignSpace::to_physical(const std::vector<double>& unit) co
   return x;
 }
 
+std::vector<std::optional<std::vector<double>>> SizingCircuit::evaluate_batch(
+    const std::vector<std::vector<double>>& xs) const {
+  std::vector<std::optional<std::vector<double>>> out;
+  out.reserve(xs.size());
+  for (const auto& x : xs) out.push_back(evaluate(x));
+  return out;
+}
+
 bool SizingCircuit::feasible(const std::vector<double>& metrics) const {
   const auto& specs = constraints();
   if (metrics.size() != 1 + specs.size())
@@ -64,9 +72,17 @@ FomNormalization calibrate_fom(const SizingCircuit& circuit, std::size_t n,
   norm.bound.assign(m, 0.0);
   norm.weight.assign(m, 1.0);
 
+  // Draw the whole DOE first (same RNG stream as the historical one-by-one
+  // loop), then evaluate as one batch — thread-parallel for circuits that
+  // override evaluate_batch.
+  std::vector<std::vector<double>> points;
+  points.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    points.push_back(rng.uniform_vec(circuit.dim()));
+  const auto results = circuit.evaluate_batch(points);
+
   std::size_t got = 0;
-  for (std::size_t i = 0; i < n; ++i) {
-    const auto metrics = circuit.evaluate(rng.uniform_vec(circuit.dim()));
+  for (const auto& metrics : results) {
     if (!metrics) continue;
     ++got;
     for (std::size_t j = 0; j < m; ++j) {

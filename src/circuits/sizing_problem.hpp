@@ -65,6 +65,14 @@ class SizingCircuit {
   virtual std::optional<std::vector<double>> evaluate(
       const std::vector<double>& unit_x) const = 0;
 
+  /// Simulate a batch of candidates; result[i] equals evaluate(xs[i]).
+  /// The base implementation is the serial loop.  Overrides may evaluate
+  /// thread-parallel (see NetlistCircuit) but must stay bit-identical to
+  /// the serial loop at any KATO_THREADS — the BO drivers and the DOE
+  /// stages rely on that for seed reproducibility.
+  virtual std::vector<std::optional<std::vector<double>>> evaluate_batch(
+      const std::vector<std::vector<double>>& xs) const;
+
   /// A hand-tuned feasible reference sizing (the "Human Expert" rows of
   /// Tables 1-2), in unit-box coordinates.
   virtual std::vector<double> expert_design() const = 0;

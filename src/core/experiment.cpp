@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstdlib>
 
+#include "util/parallel.hpp"
+
 namespace kato::core {
 
 std::vector<std::uint64_t> seed_list(std::size_t fallback) {
@@ -34,6 +36,23 @@ void sanitize_traces(std::vector<std::vector<double>>& traces, bool minimize) {
       if (!std::isfinite(v)) v = minimize ? fill : v;
 }
 
+/// Run fn(i) for every seed index.  Fans out across the worker pool only
+/// when there are enough seeds to fill it — with fewer seeds the serial
+/// loop leaves each run's *inner* parallelism (GP fits, batch candidate
+/// evaluation) free to use the pool instead, which nested fan-out would
+/// force inline.  Either route writes slot i from fn(i) only, so results
+/// are identical.
+void for_each_seed(std::size_t count,
+                   const std::function<void(std::size_t)>& fn) {
+  if (count >= util::thread_count()) {
+    util::parallel_for(count, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) fn(i);
+    });
+  } else {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+  }
+}
+
 }  // namespace
 
 TransferComparison run_transfer_comparison(
@@ -60,12 +79,17 @@ MethodSeries run_constrained_series(const ckt::SizingCircuit& circuit,
                                     const std::string& label) {
   MethodSeries series;
   series.name = label.empty() ? bo::to_string(method) : label;
+  // Seeds are independent runs (each builds its own RNG from its seed and
+  // the circuit is read-only), so the series fans out across the worker
+  // pool; run i lands in slot i regardless of KATO_THREADS, keeping the
+  // aggregate bit-identical to the sequential loop.
+  series.runs.resize(seeds.size());
+  for_each_seed(seeds.size(), [&](std::size_t i) {
+    series.runs[i] =
+        bo::run_constrained(circuit, method, config, seeds[i], source);
+  });
   std::vector<std::vector<double>> traces;
-  for (auto seed : seeds) {
-    series.runs.push_back(
-        bo::run_constrained(circuit, method, config, seed, source));
-    traces.push_back(series.runs.back().trace);
-  }
+  for (const auto& run : series.runs) traces.push_back(run.trace);
   sanitize_traces(traces, /*minimize=*/true);
   series.band = util::aggregate_traces(traces);
   return series;
@@ -79,11 +103,12 @@ MethodSeries run_fom_series(const ckt::SizingCircuit& circuit,
                             const std::string& label) {
   MethodSeries series;
   series.name = label.empty() ? bo::to_string(method) : label;
+  series.runs.resize(seeds.size());
+  for_each_seed(seeds.size(), [&](std::size_t i) {
+    series.runs[i] = bo::run_fom(circuit, norm, method, config, seeds[i], source);
+  });
   std::vector<std::vector<double>> traces;
-  for (auto seed : seeds) {
-    series.runs.push_back(bo::run_fom(circuit, norm, method, config, seed, source));
-    traces.push_back(series.runs.back().trace);
-  }
+  for (const auto& run : series.runs) traces.push_back(run.trace);
   sanitize_traces(traces, /*minimize=*/false);
   series.band = util::aggregate_traces(traces);
   return series;

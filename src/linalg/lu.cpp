@@ -9,12 +9,10 @@ namespace {
 constexpr double k_singular_tol = 1e-300;
 }
 
-std::optional<Vector> lu_solve(Matrix a, Vector b) {
+bool lu_solve_into(Matrix& a, Vector& b, Vector& x) {
   const std::size_t n = a.rows();
   if (a.cols() != n || b.size() != n)
-    throw std::invalid_argument("lu_solve: shape mismatch");
-  std::vector<std::size_t> perm(n);
-  for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+    throw std::invalid_argument("lu_solve_into: shape mismatch");
 
   for (std::size_t col = 0; col < n; ++col) {
     // Partial pivot.
@@ -27,7 +25,7 @@ std::optional<Vector> lu_solve(Matrix a, Vector b) {
         pivot = r;
       }
     }
-    if (best < k_singular_tol || !std::isfinite(best)) return std::nullopt;
+    if (best < k_singular_tol || !std::isfinite(best)) return false;
     if (pivot != col) {
       for (std::size_t j = 0; j < n; ++j) std::swap(a(col, j), a(pivot, j));
       std::swap(b[col], b[pivot]);
@@ -42,21 +40,27 @@ std::optional<Vector> lu_solve(Matrix a, Vector b) {
     }
   }
   // Back substitution.
-  Vector x(n);
+  x.assign(n, 0.0);
   for (std::size_t ii = n; ii-- > 0;) {
     double s = b[ii];
     for (std::size_t j = ii + 1; j < n; ++j) s -= a(ii, j) * x[j];
     x[ii] = s / a(ii, ii);
   }
   for (double v : x)
-    if (!std::isfinite(v)) return std::nullopt;
+    if (!std::isfinite(v)) return false;
+  return true;
+}
+
+std::optional<Vector> lu_solve(Matrix a, Vector b) {
+  Vector x;
+  if (!lu_solve_into(a, b, x)) return std::nullopt;
   return x;
 }
 
-std::optional<CVector> lu_solve_complex(CMatrix a, CVector b) {
+bool lu_solve_complex_into(CMatrix& a, CVector& b, CVector& x) {
   const std::size_t n = a.rows();
   if (a.cols() != n || b.size() != n)
-    throw std::invalid_argument("lu_solve_complex: shape mismatch");
+    throw std::invalid_argument("lu_solve_complex_into: shape mismatch");
 
   for (std::size_t col = 0; col < n; ++col) {
     std::size_t pivot = col;
@@ -68,7 +72,7 @@ std::optional<CVector> lu_solve_complex(CMatrix a, CVector b) {
         pivot = r;
       }
     }
-    if (best < k_singular_tol || !std::isfinite(best)) return std::nullopt;
+    if (best < k_singular_tol || !std::isfinite(best)) return false;
     if (pivot != col) {
       for (std::size_t j = 0; j < n; ++j) std::swap(a(col, j), a(pivot, j));
       std::swap(b[col], b[pivot]);
@@ -82,14 +86,20 @@ std::optional<CVector> lu_solve_complex(CMatrix a, CVector b) {
       b[r] -= factor * b[col];
     }
   }
-  CVector x(n);
+  x.assign(n, std::complex<double>(0.0, 0.0));
   for (std::size_t ii = n; ii-- > 0;) {
     std::complex<double> s = b[ii];
     for (std::size_t j = ii + 1; j < n; ++j) s -= a(ii, j) * x[j];
     x[ii] = s / a(ii, ii);
   }
   for (const auto& v : x)
-    if (!std::isfinite(v.real()) || !std::isfinite(v.imag())) return std::nullopt;
+    if (!std::isfinite(v.real()) || !std::isfinite(v.imag())) return false;
+  return true;
+}
+
+std::optional<CVector> lu_solve_complex(CMatrix a, CVector b) {
+  CVector x;
+  if (!lu_solve_complex_into(a, b, x)) return std::nullopt;
   return x;
 }
 

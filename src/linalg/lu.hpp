@@ -17,6 +17,12 @@ namespace kato::la {
 /// matrix is numerically singular.
 std::optional<Vector> lu_solve(Matrix a, Vector b);
 
+/// In-place variant for hot loops: factors `a` and reduces `b` in place
+/// (both are clobbered) and writes the solution into `x` (resized).  No
+/// allocation happens when x already has capacity n.  Returns false when
+/// the matrix is numerically singular.
+bool lu_solve_into(Matrix& a, Vector& b, Vector& x);
+
 /// Dense complex matrix in row-major order (small: circuit-node count).
 class CMatrix {
  public:
@@ -46,5 +52,9 @@ using CVector = std::vector<std::complex<double>>;
 
 /// Solve a x = b for a general square complex matrix (partial pivoting).
 std::optional<CVector> lu_solve_complex(CMatrix a, CVector b);
+
+/// In-place complex variant (see lu_solve_into): `a` and `b` are clobbered,
+/// the solution lands in `x`.  Returns false when singular.
+bool lu_solve_complex_into(CMatrix& a, CVector& b, CVector& x);
 
 }  // namespace kato::la

@@ -1,0 +1,323 @@
+#include "linalg/sparse.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace kato::la {
+
+namespace {
+
+constexpr double k_abs_tiny = 1e-300;  ///< below this a pivot is singular
+/// Refactor guard: a reused pivot smaller than this fraction of its column's
+/// magnitude triggers a fresh pivoting pass (values drifted too far from the
+/// ones the pivot sequence was chosen for — e.g. across a gmin ladder).
+constexpr double k_repivot_rel = 1e-8;
+/// Diagonal preference during pivoting: keep the structural diagonal when it
+/// is within this factor of the column maximum (stabilizes the pivot
+/// sequence across Newton iterations without hurting growth).
+constexpr double k_diag_pref = 0.1;
+
+double mag(double v) { return std::abs(v); }
+double mag(const std::complex<double>& v) {
+  // 1-norm proxy: cheaper than abs() and equivalent for pivot ranking.
+  return std::abs(v.real()) + std::abs(v.imag());
+}
+
+bool finite(double v) { return std::isfinite(v); }
+bool finite(const std::complex<double>& v) {
+  return std::isfinite(v.real()) && std::isfinite(v.imag());
+}
+
+}  // namespace
+
+SparsePattern::SparsePattern(std::size_t n, const std::vector<Coord>& coords)
+    : n_(n) {
+  for (const auto& c : coords)
+    if (c.r >= n || c.c >= n)
+      throw std::invalid_argument("SparsePattern: coord out of range");
+  std::vector<Coord> sorted = coords;
+  std::sort(sorted.begin(), sorted.end(), [](const Coord& a, const Coord& b) {
+    return a.c != b.c ? a.c < b.c : a.r < b.r;
+  });
+  sorted.erase(std::unique(sorted.begin(), sorted.end(),
+                           [](const Coord& a, const Coord& b) {
+                             return a.r == b.r && a.c == b.c;
+                           }),
+               sorted.end());
+  colp_.assign(n_ + 1, 0);
+  row_.reserve(sorted.size());
+  for (const auto& c : sorted) {
+    ++colp_[c.c + 1];
+    row_.push_back(c.r);
+  }
+  for (std::size_t j = 0; j < n_; ++j) colp_[j + 1] += colp_[j];
+}
+
+std::size_t SparsePattern::slot(std::size_t r, std::size_t c) const {
+  if (c >= n_) return k_sparse_npos;
+  const auto begin = row_.begin() + static_cast<std::ptrdiff_t>(colp_[c]);
+  const auto end = row_.begin() + static_cast<std::ptrdiff_t>(colp_[c + 1]);
+  const auto it = std::lower_bound(begin, end, r);
+  if (it == end || *it != r) return k_sparse_npos;
+  return static_cast<std::size_t>(it - row_.begin());
+}
+
+std::vector<std::size_t> min_degree_order(const SparsePattern& p) {
+  const std::size_t n = p.n();
+  // Symmetrized adjacency (no self loops), sorted + unique per node.
+  std::vector<std::vector<std::size_t>> adj(n);
+  for (std::size_t c = 0; c < n; ++c)
+    for (std::size_t s = p.col_ptr()[c]; s < p.col_ptr()[c + 1]; ++s) {
+      const std::size_t r = p.row_idx()[s];
+      if (r == c) continue;
+      adj[r].push_back(c);
+      adj[c].push_back(r);
+    }
+  for (auto& a : adj) {
+    std::sort(a.begin(), a.end());
+    a.erase(std::unique(a.begin(), a.end()), a.end());
+  }
+
+  std::vector<unsigned char> alive(n, 1);
+  std::vector<std::size_t> order;
+  order.reserve(n);
+  std::vector<std::size_t> nbrs;
+  for (std::size_t step = 0; step < n; ++step) {
+    // Min alive degree, lowest index on ties.
+    std::size_t best = k_sparse_npos;
+    std::size_t best_deg = k_sparse_npos;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (!alive[v]) continue;
+      // Degrees are maintained lazily: compact the list before counting.
+      auto& a = adj[v];
+      a.erase(std::remove_if(a.begin(), a.end(),
+                             [&](std::size_t u) { return !alive[u]; }),
+              a.end());
+      if (a.size() < best_deg) {
+        best_deg = a.size();
+        best = v;
+      }
+    }
+    const std::size_t v = best;
+    order.push_back(v);
+    alive[v] = 0;
+    nbrs = adj[v];
+    // Eliminate v: its alive neighborhood becomes a clique.
+    for (std::size_t u : nbrs) {
+      auto& a = adj[u];
+      a.insert(a.end(), nbrs.begin(), nbrs.end());
+      std::sort(a.begin(), a.end());
+      a.erase(std::unique(a.begin(), a.end()), a.end());
+      a.erase(std::remove(a.begin(), a.end(), u), a.end());
+    }
+  }
+  return order;
+}
+
+template <typename T>
+void SparseLuT<T>::analyze(const SparsePattern& pattern) {
+  pat_ = pattern;
+  q_ = min_degree_order(pat_);
+  symbolic_ = false;
+  factored_ = false;
+  pivot_passes_ = 0;
+  const std::size_t n = pat_.n();
+  w_.assign(n, T{});
+  rowmark_.assign(n, 0);
+  colmark_.assign(n, 0);
+}
+
+template <typename T>
+bool SparseLuT<T>::factor(const std::vector<T>& values) {
+  if (values.size() != pat_.nnz())
+    throw std::invalid_argument("SparseLu::factor: value count != pattern nnz");
+  factored_ = false;
+  if (symbolic_ && refactor(values)) {
+    factored_ = true;
+    return true;
+  }
+  factored_ = full_factor(values);
+  return factored_;
+}
+
+template <typename T>
+bool SparseLuT<T>::full_factor(const std::vector<T>& values) {
+  const std::size_t n = pat_.n();
+  symbolic_ = false;
+  ++pivot_passes_;
+  p_.assign(n, k_sparse_npos);
+  pinv_.assign(n, k_sparse_npos);
+  lp_.assign(1, 0);
+  up_.assign(1, 0);
+  li_.clear();
+  lx_.clear();
+  ui_.clear();
+  ux_.clear();
+  ud_.clear();
+  ud_.reserve(n);
+
+  // w_/rowmark_/colmark_ are all-clear between columns (reset on exit paths).
+  auto cleanup = [&] {
+    for (std::size_t r : nzrows_) {
+      w_[r] = T{};
+      rowmark_[r] = 0;
+    }
+    for (std::size_t j : ucols_) colmark_[j] = 0;
+  };
+
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t cc = q_[k];
+    nzrows_.clear();
+    heap_.clear();
+    ucols_.clear();
+    // Scatter A(:, cc); queue updates from already-pivoted rows.
+    auto touch = [&](std::size_t r) {
+      if (rowmark_[r]) return;
+      rowmark_[r] = 1;
+      nzrows_.push_back(r);
+      const std::size_t j = pinv_[r];
+      if (j != k_sparse_npos && !colmark_[j]) {
+        colmark_[j] = 1;
+        heap_.push_back(j);
+        std::push_heap(heap_.begin(), heap_.end(), std::greater<>());
+      }
+    };
+    for (std::size_t s = pat_.col_ptr()[cc]; s < pat_.col_ptr()[cc + 1]; ++s) {
+      const std::size_t r = pat_.row_idx()[s];
+      touch(r);
+      w_[r] = values[s];
+    }
+    // Left-looking updates in ascending pivot order (columns discovered
+    // through fill always lie deeper, so a min-heap pops a valid
+    // topological order).  Updates are applied structurally — a zero value
+    // still propagates its pattern — so the recorded fill is valid for any
+    // values on this pattern.
+    while (!heap_.empty()) {
+      std::pop_heap(heap_.begin(), heap_.end(), std::greater<>());
+      const std::size_t j = heap_.back();
+      heap_.pop_back();
+      ucols_.push_back(j);
+      const T xj = w_[p_[j]];
+      for (std::size_t t = lp_[j]; t < lp_[j + 1]; ++t) {
+        const std::size_t rr = li_[t];
+        touch(rr);
+        w_[rr] -= xj * lx_[t];
+      }
+    }
+    // Pivot: largest magnitude among non-pivotal rows (lowest index on
+    // ties), keeping the structural diagonal when competitive.
+    std::size_t best = k_sparse_npos;
+    double best_mag = 0.0;
+    bool all_finite = true;
+    for (std::size_t r : nzrows_) {
+      if (pinv_[r] != k_sparse_npos) continue;
+      const double m = mag(w_[r]);
+      if (!finite(w_[r])) all_finite = false;
+      if (m > best_mag || (m == best_mag && best != k_sparse_npos && r < best)) {
+        if (m > 0.0 || best == k_sparse_npos) {
+          best_mag = m;
+          best = r;
+        }
+      }
+    }
+    if (!all_finite || best == k_sparse_npos || best_mag < k_abs_tiny) {
+      cleanup();
+      return false;
+    }
+    std::size_t prow = best;
+    if (cc != best && pinv_[cc] == k_sparse_npos && rowmark_[cc] &&
+        mag(w_[cc]) >= k_diag_pref * best_mag)
+      prow = cc;
+    const T piv = w_[prow];
+    p_[k] = prow;
+    pinv_[prow] = k;
+    // U column k: the update columns, already in ascending pivot order.
+    for (std::size_t j : ucols_) {
+      ui_.push_back(j);
+      ux_.push_back(w_[p_[j]]);
+    }
+    up_.push_back(ui_.size());
+    ud_.push_back(piv);
+    // L column k: remaining non-pivotal rows, sorted for a deterministic
+    // (and cache-friendly) refactor order.
+    const std::size_t l_begin = li_.size();
+    for (std::size_t r : nzrows_)
+      if (pinv_[r] == k_sparse_npos) li_.push_back(r);
+    std::sort(li_.begin() + static_cast<std::ptrdiff_t>(l_begin), li_.end());
+    for (std::size_t t = l_begin; t < li_.size(); ++t)
+      lx_.push_back(w_[li_[t]] / piv);
+    lp_.push_back(li_.size());
+    cleanup();
+  }
+  symbolic_ = true;
+  return true;
+}
+
+template <typename T>
+bool SparseLuT<T>::refactor(const std::vector<T>& values) {
+  const std::size_t n = pat_.n();
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t cc = q_[k];
+    for (std::size_t s = pat_.col_ptr()[cc]; s < pat_.col_ptr()[cc + 1]; ++s)
+      w_[pat_.row_idx()[s]] = values[s];
+    double cmax = 0.0;
+    for (std::size_t t = up_[k]; t < up_[k + 1]; ++t) {
+      const std::size_t j = ui_[t];
+      const T xj = w_[p_[j]];
+      w_[p_[j]] = T{};
+      ux_[t] = xj;
+      cmax = std::max(cmax, mag(xj));
+      if (!(xj == T{}))
+        for (std::size_t tt = lp_[j]; tt < lp_[j + 1]; ++tt)
+          w_[li_[tt]] -= xj * lx_[tt];
+    }
+    const T piv = w_[p_[k]];
+    w_[p_[k]] = T{};
+    const double pmag = mag(piv);
+    cmax = std::max(cmax, pmag);
+    for (std::size_t t = lp_[k]; t < lp_[k + 1]; ++t) {
+      const T v = w_[li_[t]];
+      w_[li_[t]] = T{};
+      lx_[t] = v;  // scaled below once the pivot is accepted
+      cmax = std::max(cmax, mag(v));
+    }
+    // Pivot collapsed relative to its column (or went singular/non-finite):
+    // the recorded sequence no longer fits these values — re-pivot.  w_ is
+    // already clean, so the caller can go straight to full_factor.
+    if (!std::isfinite(cmax) || pmag < k_abs_tiny || pmag < k_repivot_rel * cmax)
+      return false;
+    ud_[k] = piv;
+    for (std::size_t t = lp_[k]; t < lp_[k + 1]; ++t) lx_[t] = lx_[t] / piv;
+  }
+  return true;
+}
+
+template <typename T>
+void SparseLuT<T>::solve(const std::vector<T>& b, std::vector<T>& x) const {
+  const std::size_t n = pat_.n();
+  if (b.size() != n)
+    throw std::invalid_argument("SparseLu::solve: rhs size mismatch");
+  solve_ws_ = b;
+  // Forward: L y = P b (unit diagonal), column-oriented over original rows.
+  for (std::size_t k = 0; k < n; ++k) {
+    const T xk = solve_ws_[p_[k]];
+    if (xk == T{}) continue;
+    for (std::size_t t = lp_[k]; t < lp_[k + 1]; ++t)
+      solve_ws_[li_[t]] -= xk * lx_[t];
+  }
+  // Backward: U z = y; un-permute columns on the way out (x[q[k]] = z[k]).
+  x.assign(n, T{});
+  for (std::size_t k = n; k-- > 0;) {
+    const T xk = solve_ws_[p_[k]] / ud_[k];
+    x[q_[k]] = xk;
+    if (xk == T{}) continue;
+    for (std::size_t t = up_[k]; t < up_[k + 1]; ++t)
+      solve_ws_[p_[ui_[t]]] -= xk * ux_[t];
+  }
+}
+
+template class SparseLuT<double>;
+template class SparseLuT<std::complex<double>>;
+
+}  // namespace kato::la

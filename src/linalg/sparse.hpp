@@ -1,0 +1,128 @@
+#pragma once
+// Sparse LU with symbolic-factorization reuse — the KLU-style solve path
+// behind the MNA circuit analyses.
+//
+// Circuit matrices are extremely sparse (a handful of entries per row) and
+// every analysis solves the *same sparsity pattern* over and over: each
+// Newton iteration of a DC solve, each frequency point of an AC sweep and
+// each timestep of a transient run only changes the numeric values.  The
+// classes here split the work accordingly:
+//
+//   SparsePattern     immutable CSC structure built once per topology; the
+//                     MNA assembler resolves every device stamp to a flat
+//                     value-array slot against it.
+//   min_degree_order  deterministic greedy minimum-degree ordering of the
+//                     symmetrized pattern (fill reduction).
+//   SparseLuT<T>      numeric LU bound to a pattern.  The first factor()
+//                     performs Gilbert-Peierls left-looking elimination with
+//                     partial pivoting (diagonal-preferring threshold, ties
+//                     broken by lowest row index, so the pivot sequence is
+//                     deterministic) and records the pivot order plus the
+//                     fill pattern of L and U.  Every later factor() is an
+//                     in-place numeric refactorization over the recorded
+//                     structure — no searching, no allocation — falling back
+//                     to a fresh pivoting pass only when a reused pivot
+//                     collapses relative to its column.
+//
+// Real (SparseLu) and complex (CSparseLu) instantiations back the DC/TRAN
+// Newton iterations and the AC sweep respectively.
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace kato::la {
+
+/// "No slot" marker: a stamp that lands on the ground row/column.
+inline constexpr std::size_t k_sparse_npos = static_cast<std::size_t>(-1);
+
+/// One structural entry (row, col) used to build a SparsePattern.
+struct Coord {
+  std::size_t r;
+  std::size_t c;
+};
+
+/// Immutable n x n compressed-sparse-column structure.  Duplicate coords
+/// collapse to a single slot; `slot(r, c)` maps an entry back to its
+/// position in the value array (the assembler calls it once per stamp at
+/// prepare time, never on the per-iteration path).
+class SparsePattern {
+ public:
+  SparsePattern() = default;
+  SparsePattern(std::size_t n, const std::vector<Coord>& coords);
+
+  std::size_t n() const { return n_; }
+  std::size_t nnz() const { return row_.size(); }
+
+  /// Slot of entry (r, c) in the value array; k_sparse_npos when absent.
+  std::size_t slot(std::size_t r, std::size_t c) const;
+
+  const std::vector<std::size_t>& col_ptr() const { return colp_; }
+  const std::vector<std::size_t>& row_idx() const { return row_; }
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<std::size_t> colp_;  ///< size n + 1
+  std::vector<std::size_t> row_;   ///< ascending within each column
+};
+
+/// Fill-reducing elimination order: greedy exact minimum degree on the
+/// symmetrized pattern (A + A^T), ties broken by lowest node index so the
+/// result — and therefore the whole factorization — is deterministic.
+std::vector<std::size_t> min_degree_order(const SparsePattern& p);
+
+template <typename T>
+class SparseLuT {
+ public:
+  SparseLuT() = default;
+
+  /// One-time symbolic setup: copy the pattern and compute the
+  /// fill-reducing column order.  Clears any recorded factorization.
+  void analyze(const SparsePattern& pattern);
+
+  /// Numeric factorization from `values` (parallel to the pattern's slots).
+  /// First call after analyze() pivots and records the structure; later
+  /// calls refactor in place over it.  Returns false when the matrix is
+  /// numerically singular (no usable pivot in some column).
+  bool factor(const std::vector<T>& values);
+
+  /// Solve A x = b with the current factorization; b is left untouched and
+  /// x is resized to n.  Requires a successful factor().
+  void solve(const std::vector<T>& b, std::vector<T>& x) const;
+
+  bool factored() const { return factored_; }
+  std::size_t n() const { return pat_.n(); }
+  /// Entries in L + U + diagonal after factorization (fill introspection).
+  std::size_t lu_nnz() const { return li_.size() + ui_.size() + ud_.size(); }
+  /// Full pivoting factorizations performed so far (1 after the first
+  /// factor(); grows only when a refactorization had to re-pivot).
+  std::size_t pivot_passes() const { return pivot_passes_; }
+
+ private:
+  bool full_factor(const std::vector<T>& values);
+  bool refactor(const std::vector<T>& values);
+
+  SparsePattern pat_;
+  std::vector<std::size_t> q_;     ///< column order (analyze)
+  std::vector<std::size_t> p_;     ///< pivot position -> original row
+  std::vector<std::size_t> pinv_;  ///< original row -> pivot position
+  // L: unit lower triangular in pivot coordinates, stored column-wise with
+  // original row indices.  U: strictly upper entries stored column-wise as
+  // pivot positions in ascending order (a valid topological order for the
+  // left-looking column solve); diagonal pivots separate in ud_.
+  std::vector<std::size_t> lp_, li_;
+  std::vector<std::size_t> up_, ui_;
+  std::vector<T> lx_, ux_, ud_;
+  bool symbolic_ = false;  ///< pivot sequence + fill pattern recorded
+  bool factored_ = false;
+  std::size_t pivot_passes_ = 0;
+  std::vector<T> w_;                  ///< dense column accumulator
+  mutable std::vector<T> solve_ws_;   ///< permuted rhs workspace
+  std::vector<unsigned char> rowmark_, colmark_;
+  std::vector<std::size_t> nzrows_, heap_, ucols_;
+};
+
+using SparseLu = SparseLuT<double>;
+using CSparseLu = SparseLuT<std::complex<double>>;
+
+}  // namespace kato::la

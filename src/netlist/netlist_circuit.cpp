@@ -7,6 +7,7 @@
 #include "sim/ac.hpp"
 #include "sim/dc.hpp"
 #include "sim/transient.hpp"
+#include "util/parallel.hpp"
 
 namespace kato::ckt {
 
@@ -331,6 +332,20 @@ net::Elaboration NetlistCircuit::elaborate(
 std::optional<std::vector<double>> NetlistCircuit::evaluate(
     const std::vector<double>& unit_x) const {
   return evaluate_detailed(unit_x).metrics;
+}
+
+std::vector<std::optional<std::vector<double>>> NetlistCircuit::evaluate_batch(
+    const std::vector<std::vector<double>>& xs) const {
+  std::vector<std::optional<std::vector<double>>> out(xs.size());
+  // Each candidate slot is a pure function of its unit-box point: the
+  // worker elaborates a private sim::Circuit (with its own assembler,
+  // pattern and factorization workspaces) and writes only its own slot, so
+  // any chunking of [0, n) yields bit-identical results.
+  util::parallel_for(xs.size(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i)
+      out[i] = evaluate_detailed(xs[i]).metrics;
+  });
+  return out;
 }
 
 NetlistCircuit::EvalOutcome NetlistCircuit::evaluate_detailed(

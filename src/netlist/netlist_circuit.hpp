@@ -67,6 +67,12 @@ class NetlistCircuit final : public SizingCircuit {
   const std::vector<MetricSpec>& constraints() const override { return specs_; }
   std::optional<std::vector<double>> evaluate(
       const std::vector<double>& unit_x) const override;
+  /// Thread-parallel batch evaluation on the util/parallel pool: each
+  /// candidate slot elaborates and simulates independently (the deck, PDK
+  /// and parameter tables are read-only), so results are bit-identical to
+  /// the serial loop at any KATO_THREADS.
+  std::vector<std::optional<std::vector<double>>> evaluate_batch(
+      const std::vector<std::vector<double>>& xs) const override;
   std::vector<double> expert_design() const override { return expert_; }
 
   /// evaluate() plus a human-readable failure reason: when `metrics` is

@@ -12,12 +12,16 @@ constexpr double k_two_pi = 6.283185307179586;
 
 using cd = std::complex<double>;
 
-/// Stamp the frequency-independent (conductance) part shared by all points.
-void stamp_conductances(const Circuit& ckt, const DcResult& op, la::CMatrix& g) {
+/// Emit every frequency-independent (conductance) entry of the linearized
+/// MNA system as emit(row, col, value); ground-involving entries are
+/// skipped.  Shared by the dense matrix fill and the sparse pattern/base
+/// construction so both solve paths stamp identical values.
+template <typename Emit>
+void for_each_conductance(const Circuit& ckt, const DcResult& op, Emit&& emit) {
   const std::size_t n = ckt.n_nodes() - 1;
   auto idx = [](int node) { return static_cast<std::size_t>(node) - 1; };
   auto stamp = [&](int a, int b, double val) {
-    if (a != 0 && b != 0) g(idx(a), idx(b)) += val;
+    if (a != 0 && b != 0) emit(idx(a), idx(b), val);
   };
   auto stamp_pair = [&](int a, int b, double val) {
     stamp(a, a, val);
@@ -53,15 +57,21 @@ void stamp_conductances(const Circuit& ckt, const DcResult& op, la::CMatrix& g) 
   for (std::size_t k = 0; k < vs.size(); ++k) {
     const std::size_t bi = n + k;
     if (vs[k].p != 0) {
-      g(idx(vs[k].p), bi) += 1.0;
-      g(bi, idx(vs[k].p)) += 1.0;
+      emit(idx(vs[k].p), bi, 1.0);
+      emit(bi, idx(vs[k].p), 1.0);
     }
     if (vs[k].n != 0) {
-      g(idx(vs[k].n), bi) -= 1.0;
-      g(bi, idx(vs[k].n)) -= 1.0;
+      emit(idx(vs[k].n), bi, -1.0);
+      emit(bi, idx(vs[k].n), -1.0);
     }
   }
 }
+
+/// Four value-array slots of one capacitor's stamp (k_sparse_npos = ground).
+struct CapSlots {
+  std::size_t aa, bb, ab, ba;
+  double c;
+};
 
 }  // namespace
 
@@ -80,24 +90,28 @@ std::vector<CapElement> linear_caps(const Circuit& ckt) {
 std::vector<double> log_freq_grid(double f_lo, double f_hi, int per_decade) {
   if (!(f_lo > 0.0) || !(f_hi > f_lo) || per_decade < 1)
     throw std::invalid_argument("log_freq_grid: bad range");
-  std::vector<double> freqs;
+  const double e_lo = std::log10(f_lo);
+  const double e_hi = std::log10(f_hi);
   const double step = 1.0 / per_decade;
-  for (double e = std::log10(f_lo); e <= std::log10(f_hi) + 1e-12; e += step)
-    freqs.push_back(std::pow(10.0, e));
+  // Integer-indexed exponents: i * step accumulates no floating-point error,
+  // so the point count is a pure function of the range (pinned in tests) —
+  // the historical `e += step` loop could gain or drop the endpoint.
+  const auto count =
+      static_cast<std::size_t>(std::floor((e_hi - e_lo) / step + 1e-9)) + 1;
+  std::vector<double> freqs(count);
+  for (std::size_t i = 0; i < count; ++i)
+    freqs[i] = std::pow(10.0, e_lo + static_cast<double>(i) * step);
   return freqs;
 }
 
 AcSweep solve_ac(const Circuit& ckt, const DcResult& op,
-                 const std::vector<double>& freqs) {
+                 const std::vector<double>& freqs, MnaSolver solver) {
   AcSweep sweep;
   sweep.freq = freqs;
   if (!op.converged) return sweep;
 
   const std::size_t n = ckt.n_nodes() - 1;
   const std::size_t size = ckt.mna_size();
-
-  la::CMatrix g(size, size);
-  stamp_conductances(ckt, op, g);
   const auto caps = linear_caps(ckt);
 
   la::CVector rhs_template(size, cd(0.0, 0.0));
@@ -106,9 +120,84 @@ AcSweep solve_ac(const Circuit& ckt, const DcResult& op,
     rhs_template[n + k] = cd(vs[k].ac, 0.0);
 
   auto idx = [](int node) { return static_cast<std::size_t>(node) - 1; };
+  auto emit_nodes = [&](const la::CVector& x) {
+    la::CVector nodes(ckt.n_nodes(), cd(0.0, 0.0));
+    for (std::size_t i = 0; i < n; ++i) nodes[i + 1] = x[i];
+    sweep.node_voltage.push_back(std::move(nodes));
+  };
   sweep.node_voltage.reserve(freqs.size());
+
+  if (resolve_mna_solver(solver, size) == MnaSolver::sparse) {
+    // Pattern + symbolic analysis once for the whole sweep: conductances
+    // are baked into a base value array, each frequency point only rewrites
+    // the jwC entries and runs a numeric refactorization.
+    std::vector<la::Coord> coords;
+    for_each_conductance(ckt, op, [&](std::size_t r, std::size_t c, double) {
+      coords.push_back({r, c});
+    });
+    for (const auto& c : caps) {
+      if (c.a != 0) coords.push_back({idx(c.a), idx(c.a)});
+      if (c.b != 0) coords.push_back({idx(c.b), idx(c.b)});
+      if (c.a != 0 && c.b != 0) {
+        coords.push_back({idx(c.a), idx(c.b)});
+        coords.push_back({idx(c.b), idx(c.a)});
+      }
+    }
+    const la::SparsePattern pattern(size, coords);
+    std::vector<cd> base(pattern.nnz(), cd(0.0, 0.0));
+    for_each_conductance(ckt, op, [&](std::size_t r, std::size_t c, double v) {
+      base[pattern.slot(r, c)] += cd(v, 0.0);
+    });
+    std::vector<CapSlots> cap_slots;
+    cap_slots.reserve(caps.size());
+    for (const auto& c : caps) {
+      CapSlots cs{la::k_sparse_npos, la::k_sparse_npos, la::k_sparse_npos,
+                  la::k_sparse_npos, c.c};
+      if (c.a != 0) cs.aa = pattern.slot(idx(c.a), idx(c.a));
+      if (c.b != 0) cs.bb = pattern.slot(idx(c.b), idx(c.b));
+      if (c.a != 0 && c.b != 0) {
+        cs.ab = pattern.slot(idx(c.a), idx(c.b));
+        cs.ba = pattern.slot(idx(c.b), idx(c.a));
+      }
+      cap_slots.push_back(cs);
+    }
+
+    la::CSparseLu lu;
+    lu.analyze(pattern);
+    std::vector<cd> vals;
+    la::CVector x;
+    for (double f : freqs) {
+      vals = base;
+      const double w = k_two_pi * f;
+      for (const auto& cs : cap_slots) {
+        const cd jwc(0.0, w * cs.c);
+        if (cs.aa != la::k_sparse_npos) vals[cs.aa] += jwc;
+        if (cs.bb != la::k_sparse_npos) vals[cs.bb] += jwc;
+        if (cs.ab != la::k_sparse_npos) vals[cs.ab] -= jwc;
+        if (cs.ba != la::k_sparse_npos) vals[cs.ba] -= jwc;
+      }
+      if (!lu.factor(vals)) return sweep;  // ok stays false
+      lu.solve(rhs_template, x);
+      for (const auto& v : x)
+        if (!std::isfinite(v.real()) || !std::isfinite(v.imag())) return sweep;
+      emit_nodes(x);
+    }
+    sweep.ok = true;
+    return sweep;
+  }
+
+  la::CMatrix g(size, size);
+  for_each_conductance(ckt, op, [&](std::size_t r, std::size_t c, double v) {
+    g(r, c) += cd(v, 0.0);
+  });
+
+  // One factorization workspace across the sweep: y/b/x keep their
+  // allocations, each point refills them in place.
+  la::CMatrix y;
+  la::CVector b;
+  la::CVector x;
   for (double f : freqs) {
-    la::CMatrix y = g;
+    y = g;
     const double w = k_two_pi * f;
     for (const auto& c : caps) {
       const cd jwc(0.0, w * c.c);
@@ -119,11 +208,9 @@ AcSweep solve_ac(const Circuit& ckt, const DcResult& op,
         y(idx(c.b), idx(c.a)) -= jwc;
       }
     }
-    auto x = la::lu_solve_complex(std::move(y), rhs_template);
-    if (!x) return sweep;  // ok stays false
-    la::CVector nodes(ckt.n_nodes(), cd(0.0, 0.0));
-    for (std::size_t i = 0; i < n; ++i) nodes[i + 1] = (*x)[i];
-    sweep.node_voltage.push_back(std::move(nodes));
+    b = rhs_template;
+    if (!la::lu_solve_complex_into(y, b, x)) return sweep;  // ok stays false
+    emit_nodes(x);
   }
   sweep.ok = true;
   return sweep;

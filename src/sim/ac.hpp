@@ -40,8 +40,13 @@ struct CapElement {
 std::vector<CapElement> linear_caps(const Circuit& ckt);
 
 /// Run the sweep.  `op` must come from a converged solve_dc on `ckt`.
+/// One factorization workspace is kept across the whole sweep: the dense
+/// path reuses its matrix/rhs buffers per frequency point, the sparse path
+/// (chosen by `solver`/system size, see sim::MnaSolver) additionally reuses
+/// the symbolic factorization — only the jwC entries change per point.
 AcSweep solve_ac(const Circuit& ckt, const DcResult& op,
-                 const std::vector<double>& freqs);
+                 const std::vector<double>& freqs,
+                 MnaSolver solver = MnaSolver::automatic);
 
 // --- Transfer-function metric extraction (used for gain/GBW/PM/PSRR) ------
 

@@ -27,9 +27,15 @@ DcResult solve_dc(const Circuit& ckt, const DcOptions& opts,
   DcResult result;
   bool converged = false;
   std::string why;
+  // One assembler for the whole ladder: the stamp plan and (on the sparse
+  // path) the symbolic factorization are computed once and reused across
+  // every gmin rung — set_gmin only changes values.
+  MnaAssembler assembler(ckt, opts.gmin_ladder.empty() ? 1e-12
+                                                       : opts.gmin_ladder.front(),
+                         opts.temp, opts.solver);
+  if (override_sources) assembler.set_vsource_values(&opts.vsource_override);
   for (double gmin : opts.gmin_ladder) {
-    MnaAssembler assembler(ckt, gmin, opts.temp);
-    if (override_sources) assembler.set_vsource_values(&opts.vsource_override);
+    assembler.set_gmin(gmin);
     converged = assembler.newton(x, newton, &why);
     if (!converged && gmin == opts.gmin_ladder.front()) {
       // A cold start that fails at the loosest gmin rarely recovers; restart

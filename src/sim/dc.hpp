@@ -10,6 +10,7 @@
 
 #include "linalg/matrix.hpp"
 #include "sim/circuit.hpp"
+#include "sim/mna.hpp"
 
 namespace kato::sim {
 
@@ -27,6 +28,9 @@ struct DcOptions {
   /// source's DC value in the branch equations — the transient engine uses
   /// this to bias the circuit at the waveform's t = 0 values.
   std::vector<double> vsource_override;
+  /// Linear-solve path (dense vs sparse with symbolic reuse); `automatic`
+  /// switches on system size, KATO_SPARSE overrides for A/B runs.
+  MnaSolver solver = MnaSolver::automatic;
 };
 
 struct DcResult {

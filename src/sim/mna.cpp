@@ -2,16 +2,33 @@
 
 #include <algorithm>
 #include <cmath>
-#include <sstream>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
 
 #include "linalg/lu.hpp"
 
 namespace kato::sim {
 
 std::string fmt_double(double v) {
-  std::ostringstream ss;
-  ss << v;
-  return ss.str();
+  // Matches the historical std::ostringstream rendering ("%g" with 6
+  // significant digits) without constructing a stream per call.
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+MnaSolver resolve_mna_solver(MnaSolver requested, std::size_t size) {
+  if (const char* env = std::getenv("KATO_SPARSE")) {
+    if (std::strcmp(env, "0") == 0 || std::strcmp(env, "dense") == 0)
+      return MnaSolver::dense;
+    if (std::strcmp(env, "1") == 0 || std::strcmp(env, "sparse") == 0)
+      return MnaSolver::sparse;
+    // Anything else ("", "auto") falls through to the request.
+  }
+  if (requested != MnaSolver::automatic) return requested;
+  return size >= k_mna_sparse_crossover ? MnaSolver::sparse : MnaSolver::dense;
 }
 
 namespace {
@@ -21,14 +38,10 @@ struct DiodeEval {
   double g;
 };
 
-/// Diode current with SPICE-style saturation-current temperature scaling and
-/// exponent limiting for Newton robustness.
-DiodeEval eval_diode(const Diode& d, double v, double temp) {
-  const double vt = thermal_voltage(temp);
-  const double nvt = d.ideality * vt;
-  const double is_t = d.area * d.is_sat *
-                      std::pow(temp / 300.0, d.xti / d.ideality) *
-                      std::exp((temp / 300.0 - 1.0) * d.eg / nvt);
+/// Diode current with exponent limiting for Newton robustness.  The
+/// temperature-dependent saturation-current term arrives precomputed (it
+/// never changes across iterations of one analysis).
+DiodeEval eval_diode(double nvt, double is_t, double v) {
   const double z = v / nvt;
   constexpr double z_max = 40.0;
   DiodeEval e;
@@ -44,17 +57,106 @@ DiodeEval eval_diode(const Diode& d, double v, double temp) {
   return e;
 }
 
+/// Enumerate every Jacobian stamp destination in the canonical order
+/// assemble_values consumes them.  `emit(row, col)` receives
+/// la::k_sparse_npos coordinates for ground-involving stamps so the slot
+/// sequence stays positionally aligned with the value adds.
+template <typename Emit>
+void for_each_stamp(const Circuit& ckt, std::size_t n,
+                    const std::vector<CompanionStamp>* companions,
+                    Emit&& emit) {
+  constexpr std::size_t npos = la::k_sparse_npos;
+  auto idx = [](int node) {
+    return node == 0 ? npos : static_cast<std::size_t>(node) - 1;
+  };
+  auto pair4 = [&](int a, int b) {
+    const std::size_t ia = idx(a);
+    const std::size_t ib = idx(b);
+    emit(ia, ia);
+    emit(ia, ib);
+    emit(ib, ia);
+    emit(ib, ib);
+  };
+  for (std::size_t i = 0; i < n; ++i) emit(i, i);  // gmin diagonal
+  for (const auto& r : ckt.resistors()) pair4(r.a, r.b);
+  for (const auto& c : ckt.vccs()) {
+    emit(idx(c.p), idx(c.cp));
+    emit(idx(c.p), idx(c.cn));
+    emit(idx(c.n), idx(c.cp));
+    emit(idx(c.n), idx(c.cn));
+  }
+  for (const auto& d : ckt.diodes()) pair4(d.a, d.c);
+  for (const auto& m : ckt.mosfets()) {
+    emit(idx(m.d), idx(m.g));
+    emit(idx(m.d), idx(m.d));
+    emit(idx(m.d), idx(m.s));
+    emit(idx(m.s), idx(m.g));
+    emit(idx(m.s), idx(m.d));
+    emit(idx(m.s), idx(m.s));
+  }
+  if (companions != nullptr)
+    for (const auto& c : *companions) pair4(c.a, c.b);
+  const auto& vs = ckt.vsources();
+  for (std::size_t k = 0; k < vs.size(); ++k) {
+    const std::size_t bi = n + k;
+    emit(idx(vs[k].p), bi);
+    emit(idx(vs[k].n), bi);
+    emit(bi, idx(vs[k].p));
+    emit(bi, idx(vs[k].n));
+  }
+}
+
 }  // namespace
 
-bool MnaAssembler::assemble(const la::Vector& x, la::Matrix& jac,
-                            la::Vector& res) const {
-  // Reuse the caller's storage across Newton iterations (and, via a
-  // caller-held workspace, across timesteps): this sits on the transient
-  // per-timestep hot path tracked by abl_tran_step_ms.
-  if (jac.rows() != size_ || jac.cols() != size_)
-    jac = la::Matrix(size_, size_);
-  else
-    std::fill(jac.data().begin(), jac.data().end(), 0.0);
+MnaAssembler::MnaAssembler(const Circuit& ckt, double gmin, double temp,
+                           MnaSolver solver)
+    : ckt_(ckt), gmin_(gmin), temp_(temp), n_(ckt.n_nodes() - 1),
+      size_(ckt.mna_size()),
+      solver_(resolve_mna_solver(solver, ckt.mna_size())) {
+  diode_pre_.reserve(ckt_.diodes().size());
+  const double vt = thermal_voltage(temp_);
+  for (const auto& d : ckt_.diodes()) {
+    const double nvt = d.ideality * vt;
+    const double is_t = d.area * d.is_sat *
+                        std::pow(temp_ / 300.0, d.xti / d.ideality) *
+                        std::exp((temp_ / 300.0 - 1.0) * d.eg / nvt);
+    diode_pre_.push_back({nvt, is_t});
+  }
+}
+
+void MnaAssembler::ensure_dense_plan() const {
+  if (dense_ready_) return;
+  dense_slots_.clear();
+  for_each_stamp(ckt_, n_, companions_, [&](std::size_t r, std::size_t c) {
+    dense_slots_.push_back(r == la::k_sparse_npos || c == la::k_sparse_npos
+                               ? la::k_sparse_npos
+                               : r * size_ + c);
+  });
+  dense_ready_ = true;
+}
+
+void MnaAssembler::ensure_sparse_plan() const {
+  if (sparse_ready_) return;
+  std::vector<la::Coord> coords;
+  for_each_stamp(ckt_, n_, companions_, [&](std::size_t r, std::size_t c) {
+    if (r != la::k_sparse_npos && c != la::k_sparse_npos)
+      coords.push_back({r, c});
+  });
+  const la::SparsePattern pattern(size_, coords);
+  sparse_slots_.clear();
+  for_each_stamp(ckt_, n_, companions_, [&](std::size_t r, std::size_t c) {
+    sparse_slots_.push_back(r == la::k_sparse_npos || c == la::k_sparse_npos
+                                ? la::k_sparse_npos
+                                : pattern.slot(r, c));
+  });
+  lu_.analyze(pattern);
+  values_.assign(pattern.nnz(), 0.0);
+  sparse_ready_ = true;
+}
+
+bool MnaAssembler::assemble_values(const la::Vector& x, double* vals,
+                                   la::Vector& res,
+                                   const std::vector<std::size_t>& slots) const {
   res.assign(size_, 0.0);
   auto v = [&](int node) {
     return node == 0 ? 0.0 : x[static_cast<std::size_t>(node) - 1];
@@ -63,14 +165,18 @@ bool MnaAssembler::assemble(const la::Vector& x, la::Matrix& jac,
   auto kcl = [&](int node, double current) {
     if (node != 0) res[idx(node)] += current;
   };
-  auto stamp = [&](int node, int wrt, double g) {
-    if (node != 0 && wrt != 0) jac(idx(node), idx(wrt)) += g;
+  // Stamps are consumed strictly in the canonical for_each_stamp order;
+  // both walks iterate the device lists identically, so `s` stays aligned.
+  std::size_t s = 0;
+  auto add = [&](double g) {
+    const std::size_t t = slots[s++];
+    if (t != la::k_sparse_npos) vals[t] += g;
   };
 
   // gmin from every node to ground.
   for (std::size_t i = 0; i < n_; ++i) {
     res[i] += gmin_ * x[i];
-    jac(i, i) += gmin_;
+    add(gmin_);
   }
 
   for (const auto& r : ckt_.resistors()) {
@@ -78,44 +184,46 @@ bool MnaAssembler::assemble(const la::Vector& x, la::Matrix& jac,
     const double i = g * (v(r.a) - v(r.b));
     kcl(r.a, i);
     kcl(r.b, -i);
-    stamp(r.a, r.a, g);
-    stamp(r.a, r.b, -g);
-    stamp(r.b, r.a, -g);
-    stamp(r.b, r.b, g);
+    add(g);
+    add(-g);
+    add(-g);
+    add(g);
   }
-  for (const auto& s : ckt_.isources()) {
-    kcl(s.p, s.dc);
-    kcl(s.n, -s.dc);
+  for (const auto& src : ckt_.isources()) {
+    kcl(src.p, src.dc);
+    kcl(src.n, -src.dc);
   }
   for (const auto& c : ckt_.vccs()) {
     const double i = c.gm * (v(c.cp) - v(c.cn));
     kcl(c.p, i);
     kcl(c.n, -i);
-    stamp(c.p, c.cp, c.gm);
-    stamp(c.p, c.cn, -c.gm);
-    stamp(c.n, c.cp, -c.gm);
-    stamp(c.n, c.cn, c.gm);
+    add(c.gm);
+    add(-c.gm);
+    add(-c.gm);
+    add(c.gm);
   }
-  for (const auto& d : ckt_.diodes()) {
-    const auto e = eval_diode(d, v(d.a) - v(d.c), temp_);
+  for (std::size_t di = 0; di < ckt_.diodes().size(); ++di) {
+    const auto& d = ckt_.diodes()[di];
+    const auto e =
+        eval_diode(diode_pre_[di].nvt, diode_pre_[di].is_t, v(d.a) - v(d.c));
     kcl(d.a, e.i);
     kcl(d.c, -e.i);
-    stamp(d.a, d.a, e.g);
-    stamp(d.a, d.c, -e.g);
-    stamp(d.c, d.a, -e.g);
-    stamp(d.c, d.c, e.g);
+    add(e.g);
+    add(-e.g);
+    add(-e.g);
+    add(e.g);
   }
   for (const auto& mos : ckt_.mosfets()) {
     const MosOp op = eval_mosfet(mos.model, mos.w, mos.l, v(mos.g) - v(mos.s),
                                  v(mos.d) - v(mos.s), temp_);
     kcl(mos.d, op.ids);
     kcl(mos.s, -op.ids);
-    stamp(mos.d, mos.g, op.gm);
-    stamp(mos.d, mos.d, op.gds);
-    stamp(mos.d, mos.s, -(op.gm + op.gds));
-    stamp(mos.s, mos.g, -op.gm);
-    stamp(mos.s, mos.d, -op.gds);
-    stamp(mos.s, mos.s, op.gm + op.gds);
+    add(op.gm);
+    add(op.gds);
+    add(-(op.gm + op.gds));
+    add(-op.gm);
+    add(-op.gds);
+    add(op.gm + op.gds);
   }
   // Companion stamps (transient integration rule for capacitors).
   if (companions_ != nullptr) {
@@ -123,10 +231,10 @@ bool MnaAssembler::assemble(const la::Vector& x, la::Matrix& jac,
       const double i = c.geq * (v(c.a) - v(c.b)) + c.ieq;
       kcl(c.a, i);
       kcl(c.b, -i);
-      stamp(c.a, c.a, c.geq);
-      stamp(c.a, c.b, -c.geq);
-      stamp(c.b, c.a, -c.geq);
-      stamp(c.b, c.b, c.geq);
+      add(c.geq);
+      add(-c.geq);
+      add(-c.geq);
+      add(c.geq);
     }
   }
   // Voltage sources: branch current unknowns.
@@ -137,19 +245,39 @@ bool MnaAssembler::assemble(const la::Vector& x, la::Matrix& jac,
     const double value = vsrc_values_ != nullptr ? (*vsrc_values_)[k] : vs[k].dc;
     kcl(vs[k].p, ib);
     kcl(vs[k].n, -ib);
-    if (vs[k].p != 0) jac(idx(vs[k].p), bi) += 1.0;
-    if (vs[k].n != 0) jac(idx(vs[k].n), bi) -= 1.0;
+    add(1.0);
+    add(-1.0);
     res[bi] = v(vs[k].p) - v(vs[k].n) - value;
-    if (vs[k].p != 0) jac(bi, idx(vs[k].p)) += 1.0;
-    if (vs[k].n != 0) jac(bi, idx(vs[k].n)) -= 1.0;
+    add(1.0);
+    add(-1.0);
   }
+  // The two walks (for_each_stamp emitting slots, this one consuming them)
+  // are hand-aligned; a divergence must fail loudly, not corrupt stamps.
+  if (s != slots.size())
+    throw std::logic_error(
+        "MnaAssembler: stamp walk consumed " + std::to_string(s) +
+        " slots but the plan has " + std::to_string(slots.size()) +
+        " (for_each_stamp and assemble_values diverged)");
   for (double r : res)
     if (!std::isfinite(r)) return false;
   return true;
 }
 
-bool MnaAssembler::newton(la::Vector& x, const NewtonOptions& opts,
-                          std::string* reason) const {
+bool MnaAssembler::assemble(const la::Vector& x, la::Matrix& jac,
+                            la::Vector& res) const {
+  ensure_dense_plan();
+  // Reuse the caller's storage across Newton iterations (and, via a
+  // caller-held workspace, across timesteps): this sits on the transient
+  // per-timestep hot path tracked by abl_tran_step_ms.
+  if (jac.rows() != size_ || jac.cols() != size_)
+    jac = la::Matrix(size_, size_);
+  else
+    std::fill(jac.data().begin(), jac.data().end(), 0.0);
+  return assemble_values(x, jac.data().data(), res, dense_slots_);
+}
+
+bool MnaAssembler::newton_dense(la::Vector& x, const NewtonOptions& opts,
+                                std::string* reason) const {
   la::Matrix& jac = jac_ws_;
   la::Vector& res = res_ws_;
   for (int it = 0; it < opts.max_iterations; ++it) {
@@ -158,14 +286,15 @@ bool MnaAssembler::newton(la::Vector& x, const NewtonOptions& opts,
       return false;
     }
     for (auto& r : res) r = -r;
-    auto step = la::lu_solve(jac, res);
-    if (!step) {
+    // In-place: jac/res are re-filled next iteration anyway, so the
+    // historical pass-by-value copies bought nothing.
+    if (!la::lu_solve_into(jac, res, step_ws_)) {
       if (reason) *reason = "singular MNA Jacobian";
       return false;
     }
     double max_dv = 0.0;
     for (std::size_t i = 0; i < size_; ++i) {
-      double dv = (*step)[i];
+      double dv = step_ws_[i];
       if (i < n_) dv = std::clamp(dv, -opts.max_step, opts.max_step);
       x[i] += dv;
       if (i < n_) max_dv = std::max(max_dv, std::abs(dv));
@@ -176,6 +305,53 @@ bool MnaAssembler::newton(la::Vector& x, const NewtonOptions& opts,
     *reason = "Newton did not converge in " +
               std::to_string(opts.max_iterations) + " iterations";
   return false;
+}
+
+bool MnaAssembler::newton_sparse(la::Vector& x, const NewtonOptions& opts,
+                                 std::string* reason) const {
+  ensure_sparse_plan();
+  la::Vector& res = res_ws_;
+  for (int it = 0; it < opts.max_iterations; ++it) {
+    std::fill(values_.begin(), values_.end(), 0.0);
+    if (!assemble_values(x, values_.data(), res, sparse_slots_)) {
+      if (reason) *reason = "non-finite device currents in the MNA residual";
+      return false;
+    }
+    for (auto& r : res) r = -r;
+    // First iteration of the assembler's life pivots and records the
+    // symbolic structure; every later call here — across iterations, gmin
+    // rungs and timesteps — is an in-place numeric refactorization.
+    if (!lu_.factor(values_)) {
+      if (reason) *reason = "singular MNA Jacobian";
+      return false;
+    }
+    lu_.solve(res, step_ws_);
+    // Match the dense path's contract: a non-finite step leaves x untouched
+    // (the dense LU reports those as singular before applying anything).
+    for (double dv : step_ws_)
+      if (!std::isfinite(dv)) {
+        if (reason) *reason = "singular MNA Jacobian";
+        return false;
+      }
+    double max_dv = 0.0;
+    for (std::size_t i = 0; i < size_; ++i) {
+      double dv = step_ws_[i];
+      if (i < n_) dv = std::clamp(dv, -opts.max_step, opts.max_step);
+      x[i] += dv;
+      if (i < n_) max_dv = std::max(max_dv, std::abs(dv));
+    }
+    if (max_dv < opts.v_tol) return true;
+  }
+  if (reason)
+    *reason = "Newton did not converge in " +
+              std::to_string(opts.max_iterations) + " iterations";
+  return false;
+}
+
+bool MnaAssembler::newton(la::Vector& x, const NewtonOptions& opts,
+                          std::string* reason) const {
+  return solver_ == MnaSolver::sparse ? newton_sparse(x, opts, reason)
+                                      : newton_dense(x, opts, reason);
 }
 
 }  // namespace kato::sim

@@ -14,11 +14,28 @@
 // Keeping one assembler guarantees a transient run linearizes the devices
 // with the same code (and therefore bit-identical arithmetic) as the DC
 // solve that seeds it.
+//
+// Linear solves route through one of two paths, chosen per system:
+//
+//   dense    in-place LU on a persistent workspace (la::lu_solve_into) —
+//            best for the small hand-written benchmark circuits;
+//   sparse   CSC + symbolic-factorization reuse (la::SparseLu).  The stamp
+//            destinations of every device are resolved once per topology
+//            into flat value-array slots, so each Newton iteration is a
+//            value fill plus an in-place numeric refactorization with the
+//            recorded pivot sequence — zero allocation, and the symbolic
+//            analysis is shared across all iterations, gmin rungs and
+//            transient timesteps an assembler lives through.
+//
+// MnaSolver::automatic switches on system size (k_mna_sparse_crossover);
+// the KATO_SPARSE environment variable (0/dense, 1/sparse) overrides both
+// for A/B comparisons.
 
 #include <string>
 #include <vector>
 
 #include "linalg/matrix.hpp"
+#include "linalg/sparse.hpp"
 #include "sim/circuit.hpp"
 
 namespace kato::sim {
@@ -36,6 +53,20 @@ struct CompanionStamp {
 /// reasons — shared by the DC and transient diagnostics.
 std::string fmt_double(double v);
 
+/// Linear-solve path selection for the MNA analyses.
+enum class MnaSolver { automatic, dense, sparse };
+
+/// Size at which MnaSolver::automatic switches to the sparse path.  Dense
+/// O(n^3) with an O(n^2) zero-fill per iteration wins below it; measured on
+/// the shipped decks the crossover sits around a few dozen unknowns (see
+/// bench/micro_perf abl_sparse_lu).
+inline constexpr std::size_t k_mna_sparse_crossover = 48;
+
+/// Resolve `requested` for a system of `size` unknowns: the KATO_SPARSE
+/// environment variable ("0"/"dense", "1"/"sparse") wins, then an explicit
+/// request, then the automatic size crossover.
+MnaSolver resolve_mna_solver(MnaSolver requested, std::size_t size);
+
 /// Newton-iteration knobs shared by DC and transient (see DcOptions for the
 /// recommended DC values).
 struct NewtonOptions {
@@ -46,9 +77,13 @@ struct NewtonOptions {
 
 class MnaAssembler {
  public:
-  MnaAssembler(const Circuit& ckt, double gmin, double temp)
-      : ckt_(ckt), gmin_(gmin), temp_(temp), n_(ckt.n_nodes() - 1),
-        size_(ckt.mna_size()) {}
+  MnaAssembler(const Circuit& ckt, double gmin, double temp,
+               MnaSolver solver = MnaSolver::automatic);
+
+  /// Change the gmin continuation value.  Cheap: the stamp plan and the
+  /// symbolic factorization survive (only values change), which is what
+  /// lets the DC solver walk the whole gmin ladder on one assembler.
+  void set_gmin(double gmin) { gmin_ = gmin; }
 
   /// Override the voltage-source values (index-parallel to ckt.vsources());
   /// nullptr restores the DC values.  The pointee must outlive the calls.
@@ -57,11 +92,17 @@ class MnaAssembler {
   }
 
   /// Attach companion stamps (transient integration rule); nullptr detaches.
+  /// Node indices inside the stamps are part of the precomputed pattern:
+  /// changing the *values* per timestep is free, attaching a different
+  /// stamp list rebuilds the plan.
   void set_companions(const std::vector<CompanionStamp>* companions) {
+    if (companions_ != companions) invalidate_plans();
     companions_ = companions;
   }
 
   /// Build Jacobian and residual at x; returns false on non-finite values.
+  /// Always dense (this is the reference/A-B path and the linearization
+  /// inspection hook for tests).
   bool assemble(const la::Vector& x, la::Matrix& jac, la::Vector& res) const;
 
   /// Damped Newton iteration from the given start; returns the converged
@@ -69,18 +110,57 @@ class MnaAssembler {
   bool newton(la::Vector& x, const NewtonOptions& opts,
               std::string* reason = nullptr) const;
 
+  /// The resolved solve path this assembler uses.
+  MnaSolver solver() const { return solver_; }
+
  private:
+  struct DiodePre {
+    double nvt;   ///< ideality * thermal voltage
+    double is_t;  ///< temperature-scaled saturation current
+  };
+
+  void invalidate_plans() {
+    dense_ready_ = false;
+    sparse_ready_ = false;
+  }
+  void ensure_dense_plan() const;
+  void ensure_sparse_plan() const;
+  /// Shared device-evaluation core: accumulates stamps through `slots`
+  /// (one entry per stamp in canonical order; k_sparse_npos = ground, skip)
+  /// into the flat value array `vals` and fills the residual.  Returns
+  /// false on non-finite residual entries.
+  bool assemble_values(const la::Vector& x, double* vals, la::Vector& res,
+                       const std::vector<std::size_t>& slots) const;
+  bool newton_dense(la::Vector& x, const NewtonOptions& opts,
+                    std::string* reason) const;
+  bool newton_sparse(la::Vector& x, const NewtonOptions& opts,
+                     std::string* reason) const;
+
   const Circuit& ckt_;
   double gmin_;
   double temp_;
   std::size_t n_;
   std::size_t size_;
+  MnaSolver solver_;
   const std::vector<double>* vsrc_values_ = nullptr;
   const std::vector<CompanionStamp>* companions_ = nullptr;
-  /// Newton scratch, reused across iterations and timesteps (one assembler
-  /// lives for a whole transient run; not thread-safe, like the class).
+  /// Per-diode temperature terms, hoisted out of the Newton loop (they
+  /// depend on temp only, never on the iterate).
+  std::vector<DiodePre> diode_pre_;
+  // Stamp plans: slot per stamp in canonical order, resolved lazily once
+  // per topology.  Dense slots index the row-major Jacobian, sparse slots
+  // the CSC value array.  All solver state is per-assembler scratch,
+  // reused across iterations and timesteps (one assembler lives for a
+  // whole analysis; not thread-safe, like the class).
+  mutable bool dense_ready_ = false;
+  mutable bool sparse_ready_ = false;
+  mutable std::vector<std::size_t> dense_slots_;
+  mutable std::vector<std::size_t> sparse_slots_;
+  mutable la::SparseLu lu_;
+  mutable std::vector<double> values_;
   mutable la::Matrix jac_ws_;
   mutable la::Vector res_ws_;
+  mutable la::Vector step_ws_;
 };
 
 }  // namespace kato::sim

@@ -100,6 +100,7 @@ TranResult solve_tran(const Circuit& ckt, const TranOptions& opts,
   } else {
     DcOptions dc = opts.dc;
     dc.temp = opts.temp;
+    dc.solver = opts.solver;
     dc.vsource_override = src;
     const la::Vector* warm =
         op0 != nullptr && op0->node_voltage.size() == ckt.n_nodes()
@@ -149,7 +150,11 @@ TranResult solve_tran(const Circuit& ckt, const TranOptions& opts,
   };
   record(0.0);
 
-  MnaAssembler assembler(ckt, /*gmin=*/1e-12, opts.temp);
+  // One assembler for every timestep: on the sparse path the stamp plan and
+  // the symbolic factorization are computed at the first Newton iteration
+  // and reused across the entire run (companion/source values change, the
+  // pattern never does).
+  MnaAssembler assembler(ckt, /*gmin=*/1e-12, opts.temp, opts.solver);
   std::vector<CompanionStamp> comps(caps.size());
   assembler.set_companions(&comps);
   assembler.set_vsource_values(&src);

@@ -41,6 +41,9 @@ struct TranOptions {
   double reltol = 1e-4;  ///< LTE control: relative part of the tolerance
   double abstol = 1e-6;  ///< LTE control: absolute part [V]
   double temp = 300.0;   ///< simulation temperature [K]
+  /// Linear-solve path for every timestep (and the internal t = 0 solve);
+  /// see sim::MnaSolver — `automatic` switches on system size.
+  MnaSolver solver = MnaSolver::automatic;
   NewtonOptions newton{50, 1e-9, 0.5};  ///< per-timestep Newton knobs
   DcOptions dc;  ///< options for the internal t = 0 operating-point solve
   /// Initial-condition overrides (node -> volts), applied after the t = 0
