@@ -18,6 +18,13 @@ import json
 import os
 import sys
 
+# Speedup fields that compare a 1-thread run against a multi-thread run of
+# the same code.  On a 1-core runner they measure the machine, not the code
+# (the ROADMAP flags eval_batch_speedup ~0.95 on CI as exactly this
+# artifact), so they are skipped with a note when the current run reports
+# hardware_concurrency < 2.
+SCALING_FIELDS = {"eval_batch_speedup", "gp_fit_parallel_speedup"}
+
 
 def load(path):
     with open(path) as f:
@@ -66,12 +73,26 @@ def main(argv):
             "| %s | %.4f ms | %.4f ms | %+.1f%% | %s |"
             % (k, base, cur, delta * 100, status)
         )
+    cores = int(current.get("hardware_concurrency", 0))
+    skipped_scaling = []
     for k in ratios:
+        if k in SCALING_FIELDS and 0 < cores < 2:
+            skipped_scaling.append(k)
+            print("| %s | %.2fx | — | — | skipped (1-core runner) |"
+                  % (k, float(baseline[k])))
+            continue
         print(
             "| %s | %.2fx | %.2fx | — | ratio |"
             % (k, float(baseline[k]), float(current[k]))
         )
     print()
+    if skipped_scaling:
+        print(
+            "Note: skipped thread-scaling field(s) %s — the runner reports "
+            "hardware_concurrency=%d, so parallel-vs-serial ratios measure "
+            "the machine, not the code." % (", ".join(skipped_scaling), cores)
+        )
+        print()
     if failures:
         print("**Regressed fields:** " + ", ".join(failures))
         return 1

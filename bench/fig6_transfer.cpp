@@ -12,6 +12,7 @@
 // optimization, as the paper notes).
 
 #include <iostream>
+#include <string>
 
 #include "core/experiment.hpp"
 
@@ -21,9 +22,9 @@ namespace {
 
 struct Panel {
   const char* label;
-  const char* src_kind;
+  std::string src_kind;
   const char* src_node;
-  const char* tgt_kind;
+  std::string tgt_kind;
   const char* tgt_node;
   bool fom_comparison;  ///< also run the FOM-mode TLMBO comparison
 };
@@ -88,6 +89,9 @@ void run_panel(const Panel& panel) {
 int main() {
   std::cout << "== Fig. 6: transfer learning, seeds=" << core::seed_list(1).size()
             << " ==\n";
+  const std::string corner_deck =
+      std::string("netlist:") + KATO_SOURCE_DIR +
+      "/circuits/netlists/opamp2_corners.cir";
   const Panel panels[] = {
       {"(a) node", "opamp2", "180nm", "opamp2", "40nm", true},
       {"(b) node", "opamp3", "180nm", "opamp3", "40nm", false},
@@ -99,6 +103,10 @@ int main() {
       // step-buffer workload — slew/settling/overshoot specs driven by the
       // transient engine instead of AC small-signal measures.
       {"(g) node (transient)", "buffer", "180nm", "buffer", "40nm", false},
+      // Corner-robust node transfer: tt/ss/ff PVT corners x 8 mismatch
+      // samples per candidate, worst-case/quantile-aggregated specs on both
+      // nodes (see README "Corners and Monte Carlo").
+      {"(h) node (corners)", corner_deck, "180nm", corner_deck, "40nm", false},
   };
   for (const auto& panel : panels) run_panel(panel);
   return 0;

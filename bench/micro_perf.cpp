@@ -20,6 +20,7 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "linalg/lu.hpp"
@@ -318,6 +319,25 @@ int main(int argc, char** argv) {
     });
   }
 
+  // Corner/MC fan-out (abl_corner): one aggregated candidate on the
+  // 3-corner x 8-sample opamp2 variant — 24 elaborate+DC+AC sims plus the
+  // quantile/worst aggregation, the per-candidate cost robust decks pay
+  // (compare against abl_netlist_eval for the x24 overhead).
+  double corner_eval_ms = 0.0;
+  {
+    const std::string path =
+        std::string(KATO_SOURCE_DIR) + "/circuits/netlists/opamp2_corners.cir";
+    ckt::NetlistCircuit circuit(net::parse_netlist_file(path),
+                                ckt::pdk_180nm());
+    const auto x = circuit.expert_design();
+    corner_eval_ms = bench("abl_corner_eval", [&] {
+      const auto m = circuit.evaluate(x);
+      sink(m ? (*m)[0] : 0.0);
+    });
+    std::cout << "  -> conditions per candidate: "
+              << circuit.n_corners() * circuit.n_mc_samples() << "\n";
+  }
+
   // Transient engine (abl_tran): per-timestep cost of the Newton + LTE
   // machinery on the step-buffer workload, and the full DC -> TRAN ->
   // measures evaluation the transient sizing loop pays per candidate.
@@ -508,6 +528,7 @@ int main(int argc, char** argv) {
     out << "  \"gp_fit_parallel_speedup\": "
         << (multi_par_ms > 0.0 ? multi_serial_ms / multi_par_ms : 0.0) << ",\n";
     out << "  \"abl_netlist_elaborate_ms\": " << netlist_elab_ms << ",\n";
+    out << "  \"abl_corner_eval_ms\": " << corner_eval_ms << ",\n";
     out << "  \"abl_tran_step_ms\": " << tran_step_ms << ",\n";
     out << "  \"abl_sparse_lu_ms\": " << sparse_lu_ms << ",\n";
     out << "  \"abl_sparse_lu_dense_ms\": " << sparse_lu_dense_ms << ",\n";
@@ -521,7 +542,11 @@ int main(int argc, char** argv) {
         << (sparse_tran_ms > 0.0 ? sparse_tran_dense_ms / sparse_tran_ms : 0.0)
         << ",\n";
     out << "  \"eval_batch_speedup\": " << eval_batch_speedup << ",\n";
-    out << "  \"kato_threads\": " << util::thread_count() << "\n";
+    out << "  \"kato_threads\": " << util::thread_count() << ",\n";
+    // Lets the baseline comparator skip thread-scaling speedup fields on
+    // 1-core runners, where they measure the machine, not the code.
+    out << "  \"hardware_concurrency\": "
+        << std::thread::hardware_concurrency() << "\n";
     out << "}\n";
     std::cout << "wrote BENCH_micro_perf.json\n";
   }

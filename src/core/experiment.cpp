@@ -11,8 +11,13 @@ namespace kato::core {
 std::vector<std::uint64_t> seed_list(std::size_t fallback) {
   std::size_t n = fallback;
   if (const char* env = std::getenv("KATO_SEEDS")) {
-    const long v = std::strtol(env, nullptr, 10);
-    if (v > 0) n = static_cast<std::size_t>(v);
+    // Strict full-string parse: trailing garbage ("4abc", "1e3") and
+    // non-positive values fall back rather than silently truncating, and a
+    // fat-fingered huge count is clamped instead of exploding the sweep.
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v >= 1)
+      n = static_cast<std::size_t>(std::min(v, 1024L));
   }
   std::vector<std::uint64_t> seeds(n);
   for (std::size_t i = 0; i < n; ++i) seeds[i] = i + 1;

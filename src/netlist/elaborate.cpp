@@ -1,10 +1,12 @@
 #include "netlist/elaborate.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 #include <unordered_map>
 
 #include "sim/ac.hpp"
+#include "util/rng.hpp"
 
 namespace kato::net {
 
@@ -347,6 +349,20 @@ class Elaborator {
 
 Elaboration elaborate(const Deck& deck, const ckt::Pdk& pdk, const Scope& bindings) {
   return Elaborator(deck, pdk, bindings).run();
+}
+
+void apply_mos_mismatch(sim::Circuit& ckt, std::size_t sample,
+                        double vth_sigma, double beta_sigma) {
+  // One stream per sample, salted so sample 0 does not collide with other
+  // seed-0 consumers.  Both normals are always consumed so that setting one
+  // sigma to zero leaves the other sigma's draws unchanged.
+  util::Rng rng(0x6d634d49534dULL + static_cast<std::uint64_t>(sample));
+  for (sim::MosInstance& m : ckt.mosfets()) {
+    const double zv = rng.normal();
+    const double zb = rng.normal();
+    m.model.vth0 += vth_sigma * zv;
+    m.model.kp *= std::max(0.05, 1.0 + beta_sigma * zb);
+  }
 }
 
 }  // namespace kato::net

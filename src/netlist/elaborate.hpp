@@ -51,6 +51,17 @@ struct Elaboration {
 /// vdd, lmin, lmax, is180 (1 when pdk.name == "180nm", else 0).
 std::map<std::string, double> pdk_builtins(const ckt::Pdk& pdk);
 
+/// Apply the `.mc` mismatch draws for sample index `sample` to every MOSFET
+/// of an elaborated circuit: vth0 += vth_sigma * z1 and kp *= 1 + beta_sigma
+/// * z2 (floored at 5% of nominal), with z1/z2 standard-normal draws from a
+/// stream seeded by the sample index alone.  Devices are perturbed in
+/// elaboration (deck) order and both draws are consumed even when a sigma is
+/// zero, so sample k's perturbation is a deterministic function of (k,
+/// device order) — independent of the candidate point, the corner, the
+/// thread count and any other sample.
+void apply_mos_mismatch(sim::Circuit& ckt, std::size_t sample,
+                        double vth_sigma, double beta_sigma);
+
 /// Flatten `deck` against `pdk`.  `bindings` resolves identifiers in device
 /// expressions: .param constants, sizing-variable values and builtins
 /// (chain further frames via Scope::parent).  Throws NetlistError on any

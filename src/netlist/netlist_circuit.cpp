@@ -1,6 +1,7 @@
 #include "netlist/netlist_circuit.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <exception>
 #include <set>
 
@@ -285,6 +286,91 @@ NetlistCircuit::NetlistCircuit(net::Deck deck, const Pdk& pdk)
     exact_expert = exact_expert || exact;
   }
 
+  // Resolve .corner cards into per-corner constant tables.  Override
+  // expressions are evaluated against the *nominal* table; the corner table
+  // then starts from the (possibly vdd-scaled / overridden) builtins and
+  // re-derives every .param in deck order, so parameters defined in terms
+  // of vdd track the supply spread.  Explicit .param overrides win over the
+  // re-derivation.
+  has_corner_cards_ = !deck_.corners.empty();
+  if (!has_corner_cards_) {
+    corners_.push_back({"nominal", "nominal", std::nullopt, consts_});
+  } else {
+    for (const auto& c : deck_.corners) {
+      CornerSetup setup;
+      setup.name = c.name;
+      setup.raw = c.raw;
+      std::map<std::string, double> builtins = net::pdk_builtins(pdk_);
+      std::map<std::string, double> overrides;
+      for (const auto& [key, expr] : c.params) {
+        const double val = net::eval_expr(*expr, const_scope);
+        if (key == "temp") {
+          if (!(val > 0.0))
+            throw net::NetlistError(c.loc, ".corner '" + c.raw +
+                                               "': temp must be > 0 (kelvin)");
+          setup.temp = val;
+        } else if (key == "vdd_scale") {
+          if (!(val > 0.0))
+            throw net::NetlistError(c.loc, ".corner '" + c.raw +
+                                               "': vdd_scale must be > 0");
+          builtins["vdd"] *= val;
+        } else if (builtins.count(key) != 0) {
+          builtins[key] = val;
+        } else if (std::any_of(deck_.params.begin(), deck_.params.end(),
+                               [&](const net::ParamDef& p) {
+                                 return p.name == key;
+                               })) {
+          overrides[key] = val;
+        } else {
+          throw net::NetlistError(c.loc, ".corner '" + c.raw +
+                                             "' overrides unknown parameter '" +
+                                             key +
+                                             "' (no such .param or builtin)");
+        }
+      }
+      setup.consts = std::move(builtins);
+      const net::Scope corner_scope{&setup.consts, nullptr};
+      for (const auto& p : deck_.params) {
+        const auto ov = overrides.find(p.name);
+        setup.consts[p.name] = ov != overrides.end()
+                                   ? ov->second
+                                   : net::eval_expr(*p.value, corner_scope);
+      }
+      corners_.push_back(std::move(setup));
+    }
+  }
+
+  if (deck_.mc.present) {
+    const double k = net::eval_expr(*deck_.mc.samples, const_scope);
+    if (!(k >= 1.0) || k > 4096.0 || k != std::floor(k))
+      throw net::NetlistError(deck_.mc.loc,
+                              ".mc sample count must be an integer in "
+                              "[1, 4096]");
+    mc_samples_ = static_cast<std::size_t>(k);
+    for (const auto& [key, expr] : deck_.mc.params) {
+      const double val = net::eval_expr(*expr, const_scope);
+      if (key == "vth_sigma") {
+        if (!(val >= 0.0))
+          throw net::NetlistError(deck_.mc.loc, ".mc vth_sigma must be >= 0");
+        vth_sigma_ = val;
+      } else if (key == "beta_sigma") {
+        if (!(val >= 0.0))
+          throw net::NetlistError(deck_.mc.loc, ".mc beta_sigma must be >= 0");
+        beta_sigma_ = val;
+      } else if (key == "quantile") {
+        if (!(val > 0.0 && val <= 1.0))
+          throw net::NetlistError(deck_.mc.loc,
+                                  ".mc quantile must be in (0, 1]");
+        mc_quantile_ = val;
+      } else {
+        throw net::NetlistError(deck_.mc.loc,
+                                ".mc: unknown key '" + key +
+                                    "' (supported: vth_sigma beta_sigma "
+                                    "quantile)");
+      }
+    }
+  }
+
   // Trial elaboration at the expert/mid-box point: surfaces structural
   // problems (dangling nodes, cyclic subckts, unknown models) and
   // expression errors at load time.
@@ -336,28 +422,118 @@ std::optional<std::vector<double>> NetlistCircuit::evaluate(
 
 std::vector<std::optional<std::vector<double>>> NetlistCircuit::evaluate_batch(
     const std::vector<std::vector<double>>& xs) const {
-  std::vector<std::optional<std::vector<double>>> out(xs.size());
-  // Each candidate slot is a pure function of its unit-box point: the
-  // worker elaborates a private sim::Circuit (with its own assembler,
-  // pattern and factorization workspaces) and writes only its own slot, so
-  // any chunking of [0, n) yields bit-identical results.
-  util::parallel_for(xs.size(), [&](std::size_t begin, std::size_t end) {
-    for (std::size_t i = begin; i < end; ++i)
-      out[i] = evaluate_detailed(xs[i]).metrics;
+  const std::size_t fan = corners_.size() * mc_samples_;
+  if (fan == 1) {
+    std::vector<std::optional<std::vector<double>>> out(xs.size());
+    // Each candidate slot is a pure function of its unit-box point: the
+    // worker elaborates a private sim::Circuit (with its own assembler,
+    // pattern and factorization workspaces) and writes only its own slot, so
+    // any chunking of [0, n) yields bit-identical results.
+    util::parallel_for(xs.size(), [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i)
+        out[i] = evaluate_detailed(xs[i]).metrics;
+    });
+    return out;
+  }
+  // Corner/MC fan-out: flatten candidates x conditions into one slot list
+  // so even a small batch fills the pool.  Slot s is a pure function of
+  // (candidate s/fan, corner, sample) and writes only its own entry, so any
+  // chunking stays bit-identical; aggregation runs serially afterwards and
+  // matches the serial evaluate_detailed() loop exactly.
+  std::vector<std::optional<std::vector<double>>> conds(xs.size() * fan);
+  util::parallel_for(conds.size(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t s = begin; s < end; ++s) {
+      const std::size_t i = s / fan;
+      const std::size_t c = (s % fan) / mc_samples_;
+      const std::size_t k = s % mc_samples_;
+      conds[s] = evaluate_single(xs[i], c, k).metrics;
+    }
   });
+  std::vector<std::optional<std::vector<double>>> out(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const std::vector<std::optional<std::vector<double>>> sub(
+        conds.begin() + static_cast<std::ptrdiff_t>(i * fan),
+        conds.begin() + static_cast<std::ptrdiff_t>((i + 1) * fan));
+    out[i] = aggregate(sub);
+  }
   return out;
 }
 
 NetlistCircuit::EvalOutcome NetlistCircuit::evaluate_detailed(
     const std::vector<double>& unit_x) const {
+  if (!has_corner_cards_ && !deck_.mc.present)
+    return evaluate_single(unit_x, 0, 0);
+
+  std::vector<std::optional<std::vector<double>>> conds;
+  conds.reserve(corners_.size() * mc_samples_);
+  for (std::size_t c = 0; c < corners_.size(); ++c) {
+    for (std::size_t k = 0; k < mc_samples_; ++k) {
+      EvalOutcome one = evaluate_single(unit_x, c, k);
+      if (!one.metrics) {
+        EvalOutcome out;
+        std::string where;
+        if (has_corner_cards_) where += "corner '" + corners_[c].raw + "'";
+        if (deck_.mc.present) {
+          if (!where.empty()) where += ", ";
+          where += "mc sample " + std::to_string(k);
+        }
+        out.failure = where + ": " + one.failure;
+        return out;
+      }
+      conds.push_back(std::move(one.metrics));
+    }
+  }
+  EvalOutcome out;
+  out.metrics = aggregate(conds);
+  return out;
+}
+
+std::optional<std::vector<double>> NetlistCircuit::aggregate(
+    const std::vector<std::optional<std::vector<double>>>& conds) const {
+  for (const auto& c : conds)
+    if (!c) return std::nullopt;
+  const std::size_t n_metrics = 1 + specs_.size();
+  const std::size_t k = mc_samples_;
+  // Adverse order statistic: rank r = ceil(q K) counted from the adverse
+  // end, no interpolation — with q = 1 this is the worst sample, with
+  // q = 0.875 and K = 8 the second-worst.  Exactness keeps golden tests
+  // hand-computable and the aggregate bit-identical across eval paths.
+  const std::size_t rank = std::clamp<std::size_t>(
+      static_cast<std::size_t>(
+          std::ceil(mc_quantile_ * static_cast<double>(k))),
+      1, k);
+  std::vector<double> out(n_metrics);
+  std::vector<double> samples(k);
+  for (std::size_t m = 0; m < n_metrics; ++m) {
+    const bool smaller = smaller_better(m);
+    double worst = 0.0;
+    for (std::size_t c = 0; c < corners_.size(); ++c) {
+      for (std::size_t s = 0; s < k; ++s)
+        samples[s] = (*conds[c * k + s])[m];
+      std::sort(samples.begin(), samples.end());
+      const double q = smaller ? samples[rank - 1] : samples[k - rank];
+      worst = c == 0 ? q : (smaller ? std::max(worst, q) : std::min(worst, q));
+    }
+    out[m] = worst;
+  }
+  return out;
+}
+
+NetlistCircuit::EvalOutcome NetlistCircuit::evaluate_single(
+    const std::vector<double>& unit_x, std::size_t corner,
+    std::size_t sample) const {
   const auto vars = bind_vars(unit_x);
-  const net::Scope const_scope{&consts_, nullptr};
+  const CornerSetup& cs = corners_[corner];
+  const net::Scope const_scope{&cs.consts, nullptr};
   const net::Scope env{&vars, &const_scope};
-  const net::Elaboration elab = net::elaborate(deck_, pdk_, env);
+  net::Elaboration elab = net::elaborate(deck_, pdk_, env);
+  if (deck_.mc.present)
+    net::apply_mos_mismatch(elab.circuit, sample, vth_sigma_, beta_sigma_);
+  const double temperature = cs.temp.value_or(elab.temperature);
 
   EvalOutcome out;
   sim::DcOptions dc_opts;
-  dc_opts.temp = elab.temperature;
+  dc_opts.temp = temperature;
   const auto op = sim::solve_dc(elab.circuit, dc_opts);
   if (!op.converged) {
     out.failure = "DC operating point failed: " +
@@ -381,7 +557,7 @@ NetlistCircuit::EvalOutcome NetlistCircuit::evaluate_detailed(
     topts.tstop = elab.tran.tstop;
     topts.fixed_step = elab.tran.fixed_step;
     topts.backward_euler = elab.tran.backward_euler;
-    topts.temp = elab.temperature;
+    topts.temp = temperature;
     topts.initial_conditions = elab.tran.ics;
     tran = sim::solve_tran(elab.circuit, topts, &op);
     if (!tran.ok) {

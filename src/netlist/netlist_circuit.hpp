@@ -37,6 +37,19 @@
 // names, AC measures without an `.ac` line or transient measures without a
 // `.tran` line fail at load time with file/line diagnostics, not
 // mid-optimization.
+//
+// Robust evaluation (.corner / .mc): each candidate expands into
+// n_corners() x n_mc_samples() independent simulations.  A `.corner` card
+// re-derives the constant table (vdd scaled by vdd_scale, every .param
+// re-evaluated against the overridden builtins, explicit overrides taking
+// precedence) and may override the temperature; `.mc K` perturbs every
+// MOSFET's vth0/kp with per-sample deterministic draws (see
+// apply_mos_mismatch).  Metrics aggregate per measure: first the adverse
+// order-statistic quantile over the K mismatch samples within each corner
+// (quantile=1 -> worst sample), then the worst over corners — "worst" is
+// max for the objective and <=-bound constraints, min for >=-bound
+// constraints.  Any failing condition fails the candidate, and
+// evaluate_detailed() names the corner/sample that failed.
 
 #include <map>
 #include <memory>
@@ -85,13 +98,49 @@ class NetlistCircuit final : public SizingCircuit {
   };
   EvalOutcome evaluate_detailed(const std::vector<double>& unit_x) const;
 
+  /// Robust-evaluation fan-out shape.  Decks without .corner/.mc report a
+  /// single nominal corner and one sample.
+  std::size_t n_corners() const { return corners_.size(); }
+  std::size_t n_mc_samples() const { return mc_samples_; }
+  /// Corner display name (original spelling; "nominal" when the deck has
+  /// no .corner cards).
+  const std::string& corner_name(std::size_t corner) const {
+    return corners_[corner].raw;
+  }
+  double mc_quantile() const { return mc_quantile_; }
+
+  /// One (corner, mismatch sample) condition of the fan-out, un-aggregated
+  /// — the building block golden tests hand-aggregate from.  `corner` <
+  /// n_corners(), `sample` < n_mc_samples().
+  EvalOutcome evaluate_single(const std::vector<double>& unit_x,
+                              std::size_t corner, std::size_t sample) const;
+
   const net::Deck& deck() const { return deck_; }
 
   /// Elaborate at a unit-box point without simulating (benchmarks, tests).
   net::Elaboration elaborate(const std::vector<double>& unit_x) const;
 
  private:
+  /// Resolved .corner card: the re-derived constant table plus the optional
+  /// temperature override.
+  struct CornerSetup {
+    std::string name;  ///< lowercased
+    std::string raw;   ///< display name (failure reports)
+    std::optional<double> temp;
+    std::map<std::string, double> consts;  ///< corner .param values + builtins
+  };
+
   std::map<std::string, double> bind_vars(const std::vector<double>& unit_x) const;
+  /// True when metric index m (0 = objective) is better when smaller, i.e.
+  /// its worst case over conditions is the maximum.
+  bool smaller_better(std::size_t m) const {
+    return m == 0 || !specs_[m - 1].is_lower_bound;
+  }
+  /// Worst-over-corners of the per-corner adverse MC quantile.  `conds` is
+  /// the row-major [corner][sample] metric matrix; any missing entry
+  /// (failed condition) yields nullopt.
+  std::optional<std::vector<double>> aggregate(
+      const std::vector<std::optional<std::vector<double>>>& conds) const;
 
   net::Deck deck_;
   Pdk pdk_;
@@ -103,6 +152,13 @@ class NetlistCircuit final : public SizingCircuit {
   std::vector<double> expert_;
   bool needs_ac_ = false;
   bool needs_tran_ = false;
+
+  std::vector<CornerSetup> corners_;  ///< always >= 1 (nominal fallback)
+  bool has_corner_cards_ = false;
+  std::size_t mc_samples_ = 1;
+  double vth_sigma_ = 0.0;
+  double beta_sigma_ = 0.0;
+  double mc_quantile_ = 1.0;  ///< adverse order-statistic rank fraction
 };
 
 }  // namespace kato::ckt

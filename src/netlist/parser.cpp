@@ -551,6 +551,24 @@ class Parser {
       s_.expect_eol(".temp");
     } else if (d == ".spec") {
       deck_.specs.push_back(parse_spec(head.loc));
+    } else if (d == ".corner") {
+      CornerDef def;
+      def.loc = head.loc;
+      const Token& name = s_.peek();
+      def.name = take_name_arg(s_, "a corner name");
+      def.raw = name.raw;
+      check_unique(corner_names_, def.name, "corner", def.loc);
+      def.params = parse_kv_pairs(s_);
+      s_.expect_eol(".corner");
+      deck_.corners.push_back(std::move(def));
+    } else if (d == ".mc") {
+      if (deck_.mc.present)
+        throw NetlistError(head.loc, "duplicate .mc directive");
+      deck_.mc.present = true;
+      deck_.mc.loc = head.loc;
+      deck_.mc.samples = parse_value(s_);
+      deck_.mc.params = parse_kv_pairs(s_);
+      s_.expect_eol(".mc");
     } else if (d == ".expert") {
       ExpertDef def;
       def.loc = head.loc;
@@ -589,7 +607,7 @@ class Parser {
                          "unknown directive '" + head.raw +
                              "' (supported: .title .param .var .model "
                              ".subckt/.ends .ac .tran .ic .temp .spec "
-                             ".expert .end)");
+                             ".corner .mc .expert .end)");
     }
   }
 
@@ -649,6 +667,7 @@ class Parser {
   std::unordered_set<std::string> param_names_;
   std::unordered_set<std::string> var_names_;
   std::unordered_set<std::string> model_names_;
+  std::unordered_set<std::string> corner_names_;
 };
 
 }  // namespace

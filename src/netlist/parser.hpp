@@ -27,6 +27,8 @@
 //   .temp <kelvin>
 //   .spec objective <Name> <Unit> = <measure expr>
 //   .spec <Name> <Unit> >=|<= <bound> = <measure expr>
+//   .corner <name> [temp=<v>] [vdd_scale=<v>] [<param>=<v> ...]
+//   .mc <K> [vth_sigma=<v>] [beta_sigma=<v>] [quantile=<v>]
 //   .expert <pdk-name|*> <u1> ... <uD>        unit-box reference sizing
 //   .end                                      (optional)
 //
@@ -184,6 +186,27 @@ struct ExpertDef {
   SourceLoc loc;
 };
 
+/// One `.corner` card: a named process/voltage/temperature set.  `params`
+/// carries the raw key=value list; `temp` and `vdd_scale` are special keys,
+/// every other key must override an existing `.param` or PDK builtin
+/// (validated by NetlistCircuit at load time).
+struct CornerDef {
+  std::string name;  ///< lowercased
+  std::string raw;   ///< original spelling (diagnostics, failure reports)
+  std::vector<std::pair<std::string, ExprPtr>> params;
+  SourceLoc loc;
+};
+
+/// The `.mc` card: K per-device mismatch draws.  Keys vth_sigma (absolute
+/// threshold shift, V), beta_sigma (relative kp spread) and quantile
+/// (yield fraction for MC aggregation) are validated by NetlistCircuit.
+struct McDef {
+  bool present = false;
+  ExprPtr samples;
+  std::vector<std::pair<std::string, ExprPtr>> params;
+  SourceLoc loc;
+};
+
 struct Subckt {
   std::string name;
   std::vector<std::string> ports;
@@ -200,6 +223,8 @@ struct Deck {
   std::vector<ModelDef> models;
   std::vector<SpecDef> specs;
   std::vector<ExpertDef> experts;
+  std::vector<CornerDef> corners;
+  McDef mc;
   AcDef ac;
   TranDef tran;
   std::vector<IcDef> ics;

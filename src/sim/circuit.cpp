@@ -1,5 +1,6 @@
 #include "sim/circuit.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -71,8 +72,11 @@ double waveform_value(const Waveform& w, double dc, double time) {
     case Waveform::Kind::pwl: {
       if (time <= w.t.front()) return w.v.front();
       if (time >= w.t.back()) return w.v.back();
-      std::size_t i = 1;
-      while (w.t[i] < time) ++i;
+      // First breakpoint with t[i] >= time (times are strictly increasing,
+      // so this is the same index the former linear scan found, and the
+      // interpolation below is bit-identical to it).
+      const std::size_t i = static_cast<std::size_t>(
+          std::lower_bound(w.t.begin() + 1, w.t.end(), time) - w.t.begin());
       const double f = (time - w.t[i - 1]) / (w.t[i] - w.t[i - 1]);
       return w.v[i - 1] + f * (w.v[i] - w.v[i - 1]);
     }

@@ -131,6 +131,9 @@ class Circuit {
   const std::vector<Vccs>& vccs() const { return vccs_; }
   const std::vector<Diode>& diodes() const { return diodes_; }
   const std::vector<MosInstance>& mosfets() const { return mosfets_; }
+  /// Mutable device access for post-elaboration perturbation (Monte Carlo
+  /// mismatch).  Node wiring must not be changed through this reference.
+  std::vector<MosInstance>& mosfets() { return mosfets_; }
 
   /// Size of the MNA system: (n_nodes - 1) + n_vsources.
   std::size_t mna_size() const { return n_nodes() - 1 + vsources_.size(); }

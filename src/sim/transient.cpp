@@ -397,8 +397,14 @@ double tran_prop_delay(const TranResult& res, int in_node, int out_node) {
   const double window = res.time.back() - res.time.front();
   const double t_in = half_swing_crossing(res, in_node);
   const double t_out = half_swing_crossing(res, out_node);
-  if (std::isnan(t_in) || std::isnan(t_out)) return window;
-  return t_out - t_in;
+  // Missing crossing: return 2x the window — finite (GP-safe) yet strictly
+  // larger than any genuine delay, so worst-case aggregation over corners
+  // ranks the failure as worst and callers can tell it apart from a real
+  // measurement (which is always < window).
+  if (std::isnan(t_in) || std::isnan(t_out)) return 2.0 * window;
+  // An output crossing ahead of the input's (shoot-through, asymmetric
+  // swings) is reported as zero delay, never negative.
+  return std::max(0.0, t_out - t_in);
 }
 
 double tran_avg_power(const TranResult& res, const Circuit& ckt,

@@ -104,8 +104,10 @@ double tran_settling_time(const TranResult& res, int node, double tol_frac);
 double tran_overshoot(const TranResult& res, int node);
 
 /// Delay from the input's 50% crossing of its own swing to the output's
-/// 50% crossing [s]; returns the full window length when either side never
-/// crosses (worst case — a spec on it then fails cleanly).
+/// 50% crossing [s], clamped at 0 (an output crossing before the input
+/// reads as zero delay, never negative).  When either side never crosses,
+/// returns 2x the window length — a finite sentinel strictly larger than
+/// any genuine delay, so a spec on it fails cleanly and distinguishably.
 double tran_prop_delay(const TranResult& res, int in_node, int out_node);
 
 /// Time-average power delivered by voltage source `vsource_index` [W]:

@@ -20,6 +20,31 @@ TEST(SeedList, DefaultAndEnvOverride) {
   unsetenv("KATO_SEEDS");
 }
 
+TEST(SeedList, RejectsMalformedAndClampsHugeCounts) {
+  // Strict full-string parse: trailing garbage must not silently truncate
+  // ("4abc" used to read as 4, "1e3" as 1).
+  setenv("KATO_SEEDS", "4abc", 1);
+  EXPECT_EQ(core::seed_list(3).size(), 3u);
+  setenv("KATO_SEEDS", "1e3", 1);
+  EXPECT_EQ(core::seed_list(3).size(), 3u);
+  setenv("KATO_SEEDS", " 7", 1);  // leading whitespace is strtol-legal
+  EXPECT_EQ(core::seed_list(3).size(), 7u);
+  setenv("KATO_SEEDS", "7 ", 1);  // trailing whitespace is not
+  EXPECT_EQ(core::seed_list(3).size(), 3u);
+  setenv("KATO_SEEDS", "0", 1);
+  EXPECT_EQ(core::seed_list(3).size(), 3u);
+  setenv("KATO_SEEDS", "-5", 1);
+  EXPECT_EQ(core::seed_list(3).size(), 3u);
+  setenv("KATO_SEEDS", "", 1);
+  EXPECT_EQ(core::seed_list(3).size(), 3u);
+  // A fat-fingered huge count clamps instead of exploding the sweep.
+  setenv("KATO_SEEDS", "999999999", 1);
+  EXPECT_EQ(core::seed_list(3).size(), 1024u);
+  setenv("KATO_SEEDS", "1024", 1);
+  EXPECT_EQ(core::seed_list(3).size(), 1024u);
+  unsetenv("KATO_SEEDS");
+}
+
 TEST(KatoOptimizer, FacadeEndToEnd) {
   auto circuit = ckt::make_circuit("opamp2", "180nm");
   KatoOptimizer opt(*circuit);

@@ -338,7 +338,7 @@ TEST(NetlistDiag, UnknownDirectiveListsSupportedSet) {
       ".noise out\n",
       2,
       "unknown directive '.noise' (supported: .title .param .var .model "
-      ".subckt/.ends .ac .tran .ic .temp .spec .expert .end)");
+      ".subckt/.ends .ac .tran .ic .temp .spec .corner .mc .expert .end)");
 }
 
 TEST(NetlistDiag, UnknownMeasureTarget) {

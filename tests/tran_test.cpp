@@ -132,6 +132,99 @@ TEST(Waveform, ValidationRejectsMalformed) {
   EXPECT_THROW(ckt.add_vsource(a, 0, 0.0, 0.0, pwl), std::invalid_argument);
 }
 
+TEST(Waveform, PwlBinarySearchMatchesLinearScanBitExactly) {
+  // Dense PWL ramp with irregular spacing; the binary-search lookup must
+  // select the same segment — and therefore the bit-identical interpolated
+  // value — as the original linear scan, replicated here verbatim.
+  sim::Waveform w;
+  w.kind = sim::Waveform::Kind::pwl;
+  kato::util::Rng rng(99);
+  double t = 0.0;
+  for (int i = 0; i < 512; ++i) {
+    t += 1e-9 * (0.1 + rng.uniform());
+    w.t.push_back(t);
+    w.v.push_back(std::sin(0.37 * static_cast<double>(i)) + rng.uniform());
+  }
+  auto linear_scan = [&](double time) {
+    if (time <= w.t.front()) return w.v.front();
+    if (time >= w.t.back()) return w.v.back();
+    std::size_t i = 1;
+    while (w.t[i] < time) ++i;
+    const double f = (time - w.t[i - 1]) / (w.t[i] - w.t[i - 1]);
+    return w.v[i - 1] + f * (w.v[i] - w.v[i - 1]);
+  };
+  // Uniform queries across (and beyond) the span, plus every breakpoint
+  // exactly and points just off each breakpoint.
+  for (int q = -10; q < 2100; ++q) {
+    const double time = static_cast<double>(q) * (t / 2000.0);
+    EXPECT_EQ(sim::waveform_value(w, 0.0, time), linear_scan(time)) << time;
+  }
+  for (std::size_t i = 0; i < w.t.size(); ++i) {
+    EXPECT_EQ(sim::waveform_value(w, 0.0, w.t[i]), linear_scan(w.t[i])) << i;
+    const double eps = 1e-12;
+    EXPECT_EQ(sim::waveform_value(w, 0.0, w.t[i] - eps),
+              linear_scan(w.t[i] - eps));
+    EXPECT_EQ(sim::waveform_value(w, 0.0, w.t[i] + eps),
+              linear_scan(w.t[i] + eps));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// tran_prop_delay contract: never negative, missing crossing = 2x window.
+
+namespace {
+
+/// Hand-built two-node result: index 1 = in, index 2 = out.
+sim::TranResult two_node_result(const std::vector<double>& time,
+                                const std::vector<double>& vin,
+                                const std::vector<double>& vout) {
+  sim::TranResult res;
+  res.ok = true;
+  res.time = time;
+  for (std::size_t i = 0; i < time.size(); ++i) {
+    kato::la::Vector v(3, 0.0);
+    v[1] = vin[i];
+    v[2] = vout[i];
+    res.node_voltage.push_back(std::move(v));
+  }
+  return res;
+}
+
+}  // namespace
+
+TEST(PropDelay, PositiveDelayUnchanged) {
+  // in crosses 0.5 at t=1, out at t=3 -> delay 2.
+  const auto res = two_node_result({0, 1, 2, 3, 4},
+                                   {0, 0.5, 1, 1, 1},
+                                   {0, 0, 0, 0.5, 1});
+  EXPECT_DOUBLE_EQ(sim::tran_prop_delay(res, 1, 2), 2.0);
+}
+
+TEST(PropDelay, OutputLeadingInputClampsAtZero) {
+  // out crosses 0.5 at t=1, in at t=3: the raw difference is -2 and used
+  // to be returned as-is, poisoning worst-case aggregation.
+  const auto res = two_node_result({0, 1, 2, 3, 4},
+                                   {0, 0, 0, 0.5, 1},
+                                   {0, 0.5, 1, 1, 1});
+  EXPECT_DOUBLE_EQ(sim::tran_prop_delay(res, 1, 2), 0.0);
+}
+
+TEST(PropDelay, MissingCrossingReturnsTwiceWindowSentinel) {
+  // Flat output never completes a swing -> sentinel 2 * window, finite yet
+  // strictly larger than any genuine delay (always < window).
+  const auto flat_out = two_node_result({0, 1, 2, 3, 4},
+                                        {0, 0.5, 1, 1, 1},
+                                        {0, 0, 0, 0, 0});
+  EXPECT_DOUBLE_EQ(sim::tran_prop_delay(flat_out, 1, 2), 8.0);
+  const auto flat_in = two_node_result({0, 1, 2, 3, 4},
+                                       {0, 0, 0, 0, 0},
+                                       {0, 0.5, 1, 1, 1});
+  EXPECT_DOUBLE_EQ(sim::tran_prop_delay(flat_in, 1, 2), 8.0);
+  // Degenerate results keep returning 0.
+  EXPECT_DOUBLE_EQ(sim::tran_prop_delay(two_node_result({0}, {0}, {0}), 1, 2),
+                   0.0);
+}
+
 // ---------------------------------------------------------------------------
 // Integrator golden accuracy (closed-form solutions).
 
