@@ -3,6 +3,7 @@
 
 Usage:
     compare_baseline.py <current.json> <baseline.json> [--tol 0.25]
+                        [--enforce-scaling]
 
 Prints a GitHub-flavored markdown delta table (pipe it into
 $GITHUB_STEP_SUMMARY from the workflow) covering every tracked top-level
@@ -10,6 +11,18 @@ $GITHUB_STEP_SUMMARY from the workflow) covering every tracked top-level
 tracked `*_ms` field regressed by more than --tol (default 25%) relative to
 the baseline — absolute per-iteration times, so expect noise on shared
 runners; KATO_BENCH_TOL overrides the threshold without editing workflows.
+
+Fields present in only one of the two files are reported (status `new` /
+`removed`) instead of erroring, so baseline and bench can evolve in either
+order across PRs.
+
+Same-thread A/B ratios (SPEEDUP_FLOORS, e.g. device_table_speedup) are
+floored whenever the current run reports them: both arms run in the same
+binary on the same cores, so the ratio is machine-independent.
+Thread-scaling ratios (SCALING_FLOORS) compare a 1-thread run against a
+multi-thread run and only mean anything on a multi-core runner; they are
+floored only under --enforce-scaling, and skipped with a loud note when the
+current run reports hardware_concurrency < 2.
 
 Only the Python standard library is used.
 """
@@ -22,13 +35,23 @@ import sys
 # the same code.  On a 1-core runner they measure the machine, not the code
 # (the ROADMAP flags eval_batch_speedup ~0.95 on CI as exactly this
 # artifact), so they are skipped with a note when the current run reports
-# hardware_concurrency < 2.
+# hardware_concurrency < 2.  Under --enforce-scaling (the multi-core CI
+# bench job) they become hard floors.
 SCALING_FIELDS = {"eval_batch_speedup", "gp_fit_parallel_speedup"}
+SCALING_FLOORS = {"eval_batch_speedup": 2.0, "gp_fit_parallel_speedup": 1.5}
+
+# Same-binary, same-thread-count A/B ratios: machine-independent, enforced
+# whenever the current run reports them.
+SPEEDUP_FLOORS = {"device_table_speedup": 3.0}
 
 
 def load(path):
     with open(path) as f:
         return json.load(f)
+
+
+def is_num(v):
+    return isinstance(v, (int, float))
 
 
 def main(argv):
@@ -42,17 +65,25 @@ def main(argv):
         tol = float(argv[argv.index("--tol") + 1])
     if os.environ.get("KATO_BENCH_TOL"):
         tol = float(os.environ["KATO_BENCH_TOL"])
+    enforce_scaling = "--enforce-scaling" in argv
 
-    tracked = sorted(
-        k
-        for k in baseline
-        if k.endswith("_ms") and isinstance(baseline[k], (int, float)) and k in current
-    )
-    ratios = sorted(
-        k
-        for k in baseline
-        if k.endswith("_speedup") and isinstance(baseline[k], (int, float)) and k in current
-    )
+    def keys(suffix):
+        both = sorted(
+            k for k in baseline
+            if k.endswith(suffix) and is_num(baseline[k]) and k in current
+        )
+        new = sorted(
+            k for k in current
+            if k.endswith(suffix) and is_num(current[k]) and k not in baseline
+        )
+        removed = sorted(
+            k for k in baseline
+            if k.endswith(suffix) and is_num(baseline[k]) and k not in current
+        )
+        return both, new, removed
+
+    tracked, tracked_new, tracked_removed = keys("_ms")
+    ratios, ratios_new, ratios_removed = keys("_speedup")
 
     failures = []
     print("### micro_perf vs committed baseline (tol %.0f%%)" % (tol * 100))
@@ -73,18 +104,43 @@ def main(argv):
             "| %s | %.4f ms | %.4f ms | %+.1f%% | %s |"
             % (k, base, cur, delta * 100, status)
         )
+    for k in tracked_new:
+        print("| %s | — | %.4f ms | — | new |" % (k, float(current[k])))
+    for k in tracked_removed:
+        print("| %s | %.4f ms | — | — | removed |" % (k, float(baseline[k])))
     cores = int(current.get("hardware_concurrency", 0))
     skipped_scaling = []
+
+    def ratio_status(k, cur):
+        """Floor check for a ratio present in the current run."""
+        if k in SPEEDUP_FLOORS and cur < SPEEDUP_FLOORS[k]:
+            failures.append(k)
+            return "BELOW FLOOR %.1fx" % SPEEDUP_FLOORS[k]
+        if enforce_scaling and k in SCALING_FLOORS and cur < SCALING_FLOORS[k]:
+            failures.append(k)
+            return "BELOW FLOOR %.1fx" % SCALING_FLOORS[k]
+        return "ratio"
+
     for k in ratios:
         if k in SCALING_FIELDS and 0 < cores < 2:
             skipped_scaling.append(k)
             print("| %s | %.2fx | — | — | skipped (1-core runner) |"
                   % (k, float(baseline[k])))
             continue
+        cur = float(current[k])
         print(
-            "| %s | %.2fx | %.2fx | — | ratio |"
-            % (k, float(baseline[k]), float(current[k]))
+            "| %s | %.2fx | %.2fx | — | %s |"
+            % (k, float(baseline[k]), cur, ratio_status(k, cur))
         )
+    for k in ratios_new:
+        if k in SCALING_FIELDS and 0 < cores < 2:
+            skipped_scaling.append(k)
+            print("| %s | — | — | — | skipped (1-core runner) |" % k)
+            continue
+        cur = float(current[k])
+        print("| %s | — | %.2fx | — | new, %s |" % (k, cur, ratio_status(k, cur)))
+    for k in ratios_removed:
+        print("| %s | %.2fx | — | — | removed |" % (k, float(baseline[k])))
     print()
     if skipped_scaling:
         print(
@@ -94,9 +150,13 @@ def main(argv):
         )
         print()
     if failures:
-        print("**Regressed fields:** " + ", ".join(failures))
+        print("**Failed fields:** " + ", ".join(failures))
         return 1
-    print("No tracked `*_ms` field regressed beyond %.0f%%." % (tol * 100))
+    floors = "with" if enforce_scaling else "without"
+    print(
+        "No tracked `*_ms` field regressed beyond %.0f%%; all speedup floors "
+        "met (%s thread-scaling floors)." % (tol * 100, floors)
+    )
     return 0
 
 

@@ -21,6 +21,8 @@
 #include <sstream>
 #include <string>
 #include <thread>
+#include <tuple>
+#include <utility>
 #include <vector>
 
 #include "linalg/lu.hpp"
@@ -276,20 +278,191 @@ int main(int argc, char** argv) {
     });
   }
 
-  // Circuit evaluation.
+  // Circuit evaluation.  dc_opamp2_eval runs the default (table) device
+  // path; the _analytic row re-runs it with KATO_DEVICE_TABLE=0 for the
+  // same-binary e2e A/B (the whole-candidate ratio is Amdahl-limited by the
+  // AC sweep and the LU solves — the device-kernel ratio itself is
+  // abl_mos_eval below).
+  double dc_opamp2_ms = 0.0;
+  double dc_opamp2_analytic_ms = 0.0;
   {
     auto circuit = ckt::make_circuit("opamp2", "180nm");
     const auto x = circuit->expert_design();
-    bench("dc_opamp2_eval", [&] {
+    dc_opamp2_ms = bench("dc_opamp2_eval", [&] {
       const auto m = circuit->evaluate(x);
       sink(m ? (*m)[0] : 0.0);
     });
+    const char* prev_table = std::getenv("KATO_DEVICE_TABLE");
+    const std::string saved_table = prev_table ? prev_table : "";
+    setenv("KATO_DEVICE_TABLE", "0", 1);
+    dc_opamp2_analytic_ms = bench("dc_opamp2_eval_analytic", [&] {
+      const auto m = circuit->evaluate(x);
+      sink(m ? (*m)[0] : 0.0);
+    });
+    if (prev_table)
+      setenv("KATO_DEVICE_TABLE", saved_table.c_str(), 1);
+    else
+      unsetenv("KATO_DEVICE_TABLE");
     auto bandgap = ckt::make_circuit("bandgap", "180nm");
     const auto xb = bandgap->expert_design();
     bench("bandgap_eval", [&] {
       const auto m = bandgap->evaluate(xb);
       sink(m ? (*m)[0] : 0.0);
     });
+  }
+
+  // Device-model kernel (abl_mos_eval): 512 mixed NMOS/PMOS devices across
+  // the sizing box on a handful of bias rails, the same device/bias mix the
+  // transient Newton loop sees per timestep and evaluate_batch sees across
+  // candidates.  Two granularities, same binary:
+  //
+  //   abl_mos_eval_{analytic,table}      the SoA device-model batch alone
+  //                                      (MosPre in, ids/gm/gds out) — the
+  //                                      transcendental work the table
+  //                                      replaces; their ratio is
+  //                                      device_table_speedup, floored at
+  //                                      3x by bench/compare_baseline.py.
+  //   abl_mos_assemble_{analytic,table}  the full MnaAssembler::assemble()
+  //                                      on the same circuit — device model
+  //                                      plus the path-independent stamp
+  //                                      writes and KCL gathers, so the
+  //                                      ratio is diluted by design.
+  double mos_eval_table_ms = 0.0;
+  double mos_eval_analytic_ms = 0.0;
+  double mos_assemble_table_ms = 0.0;
+  double mos_assemble_analytic_ms = 0.0;
+  {
+    sim::Circuit devckt;
+    const int vdd = devckt.new_node("vdd");
+    const int na = devckt.new_node("a");
+    const int nb = devckt.new_node("b");
+    const int nc = devckt.new_node("c");
+    devckt.add_vsource(vdd, sim::Circuit::ground, 1.8);
+    devckt.add_resistor(na, sim::Circuit::ground, 10e3);
+    devckt.add_resistor(nb, sim::Circuit::ground, 10e3);
+    devckt.add_resistor(nc, vdd, 10e3);
+    const auto& pdk = ckt::pdk_180nm();
+    const int rails[] = {sim::Circuit::ground, vdd, na, nb, nc};
+    util::Rng dev_rng(41);
+    for (int i = 0; i < 512; ++i) {
+      const bool nmos = (i % 2) == 0;
+      const int d = rails[(i + 1) % 5];
+      const int g = rails[(i * 3 + 2) % 5];
+      const int s = nmos ? sim::Circuit::ground : vdd;
+      const double w = 2e-6 + 18e-6 * dev_rng.uniform();
+      const double l = 0.18e-6 + 0.8e-6 * dev_rng.uniform();
+      devckt.add_mosfet(d, g, s, w, l, nmos ? pdk.nmos : pdk.pmos);
+    }
+    la::Vector xdev(devckt.mna_size(), 0.0);
+    xdev[static_cast<std::size_t>(vdd) - 1] = 1.8;
+    xdev[static_cast<std::size_t>(na) - 1] = 0.45;   // weak inversion-ish
+    xdev[static_cast<std::size_t>(nb) - 1] = 0.95;   // strong inversion
+    xdev[static_cast<std::size_t>(nc) - 1] = 1.35;   // triode/reverse mix
+    la::Matrix jac_dev;
+    la::Vector res_dev;
+    sim::MnaAssembler analytic_asm(
+        devckt, sim::MnaOptions{1e-12, 300.0, sim::MnaSolver::dense,
+                                sim::DeviceEval::analytic});
+    sim::MnaAssembler table_asm(
+        devckt, sim::MnaOptions{1e-12, 300.0, sim::MnaSolver::dense,
+                                sim::DeviceEval::table});
+    // (a) SoA device-model batch: precomputed MosPre / table pointers /
+    // terminal biases in, ids/gm/gds out.
+    std::vector<sim::MosPre> pres;
+    std::vector<const sim::DeviceTable*> tabs;
+    std::vector<std::shared_ptr<const sim::DeviceTable>> tab_refs;
+    std::vector<double> vgs_b, vds_b;
+    auto at = [&](int node) {
+      return node == 0 ? 0.0 : xdev[static_cast<std::size_t>(node) - 1];
+    };
+    for (const auto& m : devckt.mosfets()) {
+      pres.push_back(sim::mos_precompute(m.model, m.w, m.l, 300.0));
+      tab_refs.push_back(
+          sim::device_table_for(m.model.subthreshold_n, 300.0));
+      tabs.push_back(tab_refs.back().get());
+      vgs_b.push_back(at(m.g) - at(m.s));
+      vds_b.push_back(at(m.d) - at(m.s));
+    }
+    const std::size_t n_dev = pres.size();
+    auto eval_analytic = [&] {
+      double acc = 0.0;
+      for (std::size_t i = 0; i < n_dev; ++i) {
+        const auto op = sim::eval_mosfet_pre(pres[i], vgs_b[i], vds_b[i]);
+        acc += op.ids + op.gm + op.gds;
+      }
+      sink(acc);
+    };
+    auto eval_table = [&] {
+      double acc = 0.0;
+      for (std::size_t i = 0; i < n_dev; ++i) {
+        const auto op =
+            sim::eval_mosfet_table(*tabs[i], pres[i], vgs_b[i], vds_b[i]);
+        acc += op.ids + op.gm + op.gds;
+      }
+      sink(acc);
+    };
+    // The A/B arms are timed as the minimum over interleaved windows: the
+    // min is the standard noise-robust per-iteration estimator, and
+    // alternating the arms means any neighbor load hits both equally
+    // instead of whichever arm happened to run during the spike.  The
+    // floored ratio then tracks the code, not the runner.
+    auto bench_ab = [&](const std::string& name_a, auto&& fn_a,
+                        const std::string& name_b, auto&& fn_b) {
+      using clock = std::chrono::steady_clock;
+      constexpr int n_windows = 8;
+      constexpr double window_ms = 40.0;
+      double best_a = 0.0;
+      double best_b = 0.0;
+      std::size_t iters_a = 0;
+      std::size_t iters_b = 0;
+      fn_a();
+      fn_b();  // warm-up (excluded)
+      for (int w = 0; w < n_windows; ++w) {
+        for (int arm = 0; arm < 2; ++arm) {
+          std::size_t iters = 0;
+          const auto start = clock::now();
+          double ms = 0.0;
+          while (ms < window_ms || iters < 2) {
+            arm == 0 ? fn_a() : fn_b();
+            ++iters;
+            ms = std::chrono::duration<double, std::milli>(clock::now() - start)
+                     .count();
+          }
+          const double per = ms / static_cast<double>(iters);
+          auto& best = arm == 0 ? best_a : best_b;
+          auto& total = arm == 0 ? iters_a : iters_b;
+          if (best == 0.0 || per < best) best = per;
+          total += iters;
+        }
+      }
+      g_results.push_back({name_a, best_a, iters_a});
+      g_results.push_back({name_b, best_b, iters_b});
+      std::cout << "  " << name_a << ": " << best_a << " ms/iter (" << iters_a
+                << " iters, min of " << n_windows << " interleaved windows)\n";
+      std::cout << "  " << name_b << ": " << best_b << " ms/iter (" << iters_b
+                << " iters, min of " << n_windows << " interleaved windows)\n";
+      return std::pair<double, double>(best_a, best_b);
+    };
+    std::tie(mos_eval_analytic_ms, mos_eval_table_ms) = bench_ab(
+        "abl_mos_eval_analytic", eval_analytic, "abl_mos_eval_table",
+        eval_table);
+    std::cout << "  -> device table speedup: "
+              << mos_eval_analytic_ms / mos_eval_table_ms << "x (512 devices)\n";
+
+    // (b) Full assembly on the same circuit.
+    std::tie(mos_assemble_analytic_ms, mos_assemble_table_ms) = bench_ab(
+        "abl_mos_assemble_analytic",
+        [&] {
+          analytic_asm.assemble(xdev, jac_dev, res_dev);
+          sink(res_dev[0]);
+        },
+        "abl_mos_assemble_table",
+        [&] {
+          table_asm.assemble(xdev, jac_dev, res_dev);
+          sink(res_dev[0]);
+        });
+    std::cout << "  -> assembled speedup: "
+              << mos_assemble_analytic_ms / mos_assemble_table_ms << "x\n";
   }
 
   // Netlist front-end (abl_netlist): one-time deck parse latency and the
@@ -342,6 +515,8 @@ int main(int argc, char** argv) {
   // machinery on the step-buffer workload, and the full DC -> TRAN ->
   // measures evaluation the transient sizing loop pays per candidate.
   double tran_step_ms = 0.0;
+  double tran_eval_ms = 0.0;
+  double tran_eval_analytic_ms = 0.0;
   {
     const std::string path =
         std::string(KATO_SOURCE_DIR) + "/circuits/netlists/buffer_tran.cir";
@@ -364,10 +539,24 @@ int main(int argc, char** argv) {
     });
     tran_step_ms = tran_ms / static_cast<double>(n_steps);
     std::cout << "  -> per-timestep cost: " << tran_step_ms * 1e3 << " us\n";
-    bench("abl_tran_eval", [&] {
+    tran_eval_ms = bench("abl_tran_eval", [&] {
       const auto m = circuit.evaluate(x);
       sink(m ? (*m)[0] : 0.0);
     });
+    // e2e device-path A/B on the transient workload (KATO_DEVICE_TABLE,
+    // same binary) — Amdahl-limited by LU + timestep control, so this ratio
+    // is modest by design; the kernel ratio is device_table_speedup.
+    const char* prev_table = std::getenv("KATO_DEVICE_TABLE");
+    const std::string saved_table = prev_table ? prev_table : "";
+    setenv("KATO_DEVICE_TABLE", "0", 1);
+    tran_eval_analytic_ms = bench("abl_tran_eval_analytic", [&] {
+      const auto m = circuit.evaluate(x);
+      sink(m ? (*m)[0] : 0.0);
+    });
+    if (prev_table)
+      setenv("KATO_DEVICE_TABLE", saved_table.c_str(), 1);
+    else
+      unsetenv("KATO_DEVICE_TABLE");
   }
 
   // Sparse MNA solver (abl_sparse): on the ~150-node ladder deck, compare
@@ -530,6 +719,9 @@ int main(int argc, char** argv) {
     out << "  \"abl_netlist_elaborate_ms\": " << netlist_elab_ms << ",\n";
     out << "  \"abl_corner_eval_ms\": " << corner_eval_ms << ",\n";
     out << "  \"abl_tran_step_ms\": " << tran_step_ms << ",\n";
+    out << "  \"abl_tran_eval_ms\": " << tran_eval_ms << ",\n";
+    out << "  \"abl_tran_eval_analytic_ms\": " << tran_eval_analytic_ms
+        << ",\n";
     out << "  \"abl_sparse_lu_ms\": " << sparse_lu_ms << ",\n";
     out << "  \"abl_sparse_lu_dense_ms\": " << sparse_lu_dense_ms << ",\n";
     out << "  \"sparse_lu_speedup\": "
@@ -542,6 +734,24 @@ int main(int argc, char** argv) {
         << (sparse_tran_ms > 0.0 ? sparse_tran_dense_ms / sparse_tran_ms : 0.0)
         << ",\n";
     out << "  \"eval_batch_speedup\": " << eval_batch_speedup << ",\n";
+    out << "  \"abl_mos_eval_analytic_ms\": " << mos_eval_analytic_ms << ",\n";
+    out << "  \"abl_mos_eval_table_ms\": " << mos_eval_table_ms << ",\n";
+    out << "  \"device_table_speedup\": "
+        << (mos_eval_table_ms > 0.0 ? mos_eval_analytic_ms / mos_eval_table_ms
+                                    : 0.0)
+        << ",\n";
+    out << "  \"abl_mos_assemble_analytic_ms\": " << mos_assemble_analytic_ms
+        << ",\n";
+    out << "  \"abl_mos_assemble_table_ms\": " << mos_assemble_table_ms
+        << ",\n";
+    out << "  \"device_table_assemble_speedup\": "
+        << (mos_assemble_table_ms > 0.0
+                ? mos_assemble_analytic_ms / mos_assemble_table_ms
+                : 0.0)
+        << ",\n";
+    out << "  \"dc_opamp2_eval_ms\": " << dc_opamp2_ms << ",\n";
+    out << "  \"dc_opamp2_eval_analytic_ms\": " << dc_opamp2_analytic_ms
+        << ",\n";
     out << "  \"kato_threads\": " << util::thread_count() << ",\n";
     // Lets the baseline comparator skip thread-scaling speedup fields on
     // 1-core runners, where they measure the machine, not the code.

@@ -534,6 +534,7 @@ NetlistCircuit::EvalOutcome NetlistCircuit::evaluate_single(
   EvalOutcome out;
   sim::DcOptions dc_opts;
   dc_opts.temp = temperature;
+  dc_opts.device_eval = device_eval_;
   const auto op = sim::solve_dc(elab.circuit, dc_opts);
   if (!op.converged) {
     out.failure = "DC operating point failed: " +
@@ -558,6 +559,7 @@ NetlistCircuit::EvalOutcome NetlistCircuit::evaluate_single(
     topts.fixed_step = elab.tran.fixed_step;
     topts.backward_euler = elab.tran.backward_euler;
     topts.temp = temperature;
+    topts.device_eval = device_eval_;
     topts.initial_conditions = elab.tran.ics;
     tran = sim::solve_tran(elab.circuit, topts, &op);
     if (!tran.ok) {

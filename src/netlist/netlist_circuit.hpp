@@ -57,6 +57,7 @@
 #include "circuits/pdk.hpp"
 #include "circuits/sizing_problem.hpp"
 #include "netlist/elaborate.hpp"
+#include "sim/device_table.hpp"
 
 namespace kato::ckt {
 
@@ -117,6 +118,13 @@ class NetlistCircuit final : public SizingCircuit {
 
   const net::Deck& deck() const { return deck_; }
 
+  /// Device-model path for every DC/transient solve this circuit issues
+  /// (table vs analytic MOSFET evaluation; sim::DeviceEval::automatic
+  /// resolves to the table path, KATO_DEVICE_TABLE overrides).  Lets tests
+  /// and benches A/B the two paths without touching the environment.
+  void set_device_eval(sim::DeviceEval eval) { device_eval_ = eval; }
+  sim::DeviceEval device_eval() const { return device_eval_; }
+
   /// Elaborate at a unit-box point without simulating (benchmarks, tests).
   net::Elaboration elaborate(const std::vector<double>& unit_x) const;
 
@@ -153,6 +161,7 @@ class NetlistCircuit final : public SizingCircuit {
   bool needs_ac_ = false;
   bool needs_tran_ = false;
 
+  sim::DeviceEval device_eval_ = sim::DeviceEval::automatic;
   std::vector<CornerSetup> corners_;  ///< always >= 1 (nominal fallback)
   bool has_corner_cards_ = false;
   std::size_t mc_samples_ = 1;

@@ -3,6 +3,13 @@
 // (MOSFETs become gm/gds + gate caps, diodes become gd) and the complex MNA
 // system (G + jwC) x = b is solved per frequency point.  Voltage sources with
 // a nonzero `ac` field form the stimulus; everything else is quiet.
+//
+// The linearization consumes DcResult::mosfet_op, which solve_dc always
+// fills from the analytic reference model at the converged voltages —
+// regardless of whether the Newton loop ran the table or the analytic
+// device path (sim::DeviceEval) — so the AC stamps themselves never carry
+// interpolation error; only the operating point the table path converged to
+// can differ, within the table's accuracy bound.
 
 #include <complex>
 #include <vector>

@@ -156,6 +156,13 @@ int Circuit::add_mosfet(int d, int g, int s, double w, double l,
   check_node(s);
   if (!(w > 0.0) || !(l > 0.0))
     throw std::invalid_argument("Circuit: mosfet W and L must be > 0");
+  // The subthreshold slope factor sets the overdrive smoothing scale
+  // 2 n vt that both the analytic model and the device-table normalization
+  // divide by; reject non-positive values here with a clear message rather
+  // than letting a bad model card surface as NaNs mid-Newton.
+  if (!(model.subthreshold_n > 0.0))
+    throw std::invalid_argument(
+        "Circuit: mosfet model subthreshold_n must be > 0");
   mosfets_.push_back({d, g, s, w, l, model});
   return static_cast<int>(mosfets_.size()) - 1;
 }

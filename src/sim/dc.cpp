@@ -30,9 +30,10 @@ DcResult solve_dc(const Circuit& ckt, const DcOptions& opts,
   // One assembler for the whole ladder: the stamp plan and (on the sparse
   // path) the symbolic factorization are computed once and reused across
   // every gmin rung — set_gmin only changes values.
-  MnaAssembler assembler(ckt, opts.gmin_ladder.empty() ? 1e-12
-                                                       : opts.gmin_ladder.front(),
-                         opts.temp, opts.solver);
+  MnaAssembler assembler(
+      ckt, MnaOptions{opts.gmin_ladder.empty() ? 1e-12
+                                               : opts.gmin_ladder.front(),
+                      opts.temp, opts.solver, opts.device_eval});
   if (override_sources) assembler.set_vsource_values(&opts.vsource_override);
   for (double gmin : opts.gmin_ladder) {
     assembler.set_gmin(gmin);
@@ -65,6 +66,9 @@ DcResult solve_dc(const Circuit& ckt, const DcOptions& opts,
     }
   }
 
+  // Operating-point report: always the analytic reference model (exact
+  // saturation flag; feeds the AC linearization) — one evaluation per
+  // device per solve, off the Newton hot path.
   result.mosfet_op.reserve(ckt.mosfets().size());
   for (const auto& mos : ckt.mosfets()) {
     result.mosfet_op.push_back(eval_mosfet(

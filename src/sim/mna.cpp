@@ -108,11 +108,11 @@ void for_each_stamp(const Circuit& ckt, std::size_t n,
 
 }  // namespace
 
-MnaAssembler::MnaAssembler(const Circuit& ckt, double gmin, double temp,
-                           MnaSolver solver)
-    : ckt_(ckt), gmin_(gmin), temp_(temp), n_(ckt.n_nodes() - 1),
+MnaAssembler::MnaAssembler(const Circuit& ckt, const MnaOptions& opts)
+    : ckt_(ckt), gmin_(opts.gmin), temp_(opts.temp), n_(ckt.n_nodes() - 1),
       size_(ckt.mna_size()),
-      solver_(resolve_mna_solver(solver, ckt.mna_size())) {
+      solver_(resolve_mna_solver(opts.solver, ckt.mna_size())),
+      device_(resolve_device_eval(opts.device_eval)) {
   diode_pre_.reserve(ckt_.diodes().size());
   const double vt = thermal_voltage(temp_);
   for (const auto& d : ckt_.diodes()) {
@@ -122,7 +122,46 @@ MnaAssembler::MnaAssembler(const Circuit& ckt, double gmin, double temp,
                         std::exp((temp_ / 300.0 - 1.0) * d.eg / nvt);
     diode_pre_.push_back({nvt, is_t});
   }
+
+  // Hoist the MOSFET temperature/geometry terms into SoA arrays (the
+  // per-Newton loop in assemble_values never touches MosInstance again).
+  const auto& mosfets = ckt_.mosfets();
+  mos_sign_.reserve(mosfets.size());
+  mos_vth_.reserve(mosfets.size());
+  mos_nvt2_.reserve(mosfets.size());
+  mos_beta_.reserve(mosfets.size());
+  mos_lambda_.reserve(mosfets.size());
+  mos_d_.reserve(mosfets.size());
+  mos_g_.reserve(mosfets.size());
+  mos_s_.reserve(mosfets.size());
+  mos_tab_.reserve(mosfets.size());
+  auto row = [](int node) { return node == 0 ? -1 : node - 1; };
+  for (const auto& mos : mosfets) {
+    const MosPre p = mos_precompute(mos.model, mos.w, mos.l, temp_);
+    mos_sign_.push_back(p.sign);
+    mos_vth_.push_back(p.vth);
+    mos_nvt2_.push_back(p.nvt2);
+    mos_beta_.push_back(p.beta);
+    mos_lambda_.push_back(p.lambda);
+    mos_d_.push_back(row(mos.d));
+    mos_g_.push_back(row(mos.g));
+    mos_s_.push_back(row(mos.s));
+    if (device_ == DeviceEval::table) {
+      // Shared process-wide cache: repeated keys are pointer lookups, so
+      // per-device fetching keeps mixed-model decks correct for free.
+      table_refs_.push_back(
+          device_table_for(mos.model.subthreshold_n, temp_));
+      mos_tab_.push_back(table_refs_.back().get());
+    } else {
+      mos_tab_.push_back(nullptr);
+    }
+  }
 }
+
+MnaAssembler::MnaAssembler(const Circuit& ckt, double gmin, double temp,
+                           MnaSolver solver)
+    : MnaAssembler(ckt, MnaOptions{gmin, temp, solver,
+                                   DeviceEval::automatic}) {}
 
 void MnaAssembler::ensure_dense_plan() const {
   if (dense_ready_) return;
@@ -213,17 +252,49 @@ bool MnaAssembler::assemble_values(const la::Vector& x, double* vals,
     add(-e.g);
     add(e.g);
   }
-  for (const auto& mos : ckt_.mosfets()) {
-    const MosOp op = eval_mosfet(mos.model, mos.w, mos.l, v(mos.g) - v(mos.s),
-                                 v(mos.d) - v(mos.s), temp_);
-    kcl(mos.d, op.ids);
-    kcl(mos.s, -op.ids);
-    add(op.gm);
-    add(op.gds);
-    add(-(op.gm + op.gds));
-    add(-op.gm);
-    add(-op.gds);
-    add(op.gm + op.gds);
+  // MOSFETs: flat SoA loop over the hoisted per-device state.  One branch
+  // on the resolved device path (table vs analytic) is hoisted out of the
+  // loop; the analytic arm reproduces the historical eval_mosfet stamps
+  // bit-for-bit (pinned by tests), the table arm replaces the softplus /
+  // logistic transcendentals with the shared C1 table lookup.
+  {
+    const std::size_t n_mos = mos_beta_.size();
+    auto vrow = [&](int r) {
+      return r < 0 ? 0.0 : x[static_cast<std::size_t>(r)];
+    };
+    auto kcl_row = [&](int r, double current) {
+      if (r >= 0) res[static_cast<std::size_t>(r)] += current;
+    };
+    auto stamp = [&](int d, int s, const MosOp& op) {
+      kcl_row(d, op.ids);
+      kcl_row(s, -op.ids);
+      add(op.gm);
+      add(op.gds);
+      add(-(op.gm + op.gds));
+      add(-op.gm);
+      add(-op.gds);
+      add(op.gm + op.gds);
+    };
+    if (device_ == DeviceEval::table) {
+      for (std::size_t i = 0; i < n_mos; ++i) {
+        const MosPre p{mos_sign_[i], mos_vth_[i], mos_nvt2_[i], mos_beta_[i],
+                       mos_lambda_[i]};
+        const double vs = vrow(mos_s_[i]);
+        const MosOp op = eval_mosfet_table(*mos_tab_[i], p,
+                                           vrow(mos_g_[i]) - vs,
+                                           vrow(mos_d_[i]) - vs);
+        stamp(mos_d_[i], mos_s_[i], op);
+      }
+    } else {
+      for (std::size_t i = 0; i < n_mos; ++i) {
+        const MosPre p{mos_sign_[i], mos_vth_[i], mos_nvt2_[i], mos_beta_[i],
+                       mos_lambda_[i]};
+        const double vs = vrow(mos_s_[i]);
+        const MosOp op =
+            eval_mosfet_pre(p, vrow(mos_g_[i]) - vs, vrow(mos_d_[i]) - vs);
+        stamp(mos_d_[i], mos_s_[i], op);
+      }
+    }
   }
   // Companion stamps (transient integration rule for capacitors).
   if (companions_ != nullptr) {

@@ -30,13 +30,23 @@
 // MnaSolver::automatic switches on system size (k_mna_sparse_crossover);
 // the KATO_SPARSE environment variable (0/dense, 1/sparse) overrides both
 // for A/B comparisons.
+//
+// Device evaluation routes the same way (MnaOptions::device_eval /
+// KATO_DEVICE_TABLE): the per-device temperature/geometry terms are hoisted
+// once into structure-of-arrays state at construction, and the per-Newton
+// MOSFET loop either runs the analytic model from that state
+// (bit-identical to the historical per-call eval_mosfet path) or the
+// precomputed-table model (sim/device_table.hpp), writing straight into
+// the resolved stamp slots either way.
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "linalg/matrix.hpp"
 #include "linalg/sparse.hpp"
 #include "sim/circuit.hpp"
+#include "sim/device_table.hpp"
 
 namespace kato::sim {
 
@@ -75,8 +85,21 @@ struct NewtonOptions {
   double max_step = 0.5;  ///< damping: max voltage change per iteration [V]
 };
 
+/// Assembler construction knobs (DC and transient build these from their
+/// own option structs).
+struct MnaOptions {
+  double gmin = 1e-12;
+  double temp = 300.0;  ///< simulation temperature [K]
+  MnaSolver solver = MnaSolver::automatic;
+  /// Device-model path; KATO_DEVICE_TABLE overrides (see
+  /// resolve_device_eval).
+  DeviceEval device_eval = DeviceEval::automatic;
+};
+
 class MnaAssembler {
  public:
+  MnaAssembler(const Circuit& ckt, const MnaOptions& opts);
+  /// Historical signature; device_eval defaults to automatic.
   MnaAssembler(const Circuit& ckt, double gmin, double temp,
                MnaSolver solver = MnaSolver::automatic);
 
@@ -113,6 +136,9 @@ class MnaAssembler {
   /// The resolved solve path this assembler uses.
   MnaSolver solver() const { return solver_; }
 
+  /// The resolved device-model path this assembler uses.
+  DeviceEval device_eval() const { return device_; }
+
  private:
   struct DiodePre {
     double nvt;   ///< ideality * thermal voltage
@@ -147,6 +173,25 @@ class MnaAssembler {
   /// Per-diode temperature terms, hoisted out of the Newton loop (they
   /// depend on temp only, never on the iterate).
   std::vector<DiodePre> diode_pre_;
+  // Structure-of-arrays MOSFET state, hoisted at construction: the
+  // temperature/geometry terms of MosPre plus resolved MNA row indices per
+  // terminal (-1 = ground).  The per-Newton device loop walks these flat
+  // arrays — no MosModel indirection, no per-call pow/temperature work —
+  // and stamps through the canonical slot plan.
+  DeviceEval device_;
+  std::vector<double> mos_sign_;
+  std::vector<double> mos_vth_;
+  std::vector<double> mos_nvt2_;
+  std::vector<double> mos_beta_;
+  std::vector<double> mos_lambda_;
+  std::vector<int> mos_d_;
+  std::vector<int> mos_g_;
+  std::vector<int> mos_s_;
+  /// Per-device table pointer (model cards may override subthreshold_n, so
+  /// devices of one circuit can map to different keys); null on the
+  /// analytic path.  table_refs_ keeps the shared cache entries alive.
+  std::vector<const DeviceTable*> mos_tab_;
+  std::vector<std::shared_ptr<const DeviceTable>> table_refs_;
   // Stamp plans: slot per stamp in canonical order, resolved lazily once
   // per topology.  Dense slots index the row-major Jacobian, sparse slots
   // the CSC value array.  All solver state is per-assembler scratch,

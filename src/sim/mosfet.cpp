@@ -86,6 +86,30 @@ MosOp eval_mosfet(const MosModel& m, double w, double l, double vgs,
   return op;
 }
 
+MosPre mos_precompute(const MosModel& m, double w, double l, double temp) {
+  // Expression forms (and therefore rounding) match eval_forward exactly;
+  // eval_mosfet_pre is pinned bit-identical to eval_mosfet by tests.
+  const double vt = thermal_voltage(temp);
+  const double nvt = m.subthreshold_n * vt;
+  MosPre p;
+  p.sign = m.nmos ? 1.0 : -1.0;
+  p.vth = m.vth0 - 2e-3 * (temp - 300.0);
+  p.nvt2 = 2.0 * nvt;
+  const double kp_t = m.kp * std::pow(temp / 300.0, -1.5);
+  p.beta = kp_t * w / l;
+  p.lambda = m.lambda_coef / l;
+  return p;
+}
+
+MosOp eval_mosfet_pre(const MosPre& p, double vgs, double vds) {
+  return mos_eval_normalized(
+      p, vgs, vds, [&p](double vov, double& veff, double& dveff) {
+        const double x = vov / p.nvt2;
+        veff = p.nvt2 * mos_softplus(x);
+        dveff = mos_logistic(x);
+      });
+}
+
 MosCaps mosfet_caps(const MosModel& m, double w, double l) {
   MosCaps c;
   c.cgs = (2.0 / 3.0) * w * l * m.cox + m.cgdo * w;

@@ -101,6 +101,7 @@ TranResult solve_tran(const Circuit& ckt, const TranOptions& opts,
     DcOptions dc = opts.dc;
     dc.temp = opts.temp;
     dc.solver = opts.solver;
+    dc.device_eval = opts.device_eval;
     dc.vsource_override = src;
     const la::Vector* warm =
         op0 != nullptr && op0->node_voltage.size() == ckt.n_nodes()
@@ -154,7 +155,9 @@ TranResult solve_tran(const Circuit& ckt, const TranOptions& opts,
   // the symbolic factorization are computed at the first Newton iteration
   // and reused across the entire run (companion/source values change, the
   // pattern never does).
-  MnaAssembler assembler(ckt, /*gmin=*/1e-12, opts.temp, opts.solver);
+  MnaAssembler assembler(
+      ckt, MnaOptions{/*gmin=*/1e-12, opts.temp, opts.solver,
+                      opts.device_eval});
   std::vector<CompanionStamp> comps(caps.size());
   assembler.set_companions(&comps);
   assembler.set_vsource_values(&src);

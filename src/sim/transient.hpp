@@ -44,6 +44,11 @@ struct TranOptions {
   /// Linear-solve path for every timestep (and the internal t = 0 solve);
   /// see sim::MnaSolver — `automatic` switches on system size.
   MnaSolver solver = MnaSolver::automatic;
+  /// Device-model path for every timestep's Newton loop (and the internal
+  /// t = 0 solve): precomputed-table vs analytic MOSFET evaluation, with
+  /// the (subthreshold_n, temp)-keyed tables shared across all timesteps;
+  /// KATO_DEVICE_TABLE overrides for A/B runs.
+  DeviceEval device_eval = DeviceEval::automatic;
   NewtonOptions newton{50, 1e-9, 0.5};  ///< per-timestep Newton knobs
   DcOptions dc;  ///< options for the internal t = 0 operating-point solve
   /// Initial-condition overrides (node -> volts), applied after the t = 0
