@@ -22,7 +22,10 @@ binary on the same cores, so the ratio is machine-independent.
 Thread-scaling ratios (SCALING_FLOORS) compare a 1-thread run against a
 multi-thread run and only mean anything on a multi-core runner; they are
 floored only under --enforce-scaling, and skipped with a loud note when the
-current run reports hardware_concurrency < 2.
+current run reports hardware_concurrency < 2.  Overhead ratios (`*_ratio`
+fields, RATIO_CEILINGS — e.g. trace_overhead_ratio <= 1.05) are ceilings,
+enforced whenever the current run reports them for the same
+machine-independence reason as the speedup floors.
 
 Only the Python standard library is used.
 """
@@ -43,6 +46,13 @@ SCALING_FLOORS = {"eval_batch_speedup": 2.0, "gp_fit_parallel_speedup": 1.5}
 # Same-binary, same-thread-count A/B ratios: machine-independent, enforced
 # whenever the current run reports them.
 SPEEDUP_FLOORS = {"device_table_speedup": 3.0}
+
+# Overhead ratios (`*_ratio` fields, current/reference arms interleaved in
+# the same binary): machine-independent ceilings, enforced whenever the
+# current run reports them.  trace_overhead_ratio is the cost of running a
+# full transient evaluation with an active KATO_TRACE session — the
+# instrumentation contract is <= 5% on its densest path.
+RATIO_CEILINGS = {"trace_overhead_ratio": 1.05}
 
 
 def load(path):
@@ -84,6 +94,7 @@ def main(argv):
 
     tracked, tracked_new, tracked_removed = keys("_ms")
     ratios, ratios_new, ratios_removed = keys("_speedup")
+    overheads, overheads_new, overheads_removed = keys("_ratio")
 
     failures = []
     print("### micro_perf vs committed baseline (tol %.0f%%)" % (tol * 100))
@@ -141,6 +152,25 @@ def main(argv):
         print("| %s | — | %.2fx | — | new, %s |" % (k, cur, ratio_status(k, cur)))
     for k in ratios_removed:
         print("| %s | %.2fx | — | — | removed |" % (k, float(baseline[k])))
+
+    def ceiling_status(k, cur):
+        """Ceiling check for an overhead ratio present in the current run."""
+        if k in RATIO_CEILINGS and cur > RATIO_CEILINGS[k]:
+            failures.append(k)
+            return "ABOVE CEILING %.2fx" % RATIO_CEILINGS[k]
+        return "ratio"
+
+    for k in overheads:
+        cur = float(current[k])
+        print(
+            "| %s | %.3fx | %.3fx | — | %s |"
+            % (k, float(baseline[k]), cur, ceiling_status(k, cur))
+        )
+    for k in overheads_new:
+        cur = float(current[k])
+        print("| %s | — | %.3fx | — | new, %s |" % (k, cur, ceiling_status(k, cur)))
+    for k in overheads_removed:
+        print("| %s | %.3fx | — | — | removed |" % (k, float(baseline[k])))
     print()
     if skipped_scaling:
         print(
@@ -155,7 +185,8 @@ def main(argv):
     floors = "with" if enforce_scaling else "without"
     print(
         "No tracked `*_ms` field regressed beyond %.0f%%; all speedup floors "
-        "met (%s thread-scaling floors)." % (tol * 100, floors)
+        "and overhead ceilings met (%s thread-scaling floors)."
+        % (tol * 100, floors)
     )
     return 0
 

@@ -35,6 +35,7 @@
 #include "linalg/cholesky.hpp"
 #include "moo/nsga2.hpp"
 #include "netlist/netlist_circuit.hpp"
+#include "obs/obs.hpp"
 #include "sim/transient.hpp"
 #include "util/parallel.hpp"
 
@@ -74,6 +75,50 @@ double bench(const std::string& name, Fn&& fn, double min_total_ms = 300.0) {
   std::cout << "  " << name << ": " << per_iter << " ms/iter (" << iters
             << " iters)\n";
   return per_iter;
+}
+
+/// A/B arms timed as the minimum over interleaved windows: the min is the
+/// standard noise-robust per-iteration estimator, and alternating the arms
+/// means any neighbor load hits both equally instead of whichever arm
+/// happened to run during the spike.  The floored ratio then tracks the
+/// code, not the runner.
+template <typename FnA, typename FnB>
+std::pair<double, double> bench_ab(const std::string& name_a, FnA&& fn_a,
+                                   const std::string& name_b, FnB&& fn_b) {
+  using clock = std::chrono::steady_clock;
+  constexpr int n_windows = 8;
+  constexpr double window_ms = 40.0;
+  double best_a = 0.0;
+  double best_b = 0.0;
+  std::size_t iters_a = 0;
+  std::size_t iters_b = 0;
+  fn_a();
+  fn_b();  // warm-up (excluded)
+  for (int w = 0; w < n_windows; ++w) {
+    for (int arm = 0; arm < 2; ++arm) {
+      std::size_t iters = 0;
+      const auto start = clock::now();
+      double ms = 0.0;
+      while (ms < window_ms || iters < 2) {
+        arm == 0 ? fn_a() : fn_b();
+        ++iters;
+        ms = std::chrono::duration<double, std::milli>(clock::now() - start)
+                 .count();
+      }
+      const double per = ms / static_cast<double>(iters);
+      auto& best = arm == 0 ? best_a : best_b;
+      auto& total = arm == 0 ? iters_a : iters_b;
+      if (best == 0.0 || per < best) best = per;
+      total += iters;
+    }
+  }
+  g_results.push_back({name_a, best_a, iters_a});
+  g_results.push_back({name_b, best_b, iters_b});
+  std::cout << "  " << name_a << ": " << best_a << " ms/iter (" << iters_a
+            << " iters, min of " << n_windows << " interleaved windows)\n";
+  std::cout << "  " << name_b << ": " << best_b << " ms/iter (" << iters_b
+            << " iters, min of " << n_windows << " interleaved windows)\n";
+  return {best_a, best_b};
 }
 
 la::Matrix random_points(std::size_t n, std::size_t d, std::uint64_t seed) {
@@ -401,48 +446,6 @@ int main(int argc, char** argv) {
       }
       sink(acc);
     };
-    // The A/B arms are timed as the minimum over interleaved windows: the
-    // min is the standard noise-robust per-iteration estimator, and
-    // alternating the arms means any neighbor load hits both equally
-    // instead of whichever arm happened to run during the spike.  The
-    // floored ratio then tracks the code, not the runner.
-    auto bench_ab = [&](const std::string& name_a, auto&& fn_a,
-                        const std::string& name_b, auto&& fn_b) {
-      using clock = std::chrono::steady_clock;
-      constexpr int n_windows = 8;
-      constexpr double window_ms = 40.0;
-      double best_a = 0.0;
-      double best_b = 0.0;
-      std::size_t iters_a = 0;
-      std::size_t iters_b = 0;
-      fn_a();
-      fn_b();  // warm-up (excluded)
-      for (int w = 0; w < n_windows; ++w) {
-        for (int arm = 0; arm < 2; ++arm) {
-          std::size_t iters = 0;
-          const auto start = clock::now();
-          double ms = 0.0;
-          while (ms < window_ms || iters < 2) {
-            arm == 0 ? fn_a() : fn_b();
-            ++iters;
-            ms = std::chrono::duration<double, std::milli>(clock::now() - start)
-                     .count();
-          }
-          const double per = ms / static_cast<double>(iters);
-          auto& best = arm == 0 ? best_a : best_b;
-          auto& total = arm == 0 ? iters_a : iters_b;
-          if (best == 0.0 || per < best) best = per;
-          total += iters;
-        }
-      }
-      g_results.push_back({name_a, best_a, iters_a});
-      g_results.push_back({name_b, best_b, iters_b});
-      std::cout << "  " << name_a << ": " << best_a << " ms/iter (" << iters_a
-                << " iters, min of " << n_windows << " interleaved windows)\n";
-      std::cout << "  " << name_b << ": " << best_b << " ms/iter (" << iters_b
-                << " iters, min of " << n_windows << " interleaved windows)\n";
-      return std::pair<double, double>(best_a, best_b);
-    };
     std::tie(mos_eval_analytic_ms, mos_eval_table_ms) = bench_ab(
         "abl_mos_eval_analytic", eval_analytic, "abl_mos_eval_table",
         eval_table);
@@ -517,6 +520,8 @@ int main(int argc, char** argv) {
   double tran_step_ms = 0.0;
   double tran_eval_ms = 0.0;
   double tran_eval_analytic_ms = 0.0;
+  double tran_eval_traced_ms = 0.0;
+  double trace_overhead_ratio = 0.0;
   {
     const std::string path =
         std::string(KATO_SOURCE_DIR) + "/circuits/netlists/buffer_tran.cir";
@@ -557,6 +562,84 @@ int main(int argc, char** argv) {
       setenv("KATO_DEVICE_TABLE", saved_table.c_str(), 1);
     else
       unsetenv("KATO_DEVICE_TABLE");
+
+    // Tracing overhead (abl_tran_eval_traced): the identical evaluation
+    // with an active KATO_TRACE session — spans plus the per-timestep
+    // ticker, the densest instrumentation in the stack.  One session spans
+    // both arms, paused for the untraced one, so both share buffers and the
+    // ratio isolates the capture cost.
+    //
+    // The arms alternate every single iteration (not in 40 ms bench_ab
+    // windows): the effect being gated is a few percent, smaller than the
+    // frequency drift between two windows, so only pairing at iteration
+    // granularity makes the noise common-mode.  The gated ratio is the
+    // median of per-block paired ratios — the median rejects the occasional
+    // scheduler preemption that lands inside one block.  compare_baseline.py
+    // gates the ratio at <= 1.05.
+    obs::trace_begin("BENCH_trace_tran.json");
+    obs::trace_pause();
+    const auto run_untraced = [&] {
+      const auto m = circuit.evaluate(x);
+      sink(m ? (*m)[0] : 0.0);
+    };
+    const auto run_traced = [&] {
+      obs::trace_resume();
+      const auto m = circuit.evaluate(x);
+      obs::trace_pause();
+      sink(m ? (*m)[0] : 0.0);
+    };
+    run_untraced();
+    run_traced();  // warm-up (excluded)
+    using clock = std::chrono::steady_clock;
+    constexpr int n_blocks = 12;
+    constexpr int block_pairs = 48;
+    std::vector<double> block_ratios;
+    double best_untraced = 0.0;
+    double best_traced = 0.0;
+    for (int blk = 0; blk < n_blocks; ++blk) {
+      double ms_untraced = 0.0;
+      double ms_traced = 0.0;
+      for (int i = 0; i < block_pairs; ++i) {
+        const auto t0 = clock::now();
+        run_untraced();
+        const auto t1 = clock::now();
+        run_traced();
+        const auto t2 = clock::now();
+        ms_untraced +=
+            std::chrono::duration<double, std::milli>(t1 - t0).count();
+        ms_traced +=
+            std::chrono::duration<double, std::milli>(t2 - t1).count();
+      }
+      const double per_untraced = ms_untraced / block_pairs;
+      const double per_traced = ms_traced / block_pairs;
+      if (best_untraced == 0.0 || per_untraced < best_untraced)
+        best_untraced = per_untraced;
+      if (best_traced == 0.0 || per_traced < best_traced)
+        best_traced = per_traced;
+      if (ms_untraced > 0.0) block_ratios.push_back(ms_traced / ms_untraced);
+    }
+    const std::size_t trace_events = obs::trace_end();
+    tran_eval_traced_ms = best_traced;
+    constexpr std::size_t ab_iters = n_blocks * block_pairs;
+    g_results.push_back({"abl_tran_eval_untraced", best_untraced, ab_iters});
+    g_results.push_back({"abl_tran_eval_traced", best_traced, ab_iters});
+    std::sort(block_ratios.begin(), block_ratios.end());
+    if (!block_ratios.empty()) {
+      const std::size_t m = block_ratios.size() / 2;
+      trace_overhead_ratio =
+          block_ratios.size() % 2 != 0
+              ? block_ratios[m]
+              : 0.5 * (block_ratios[m - 1] + block_ratios[m]);
+    }
+    std::cout << "  " << "abl_tran_eval_untraced: " << best_untraced
+              << " ms/iter (" << ab_iters << " iters, min of " << n_blocks
+              << " paired blocks)\n";
+    std::cout << "  " << "abl_tran_eval_traced: " << best_traced
+              << " ms/iter (" << ab_iters << " iters, min of " << n_blocks
+              << " paired blocks)\n";
+    std::cout << "  -> trace overhead ratio: " << trace_overhead_ratio
+              << " (median of " << block_ratios.size() << " paired blocks, "
+              << trace_events << " events captured)\n";
   }
 
   // Sparse MNA solver (abl_sparse): on the ~150-node ladder deck, compare
@@ -722,6 +805,8 @@ int main(int argc, char** argv) {
     out << "  \"abl_tran_eval_ms\": " << tran_eval_ms << ",\n";
     out << "  \"abl_tran_eval_analytic_ms\": " << tran_eval_analytic_ms
         << ",\n";
+    out << "  \"abl_tran_eval_traced_ms\": " << tran_eval_traced_ms << ",\n";
+    out << "  \"trace_overhead_ratio\": " << trace_overhead_ratio << ",\n";
     out << "  \"abl_sparse_lu_ms\": " << sparse_lu_ms << ",\n";
     out << "  \"abl_sparse_lu_dense_ms\": " << sparse_lu_dense_ms << ",\n";
     out << "  \"sparse_lu_speedup\": "

@@ -5,6 +5,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
 #include "rf/random_forest.hpp"
 #include "util/sampling.hpp"
 
@@ -29,6 +30,9 @@ class ConstrainedState {
   /// submission order — history, trace and incumbent bookkeeping are
   /// bit-identical to calling simulate() in a loop.
   std::vector<char> simulate_batch(const std::vector<std::vector<double>>& xs) {
+    KATO_OBS_SPAN("simulate_batch");
+    obs::bo_count(obs::BoCounter::proposal_batches);
+    obs::bo_count(obs::BoCounter::proposals, xs.size());
     const auto metrics = circuit_.evaluate_batch(xs);
     std::vector<char> improved(xs.size());
     for (std::size_t i = 0; i < xs.size(); ++i)
@@ -422,6 +426,9 @@ class FomState {
 
   /// Batch counterpart of simulate(); see ConstrainedState::simulate_batch.
   std::vector<char> simulate_batch(const std::vector<std::vector<double>>& xs) {
+    KATO_OBS_SPAN("simulate_batch");
+    obs::bo_count(obs::BoCounter::proposal_batches);
+    obs::bo_count(obs::BoCounter::proposals, xs.size());
     const auto metrics = circuit_.evaluate_batch(xs);
     std::vector<char> improved(xs.size());
     for (std::size_t i = 0; i < xs.size(); ++i)

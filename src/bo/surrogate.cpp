@@ -1,5 +1,7 @@
 #include "bo/surrogate.hpp"
 
+#include "obs/obs.hpp"
+
 namespace kato::bo {
 
 std::vector<std::vector<gp::GpPrediction>> Surrogate::predict_batch(
@@ -54,6 +56,10 @@ void GpSurrogate::refit(const la::Matrix& x, const la::Matrix& y, util::Rng& rng
   // after the first fit the smaller `refit_` budget applies.
   model_.set_data(x, y, /*refresh=*/!hyper);
   if (hyper) {
+    // A refit after the first full fit reuses the previous hyperparameter
+    // optimum as its starting point — the warm-start path the obs counter
+    // tracks against cold initial fits.
+    if (fitted_) obs::bo_count(obs::BoCounter::gp_warm_starts);
     model_.fit(fitted_ ? refit_ : initial_fit_, rng);
     fitted_ = true;
   }
@@ -77,6 +83,7 @@ void KatSurrogate::refit(const la::Matrix& x, const la::Matrix& y, util::Rng& rn
                          bool train_hyper) {
   model_.set_target_data(x, y);
   if (train_hyper || !fitted_) {
+    if (fitted_) obs::bo_count(obs::BoCounter::gp_warm_starts);
     model_.fit(rng);
     fitted_ = true;
   }

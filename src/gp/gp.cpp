@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "nn/mlp.hpp"
+#include "obs/obs.hpp"
 #include "util/parallel.hpp"
 #include "util/stats.hpp"
 
@@ -149,6 +150,7 @@ double GaussianProcess::nll_and_grad_ws(FitScratch& s, const la::Vector& y,
 }
 
 void GaussianProcess::fit(const GpFitOptions& opts, util::Rng& rng) {
+  KATO_OBS_SPAN("gp_fit");
   if (x_.empty()) throw std::logic_error("GaussianProcess::fit: no data");
 
   // Hyper-training subset (full posterior still uses all points).
@@ -209,6 +211,9 @@ void GaussianProcess::fit(const GpFitOptions& opts, util::Rng& rng) {
   }
   if (std::isfinite(best_nll)) unpack(best_params);
   fit_info_ = {iters_run, best_nll, scratch.ws != nullptr};
+  obs::bo_count(obs::BoCounter::gp_fits);
+  obs::bo_count(obs::BoCounter::gp_fit_iters,
+                static_cast<std::uint64_t>(iters_run));
   refresh_posterior();
 }
 

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "obs/obs.hpp"
 #include "sim/ac.hpp"
 #include "util/rng.hpp"
 
@@ -348,6 +349,7 @@ class Elaborator {
 }  // namespace
 
 Elaboration elaborate(const Deck& deck, const ckt::Pdk& pdk, const Scope& bindings) {
+  KATO_OBS_SPAN("elaborate");
   return Elaborator(deck, pdk, bindings).run();
 }
 

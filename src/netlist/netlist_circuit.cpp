@@ -422,6 +422,7 @@ std::optional<std::vector<double>> NetlistCircuit::evaluate(
 
 std::vector<std::optional<std::vector<double>>> NetlistCircuit::evaluate_batch(
     const std::vector<std::vector<double>>& xs) const {
+  KATO_OBS_SPAN("evaluate_batch");
   const std::size_t fan = corners_.size() * mc_samples_;
   if (fan == 1) {
     std::vector<std::optional<std::vector<double>>> out(xs.size());
@@ -466,11 +467,12 @@ NetlistCircuit::EvalOutcome NetlistCircuit::evaluate_detailed(
 
   std::vector<std::optional<std::vector<double>>> conds;
   conds.reserve(corners_.size() * mc_samples_);
+  EvalOutcome out;  // accumulates stats across every condition simulated
   for (std::size_t c = 0; c < corners_.size(); ++c) {
     for (std::size_t k = 0; k < mc_samples_; ++k) {
       EvalOutcome one = evaluate_single(unit_x, c, k);
+      out.stats.merge(one.stats);
       if (!one.metrics) {
-        EvalOutcome out;
         std::string where;
         if (has_corner_cards_) where += "corner '" + corners_[c].raw + "'";
         if (deck_.mc.present) {
@@ -483,7 +485,6 @@ NetlistCircuit::EvalOutcome NetlistCircuit::evaluate_detailed(
       conds.push_back(std::move(one.metrics));
     }
   }
-  EvalOutcome out;
   out.metrics = aggregate(conds);
   return out;
 }
@@ -522,6 +523,21 @@ std::optional<std::vector<double>> NetlistCircuit::aggregate(
 NetlistCircuit::EvalOutcome NetlistCircuit::evaluate_single(
     const std::vector<double>& unit_x, std::size_t corner,
     std::size_t sample) const {
+  KATO_OBS_SPAN("evaluate_single");
+  EvalOutcome out;
+  // Single registry capture point for the whole stack: every public eval
+  // path (evaluate / evaluate_detailed / evaluate_batch) funnels through
+  // here, so the process-wide counters see exactly one record per simulated
+  // condition — including early failure returns and SimFailure unwinds.
+  struct Recorder {
+    const EvalOutcome& out;
+    ~Recorder() {
+      obs::record_sim(out.stats);
+      obs::bo_count(obs::BoCounter::evals);
+      if (!out.metrics) obs::bo_count(obs::BoCounter::eval_failures);
+    }
+  } recorder{out};
+
   const auto vars = bind_vars(unit_x);
   const CornerSetup& cs = corners_[corner];
   const net::Scope const_scope{&cs.consts, nullptr};
@@ -531,11 +547,11 @@ NetlistCircuit::EvalOutcome NetlistCircuit::evaluate_single(
     net::apply_mos_mismatch(elab.circuit, sample, vth_sigma_, beta_sigma_);
   const double temperature = cs.temp.value_or(elab.temperature);
 
-  EvalOutcome out;
   sim::DcOptions dc_opts;
   dc_opts.temp = temperature;
   dc_opts.device_eval = device_eval_;
   const auto op = sim::solve_dc(elab.circuit, dc_opts);
+  out.stats.merge(op.stats);
   if (!op.converged) {
     out.failure = "DC operating point failed: " +
                   (op.reason.empty() ? "did not converge" : op.reason);
@@ -545,8 +561,11 @@ NetlistCircuit::EvalOutcome NetlistCircuit::evaluate_single(
   sim::AcSweep sweep;
   if (needs_ac_) {
     sweep = sim::solve_ac(elab.circuit, op, elab.freqs);
+    out.stats.merge(sweep.stats);
     if (!sweep.ok) {
-      out.failure = "AC sweep failed (singular linearized system)";
+      out.failure = "AC sweep failed (singular linearized system) after " +
+                    std::to_string(sweep.stats.ac_points) + "/" +
+                    std::to_string(elab.freqs.size()) + " frequency points";
       return out;
     }
   }
@@ -562,12 +581,14 @@ NetlistCircuit::EvalOutcome NetlistCircuit::evaluate_single(
     topts.device_eval = device_eval_;
     topts.initial_conditions = elab.tran.ics;
     tran = sim::solve_tran(elab.circuit, topts, &op);
+    out.stats.merge(tran.stats);
     if (!tran.ok) {
       out.failure = "transient analysis failed: " + tran.reason;
       return out;
     }
   }
 
+  KATO_OBS_SPAN("measures");
   const SimMeasure hook(elab, op, needs_ac_ ? &sweep : nullptr,
                         needs_tran_ ? &tran : nullptr, env);
   try {

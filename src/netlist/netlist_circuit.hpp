@@ -57,6 +57,7 @@
 #include "circuits/pdk.hpp"
 #include "circuits/sizing_problem.hpp"
 #include "netlist/elaborate.hpp"
+#include "obs/obs.hpp"
 #include "sim/device_table.hpp"
 
 namespace kato::ckt {
@@ -96,6 +97,11 @@ class NetlistCircuit final : public SizingCircuit {
   struct EvalOutcome {
     std::optional<std::vector<double>> metrics;
     std::string failure;
+    /// Solver-work counters summed over every analysis this evaluation ran
+    /// (DC + AC + TRAN, and across every corner/MC condition when the deck
+    /// fans out).  Also folded into the process-wide obs registry — one
+    /// record per simulated condition — for the KATO_STATS exit dump.
+    obs::SimStats stats;
   };
   EvalOutcome evaluate_detailed(const std::vector<double>& unit_x) const;
 

@@ -7,6 +7,7 @@
 #include <unordered_set>
 
 #include "netlist/lexer.hpp"
+#include "obs/obs.hpp"
 
 namespace kato::net {
 
@@ -722,6 +723,7 @@ double eval_expr(const Expr& e, const Scope& scope, const MeasureHook* hook) {
 // --- Entry points ----------------------------------------------------------
 
 Deck parse_netlist(const std::string& text, const std::string& filename) {
+  KATO_OBS_SPAN("parse");
   return Parser(tokenize(text, filename), filename).run();
 }
 

@@ -106,6 +106,7 @@ std::vector<double> log_freq_grid(double f_lo, double f_hi, int per_decade) {
 
 AcSweep solve_ac(const Circuit& ckt, const DcResult& op,
                  const std::vector<double>& freqs, MnaSolver solver) {
+  KATO_OBS_SPAN("ac_sweep");
   AcSweep sweep;
   sweep.freq = freqs;
   if (!op.converged) return sweep;
@@ -176,7 +177,15 @@ AcSweep solve_ac(const Circuit& ckt, const DcResult& op,
         if (cs.ab != la::k_sparse_npos) vals[cs.ab] -= jwc;
         if (cs.ba != la::k_sparse_npos) vals[cs.ba] -= jwc;
       }
+      ++sweep.stats.ac_points;
+      const bool first_factor = !lu.factored();
       if (!lu.factor(vals)) return sweep;  // ok stays false
+      if (first_factor) {
+        ++sweep.stats.lu_first_factors;
+      } else {
+        ++sweep.stats.lu_refactors;
+        ++sweep.stats.ac_refactors;
+      }
       lu.solve(rhs_template, x);
       for (const auto& v : x)
         if (!std::isfinite(v.real()) || !std::isfinite(v.imag())) return sweep;
@@ -209,7 +218,12 @@ AcSweep solve_ac(const Circuit& ckt, const DcResult& op,
       }
     }
     b = rhs_template;
+    ++sweep.stats.ac_points;
     if (!la::lu_solve_complex_into(y, b, x)) return sweep;  // ok stays false
+    // Dense path factors from scratch each point; count every post-first
+    // factorization as a refactor so the first/rest split matches sparse.
+    ++(sweep.stats.lu_first_factors == 0 ? sweep.stats.lu_first_factors
+                                         : sweep.stats.lu_refactors);
     emit_nodes(x);
   }
   sweep.ok = true;

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "linalg/lu.hpp"
+#include "obs/obs.hpp"
 #include "sim/circuit.hpp"
 #include "sim/dc.hpp"
 
@@ -24,6 +25,10 @@ struct AcSweep {
   std::vector<double> freq;                ///< Hz
   std::vector<la::CVector> node_voltage;   ///< per frequency, indexed by node
   bool ok = false;
+  /// Solver-work counters for the sweep: points solved, complex-LU
+  /// first-factor vs per-point refactor split (ac_refactors counts the
+  /// sparse path's numeric refactorizations reusing the symbolic analysis).
+  obs::SimStats stats;
 
   std::complex<double> v(std::size_t fi, int node) const {
     return node == 0 ? std::complex<double>(0.0, 0.0)

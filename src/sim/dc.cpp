@@ -30,25 +30,53 @@ DcResult solve_dc(const Circuit& ckt, const DcOptions& opts,
   // One assembler for the whole ladder: the stamp plan and (on the sparse
   // path) the symbolic factorization are computed once and reused across
   // every gmin rung — set_gmin only changes values.
+  KATO_OBS_SPAN("dc_solve");
   MnaAssembler assembler(
       ckt, MnaOptions{opts.gmin_ladder.empty() ? 1e-12
                                                : opts.gmin_ladder.front(),
                       opts.temp, opts.solver, opts.device_eval});
   if (override_sources) assembler.set_vsource_values(&opts.vsource_override);
-  for (double gmin : opts.gmin_ladder) {
+  result.rung_stats.reserve(opts.gmin_ladder.size());
+  std::size_t restarts = 0;
+  for (std::size_t r = 0; r < opts.gmin_ladder.size(); ++r) {
+    const double gmin = opts.gmin_ladder[r];
     assembler.set_gmin(gmin);
-    converged = assembler.newton(x, newton, &why);
-    if (!converged && gmin == opts.gmin_ladder.front()) {
-      // A cold start that fails at the loosest gmin rarely recovers; restart
-      // from zero once in case the warm start was pathological.
-      x.assign(ckt.mna_size(), 0.0);
+    const obs::SimStats before = assembler.stats();
+    obs::SimStats attempt = before;  // start of the rung's final attempt
+    {
+      KATO_OBS_SPAN("newton");
       converged = assembler.newton(x, newton, &why);
+      if (!converged && r == 0) {
+        // A cold start that fails at the loosest gmin rarely recovers;
+        // restart from zero once in case the warm start was pathological.
+        attempt = assembler.stats();
+        x.assign(ckt.mna_size(), 0.0);
+        converged = assembler.newton(x, newton, &why);
+        ++restarts;
+      }
     }
+    const obs::SimStats& after = assembler.stats();
+    // rung_stats carries the whole rung's work (restart included); the
+    // failure reason reports the final attempt against the per-solve budget.
+    result.rung_stats.push_back(
+        {gmin,
+         static_cast<std::uint32_t>(after.newton_iters - before.newton_iters),
+         static_cast<std::uint32_t>(after.damping_clamps -
+                                    before.damping_clamps),
+         converged});
     if (!converged)
-      result.reason = why + " at gmin=" + fmt_double(gmin);
+      result.reason = "gmin rung " + std::to_string(r + 1) + "/" +
+                      std::to_string(opts.gmin_ladder.size()) + ", newton " +
+                      std::to_string(after.newton_iters -
+                                     attempt.newton_iters) +
+                      "/" + std::to_string(opts.max_iterations) + ": " + why +
+                      " at gmin=" + fmt_double(gmin);
   }
   result.converged = converged;
   if (converged) result.reason.clear();
+  result.stats = assembler.stats();
+  result.stats.gmin_rungs = opts.gmin_ladder.size();
+  result.stats.dc_restarts = restarts;
 
   result.node_voltage.assign(ckt.n_nodes(), 0.0);
   for (std::size_t i = 0; i < n; ++i) result.node_voltage[i + 1] = x[i];

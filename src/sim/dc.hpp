@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "linalg/matrix.hpp"
+#include "obs/obs.hpp"
 #include "sim/circuit.hpp"
 #include "sim/mna.hpp"
 
@@ -40,16 +41,31 @@ struct DcOptions {
   DeviceEval device_eval = DeviceEval::automatic;
 };
 
+/// Per-rung accounting of the gmin continuation walk (diagnostics; the
+/// failure reason names the rung and iteration budget from these).
+struct DcRungStats {
+  double gmin;
+  std::uint32_t newton_iters;
+  std::uint32_t damping_clamps;
+  bool converged;
+};
+
 struct DcResult {
   bool converged = false;
-  /// Failure description when !converged ("Newton did not converge ...",
-  /// "singular MNA Jacobian", "operating point out of range ..."); empty on
-  /// success.  Surfaced through NetlistCircuit infeasibility reporting.
+  /// Failure description when !converged, with the continuation context
+  /// baked in ("gmin rung 3/11, newton 25/25: Newton did not converge in 25
+  /// iterations at gmin=0.0001"); empty on success.  Surfaced through
+  /// NetlistCircuit infeasibility reporting.
   std::string reason;
   la::Vector node_voltage;          ///< index by node id (entry 0 = ground = 0)
   std::vector<double> vsource_current;  ///< branch current per voltage source
   std::vector<MosOp> mosfet_op;     ///< operating point per MOSFET
   std::vector<double> diode_gd;     ///< small-signal conductance per diode
+  /// Solver-work counters for this solve (Newton iterations, LU
+  /// first/refactor split, device-table cache hits, ...).
+  obs::SimStats stats;
+  /// One entry per gmin rung walked, in ladder order.
+  std::vector<DcRungStats> rung_stats;
 
   double v(int node) const { return node_voltage[static_cast<std::size_t>(node)]; }
 };

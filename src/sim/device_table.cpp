@@ -103,9 +103,10 @@ table_cache() {
 }  // namespace
 
 std::shared_ptr<const DeviceTable> device_table_for(double subthreshold_n,
-                                                    double temp) {
+                                                    double temp, bool* hit) {
   std::lock_guard<std::mutex> lock(g_table_mutex);
   auto& slot = table_cache()[{subthreshold_n, temp}];
+  if (hit != nullptr) *hit = slot != nullptr;
   if (!slot) slot = std::make_shared<const DeviceTable>(subthreshold_n, temp);
   return slot;
 }

@@ -124,9 +124,11 @@ class DeviceTable {
 /// shared by every assembler/thread/corner/candidate.  A deck touches only
 /// a handful of keys (its corner temperatures x its model-card slope
 /// factors), each ~1.8k cells * 64 B, so the cache stays small for the
-/// life of the process.
+/// life of the process.  `hit` (optional) reports whether the key was
+/// already cached — the assembler feeds this into its SimStats counters.
 std::shared_ptr<const DeviceTable> device_table_for(double subthreshold_n,
-                                                    double temp);
+                                                    double temp,
+                                                    bool* hit = nullptr);
 
 /// Number of distinct keys currently cached (tests/diagnostics).
 std::size_t device_table_cache_size();

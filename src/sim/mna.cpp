@@ -149,9 +149,11 @@ MnaAssembler::MnaAssembler(const Circuit& ckt, const MnaOptions& opts)
     if (device_ == DeviceEval::table) {
       // Shared process-wide cache: repeated keys are pointer lookups, so
       // per-device fetching keeps mixed-model decks correct for free.
+      bool hit = false;
       table_refs_.push_back(
-          device_table_for(mos.model.subthreshold_n, temp_));
+          device_table_for(mos.model.subthreshold_n, temp_, &hit));
       mos_tab_.push_back(table_refs_.back().get());
+      ++(hit ? stats_.device_table_hits : stats_.device_table_misses);
     } else {
       mos_tab_.push_back(nullptr);
     }
@@ -351,7 +353,9 @@ bool MnaAssembler::newton_dense(la::Vector& x, const NewtonOptions& opts,
                                 std::string* reason) const {
   la::Matrix& jac = jac_ws_;
   la::Vector& res = res_ws_;
+  ++stats_.newton_solves;
   for (int it = 0; it < opts.max_iterations; ++it) {
+    ++stats_.newton_iters;
     if (!assemble(x, jac, res)) {
       if (reason) *reason = "non-finite device currents in the MNA residual";
       return false;
@@ -363,13 +367,24 @@ bool MnaAssembler::newton_dense(la::Vector& x, const NewtonOptions& opts,
       if (reason) *reason = "singular MNA Jacobian";
       return false;
     }
+    // The dense path factors from scratch every iteration; counting the
+    // first as "first factor" keeps the first/refactor split meaningful
+    // across both solver paths (an assembler uses exactly one).
+    ++(stats_.lu_first_factors == 0 ? stats_.lu_first_factors
+                                    : stats_.lu_refactors);
     double max_dv = 0.0;
+    bool clamped = false;
     for (std::size_t i = 0; i < size_; ++i) {
       double dv = step_ws_[i];
-      if (i < n_) dv = std::clamp(dv, -opts.max_step, opts.max_step);
+      if (i < n_) {
+        const double raw = dv;
+        dv = std::clamp(dv, -opts.max_step, opts.max_step);
+        clamped |= dv != raw;
+      }
       x[i] += dv;
       if (i < n_) max_dv = std::max(max_dv, std::abs(dv));
     }
+    if (clamped) ++stats_.damping_clamps;
     if (max_dv < opts.v_tol) return true;
   }
   if (reason)
@@ -382,7 +397,9 @@ bool MnaAssembler::newton_sparse(la::Vector& x, const NewtonOptions& opts,
                                  std::string* reason) const {
   ensure_sparse_plan();
   la::Vector& res = res_ws_;
+  ++stats_.newton_solves;
   for (int it = 0; it < opts.max_iterations; ++it) {
+    ++stats_.newton_iters;
     std::fill(values_.begin(), values_.end(), 0.0);
     if (!assemble_values(x, values_.data(), res, sparse_slots_)) {
       if (reason) *reason = "non-finite device currents in the MNA residual";
@@ -391,10 +408,20 @@ bool MnaAssembler::newton_sparse(la::Vector& x, const NewtonOptions& opts,
     for (auto& r : res) r = -r;
     // First iteration of the assembler's life pivots and records the
     // symbolic structure; every later call here — across iterations, gmin
-    // rungs and timesteps — is an in-place numeric refactorization.
+    // rungs and timesteps — is an in-place numeric refactorization.  A
+    // pivot-pass delta on a refactor means the recorded pivot order went
+    // stale and the factorization fell back to a fresh pivoting pass.
+    const bool first_factor = !lu_.factored();
+    const std::size_t pivots_before = lu_.pivot_passes();
     if (!lu_.factor(values_)) {
       if (reason) *reason = "singular MNA Jacobian";
       return false;
+    }
+    if (first_factor) {
+      ++stats_.lu_first_factors;
+    } else {
+      ++stats_.lu_refactors;
+      stats_.lu_pivot_fallbacks += lu_.pivot_passes() - pivots_before;
     }
     lu_.solve(res, step_ws_);
     // Match the dense path's contract: a non-finite step leaves x untouched
@@ -405,12 +432,18 @@ bool MnaAssembler::newton_sparse(la::Vector& x, const NewtonOptions& opts,
         return false;
       }
     double max_dv = 0.0;
+    bool clamped = false;
     for (std::size_t i = 0; i < size_; ++i) {
       double dv = step_ws_[i];
-      if (i < n_) dv = std::clamp(dv, -opts.max_step, opts.max_step);
+      if (i < n_) {
+        const double raw = dv;
+        dv = std::clamp(dv, -opts.max_step, opts.max_step);
+        clamped |= dv != raw;
+      }
       x[i] += dv;
       if (i < n_) max_dv = std::max(max_dv, std::abs(dv));
     }
+    if (clamped) ++stats_.damping_clamps;
     if (max_dv < opts.v_tol) return true;
   }
   if (reason)

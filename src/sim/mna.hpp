@@ -45,6 +45,7 @@
 
 #include "linalg/matrix.hpp"
 #include "linalg/sparse.hpp"
+#include "obs/obs.hpp"
 #include "sim/circuit.hpp"
 #include "sim/device_table.hpp"
 
@@ -139,6 +140,13 @@ class MnaAssembler {
   /// The resolved device-model path this assembler uses.
   DeviceEval device_eval() const { return device_; }
 
+  /// Counters accumulated over this assembler's lifetime: Newton iterations
+  /// and damping clamps, linear-solve first-factor/refactor/pivot-fallback
+  /// splits, device-table cache hits at construction.  The analyses diff
+  /// snapshots of this around each newton() call to attribute work per gmin
+  /// rung / timestep; pure observation, never fed back into the arithmetic.
+  const obs::SimStats& stats() const { return stats_; }
+
  private:
   struct DiodePre {
     double nvt;   ///< ideality * thermal voltage
@@ -206,6 +214,9 @@ class MnaAssembler {
   mutable la::Matrix jac_ws_;
   mutable la::Vector res_ws_;
   mutable la::Vector step_ws_;
+  /// Lifetime counters (see stats()); mutable like the solver workspaces —
+  /// newton() is logically const and the counters observe, not configure.
+  mutable obs::SimStats stats_;
 };
 
 }  // namespace kato::sim

@@ -66,6 +66,7 @@ TranResult solve_tran(const Circuit& ckt, const TranOptions& opts,
     out.reason = "tstop must be > 0";
     return out;
   }
+  KATO_OBS_SPAN("tran_solve");
   double tstep = opts.tstep > 0.0 ? opts.tstep : opts.tstop / 1000.0;
   tstep = std::min(tstep, opts.tstop);
   const double dtmax =
@@ -108,6 +109,7 @@ TranResult solve_tran(const Circuit& ckt, const TranOptions& opts,
             ? &op0->node_voltage
             : nullptr;
     const DcResult op = solve_dc(ckt, dc, warm);
+    out.stats.merge(op.stats);
     if (!op.converged) {
       out.reason = "t=0 operating point failed: " +
                    (op.reason.empty() ? "did not converge" : op.reason);
@@ -183,10 +185,34 @@ TranResult solve_tran(const Circuit& ckt, const TranOptions& opts,
   int rejects = 0;
   constexpr std::size_t max_points = 2000000;
 
+  // Per-timestep tracing records one clock read per step into a cache-hot
+  // local mark vector (the boundary doubles as the end of a step and the
+  // start of the next) and hands the whole chain to the trace buffer in one
+  // bulk call when the solve exits — the loop body is ~1.5 us on the
+  // benchmark decks, and emitting events one at a time from inside it blew
+  // the <=1.05 traced-eval bench gate on cold buffer lines alone.
+  auto merge_stats = [&] { out.stats.merge(assembler.stats()); };
+  const bool trace_steps = obs::trace_enabled();
+  std::vector<obs::SpanMark> step_marks;
+  if (trace_steps) step_marks.reserve(512);
+  const std::uint64_t steps_t0 = trace_steps ? obs::trace_now_ns() : 0;
+  struct StepFlush {
+    bool on;
+    std::uint64_t t0;
+    const std::vector<obs::SpanMark>& marks;
+    ~StepFlush() {
+      if (on) obs::emit_spans(marks.data(), marks.size(), t0);
+    }
+  } step_flush{trace_steps, steps_t0, step_marks};
+  auto tick = [&](const char* name) {
+    if (trace_steps) step_marks.push_back({name, obs::trace_now_ns()});
+  };
+
   while (t < opts.tstop * (1.0 - 1e-12)) {
     if (out.time.size() >= max_points) {
       out.reason = "more than " + std::to_string(max_points) +
                    " timesteps before tstop (step control collapsed)";
+      merge_stats();
       return out;
     }
     double h_try = std::min({h, dtmax, opts.tstop - t});
@@ -221,10 +247,15 @@ TranResult solve_tran(const Circuit& ckt, const TranOptions& opts,
     if (!assembler.newton(x_new, opts.newton, &why)) {
       h = h_try * 0.25;
       be_next = true;
+      ++out.stats.tran_newton_rejects;
       if (h < hmin || ++rejects > 100) {
-        out.reason = "Newton failed at t=" + fmt_double(t + h_try) + ": " + why;
+        out.reason = "Newton failed at t=" + fmt_double(t + h_try) + " (step " +
+                     std::to_string(out.time.size()) + ", " +
+                     std::to_string(rejects) + " rejects): " + why;
+        merge_stats();
         return out;
       }
+      tick("tran_step_rejected");
       continue;
     }
 
@@ -244,10 +275,15 @@ TranResult solve_tran(const Circuit& ckt, const TranOptions& opts,
       const double order_exp = use_be ? 0.5 : 1.0 / 3.0;
       if (ratio < 1.0 && h_try > 4.0 * hmin) {
         h = h_try * std::max(0.1, 0.9 * std::pow(ratio, order_exp));
+        ++out.stats.tran_steps_rejected;
         if (++rejects > 100) {
-          out.reason = "LTE step control stalled at t=" + fmt_double(t);
+          out.reason = "LTE step control stalled at t=" + fmt_double(t) +
+                       " (step " + std::to_string(out.time.size()) + ", " +
+                       std::to_string(rejects) + " rejects)";
+          merge_stats();
           return out;
         }
+        tick("tran_step_rejected");
         continue;
       }
       grow = std::clamp(0.9 * std::pow(ratio, order_exp), 0.3, 2.0);
@@ -262,6 +298,9 @@ TranResult solve_tran(const Circuit& ckt, const TranOptions& opts,
     x = std::move(x_new);
     t += h_try;
     record(t);
+    ++out.stats.tran_steps_accepted;
+    if (use_be) ++out.stats.tran_be_steps;
+    tick("tran_step");
     rejects = 0;
     if (at_break) {
       // Discontinuity: restart the integrator (BE + fresh history) so the
@@ -278,6 +317,7 @@ TranResult solve_tran(const Circuit& ckt, const TranOptions& opts,
     }
   }
 
+  merge_stats();
   out.ok = true;
   return out;
 }

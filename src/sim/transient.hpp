@@ -66,6 +66,10 @@ struct TranResult {
   std::vector<double> time;                ///< accepted time points (t=0 first)
   std::vector<la::Vector> node_voltage;    ///< per point, indexed by node
   std::vector<std::vector<double>> vsource_current;  ///< per point, per source
+  /// Solver-work counters for the whole run: the per-timestep Newton/LU
+  /// work plus step control (accepted / LTE-rejected / BE / Newton-retry
+  /// counts) plus the internal t = 0 operating point when one was solved.
+  obs::SimStats stats;
 
   std::size_t n_points() const { return time.size(); }
   double v(std::size_t ti, int node) const {

@@ -10,6 +10,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/obs.hpp"
+
 namespace kato::util {
 
 namespace {
@@ -51,6 +53,11 @@ class Pool {
     // concurrent submitters (distinct non-pool threads) serialize here
     // instead of overwriting each other's in-flight job.
     std::lock_guard<std::mutex> submit_lock(submit_mu_);
+    // Queue-depth gauge brackets the job: the Perfetto counter track shows
+    // how many chunks were outstanding while the pool was busy, dropping
+    // back to zero at completion (pool-utilization view of the fan-out).
+    obs::trace_counter("pool_queue_depth",
+                       static_cast<std::uint64_t>(job->chunks.size()));
     {
       std::unique_lock<std::mutex> lock(mu_);
       ensure_workers(helpers);
@@ -64,6 +71,7 @@ class Pool {
     std::unique_lock<std::mutex> lock(mu_);
     cv_done_.wait(lock, [&] { return job->done.load() == job->chunks.size(); });
     job_.reset();
+    obs::trace_counter("pool_queue_depth", 0);
   }
 
   ~Pool() {
@@ -80,14 +88,20 @@ class Pool {
 
   void ensure_workers(std::size_t count) {
     count = std::min(count, thread_cap() - 1);
-    while (workers_.size() < count)
-      workers_.emplace_back([this] { worker_loop(); });
+    while (workers_.size() < count) {
+      const std::size_t id = workers_.size();
+      workers_.emplace_back([this, id] {
+        obs::name_this_thread("pool-worker-" + std::to_string(id + 1));
+        worker_loop();
+      });
+    }
   }
 
   static void work(Job& job) {
     const std::size_t n_chunks = job.chunks.size();
     for (std::size_t c = job.next.fetch_add(1); c < n_chunks;
          c = job.next.fetch_add(1)) {
+      KATO_OBS_SPAN("pool_chunk");
       try {
         (*job.fn)(job.chunks[c].first, job.chunks[c].second);
       } catch (...) {

@@ -1,0 +1,352 @@
+// Observability subsystem: KATO_STATS/KATO_TRACE env parsing discipline,
+// counter goldens hand-countable on small circuits, trace-file schema,
+// concurrent flush integrity under KATO_THREADS, the stats registry, and
+// (ObsBo suite — labelled slow in CTest) bit-identity of a seeded BO run
+// with tracing on vs off.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bo/drivers.hpp"
+#include "netlist/netlist_circuit.hpp"
+#include "obs/obs.hpp"
+#include "sim/dc.hpp"
+#include "sim/transient.hpp"
+
+namespace obs = kato::obs;
+namespace sim = kato::sim;
+namespace ckt = kato::ckt;
+namespace bo = kato::bo;
+
+#ifndef KATO_SOURCE_DIR
+#define KATO_SOURCE_DIR "."
+#endif
+
+namespace {
+
+std::string deck_path(const std::string& name) {
+  return std::string(KATO_SOURCE_DIR) + "/circuits/netlists/" + name;
+}
+
+std::string trace_path(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+sim::MosModel nmos_model() {
+  sim::MosModel m;
+  m.nmos = true;
+  m.vth0 = 0.5;
+  m.kp = 200e-6;
+  m.lambda_coef = 0.05e-6;
+  return m;
+}
+
+/// 3V through 1k over 2k: linear, so Newton takes exactly one correcting
+/// iteration plus one convergence check.
+sim::Circuit divider() {
+  sim::Circuit c;
+  const int vin = c.new_node("vin");
+  const int mid = c.new_node("mid");
+  c.add_vsource(vin, sim::Circuit::ground, 3.0);
+  c.add_resistor(vin, mid, 1e3);
+  c.add_resistor(mid, sim::Circuit::ground, 2e3);
+  return c;
+}
+
+// --- Env parsing -----------------------------------------------------------
+
+TEST(ObsEnv, ParseSinkPathFullStringDiscipline) {
+  EXPECT_FALSE(obs::parse_sink_path(nullptr).has_value());
+  EXPECT_FALSE(obs::parse_sink_path("").has_value());
+  EXPECT_FALSE(obs::parse_sink_path(" /tmp/t.json").has_value());
+  EXPECT_FALSE(obs::parse_sink_path("/tmp/t.json ").has_value());
+  EXPECT_FALSE(obs::parse_sink_path("\t/tmp/t.json").has_value());
+  EXPECT_FALSE(obs::parse_sink_path("/tmp/t.json\n").has_value());
+  EXPECT_FALSE(obs::parse_sink_path(" ").has_value());
+  ASSERT_TRUE(obs::parse_sink_path("-").has_value());
+  EXPECT_EQ(*obs::parse_sink_path("-"), "-");
+  ASSERT_TRUE(obs::parse_sink_path("/tmp/t.json").has_value());
+  EXPECT_EQ(*obs::parse_sink_path("/tmp/t.json"), "/tmp/t.json");
+  // Interior spaces are legal path characters; only the edges are policed.
+  ASSERT_TRUE(obs::parse_sink_path("out dir/t.json").has_value());
+  EXPECT_EQ(*obs::parse_sink_path("out dir/t.json"), "out dir/t.json");
+}
+
+TEST(ObsEnv, SinkFromEnvMirrorsSeedListDiscipline) {
+  unsetenv("KATO_STATS");
+  EXPECT_FALSE(obs::sink_from_env("KATO_STATS").has_value());
+  setenv("KATO_STATS", "", 1);
+  EXPECT_FALSE(obs::sink_from_env("KATO_STATS").has_value());
+  setenv("KATO_STATS", " stats.json", 1);
+  EXPECT_FALSE(obs::sink_from_env("KATO_STATS").has_value());
+  setenv("KATO_STATS", "stats.json ", 1);
+  EXPECT_FALSE(obs::sink_from_env("KATO_STATS").has_value());
+  setenv("KATO_STATS", "-", 1);
+  ASSERT_TRUE(obs::sink_from_env("KATO_STATS").has_value());
+  EXPECT_EQ(*obs::sink_from_env("KATO_STATS"), "-");
+  setenv("KATO_STATS", "stats.json", 1);
+  ASSERT_TRUE(obs::sink_from_env("KATO_STATS").has_value());
+  EXPECT_EQ(*obs::sink_from_env("KATO_STATS"), "stats.json");
+  unsetenv("KATO_STATS");
+}
+
+// --- Counter goldens -------------------------------------------------------
+
+TEST(ObsCounters, DividerNewtonGoldenDense) {
+  sim::DcOptions opts;
+  opts.gmin_ladder = {1e-12};
+  opts.max_step = 10.0;  // no damping on a 3 V linear solve
+  const auto res = sim::solve_dc(divider(), opts);
+  ASSERT_TRUE(res.converged);
+  // Linear circuit: iteration 1 lands the exact solution, iteration 2
+  // observes |dV| < tol.  Each dense iteration runs one full LU; the first
+  // counts as the first factor, the second as a refactor.
+  EXPECT_EQ(res.stats.newton_solves, 1u);
+  EXPECT_EQ(res.stats.newton_iters, 2u);
+  EXPECT_EQ(res.stats.damping_clamps, 0u);
+  EXPECT_EQ(res.stats.lu_first_factors, 1u);
+  EXPECT_EQ(res.stats.lu_refactors, 1u);
+  EXPECT_EQ(res.stats.lu_pivot_fallbacks, 0u);
+  EXPECT_EQ(res.stats.gmin_rungs, 1u);
+  EXPECT_EQ(res.stats.dc_restarts, 0u);
+  ASSERT_EQ(res.rung_stats.size(), 1u);
+  EXPECT_EQ(res.rung_stats[0].newton_iters, 2u);
+  EXPECT_EQ(res.rung_stats[0].damping_clamps, 0u);
+  EXPECT_TRUE(res.rung_stats[0].converged);
+}
+
+TEST(ObsCounters, SparseLadderFirstFactorVsRefactorSplit) {
+  sim::DcOptions opts;
+  opts.solver = sim::MnaSolver::sparse;
+  opts.gmin_ladder = {1e-4, 1e-8, 1e-12};
+  opts.max_step = 10.0;
+  const auto res = sim::solve_dc(divider(), opts);
+  ASSERT_TRUE(res.converged);
+  // Symbolic reuse across the whole ladder: exactly one first factor, every
+  // later Newton iteration is an in-place numeric refactorization and none
+  // of them needs a pivot fallback on this well-conditioned system.
+  EXPECT_EQ(res.stats.newton_solves, 3u);
+  EXPECT_EQ(res.stats.lu_first_factors, 1u);
+  EXPECT_EQ(res.stats.lu_refactors, res.stats.newton_iters - 1);
+  EXPECT_EQ(res.stats.lu_pivot_fallbacks, 0u);
+  EXPECT_EQ(res.stats.gmin_rungs, 3u);
+  ASSERT_EQ(res.rung_stats.size(), 3u);
+  for (const auto& r : res.rung_stats) EXPECT_TRUE(r.converged);
+}
+
+TEST(ObsCounters, TranAcceptCountsMatchTimeAxis) {
+  // RC relaxation: 1 V source charges mid through 1k into 1 uF, with the
+  // node forced to 0 at t = 0 — the LTE controller takes real steps.
+  sim::Circuit c;
+  const int vin = c.new_node("vin");
+  const int mid = c.new_node("mid");
+  c.add_vsource(vin, sim::Circuit::ground, 1.0);
+  c.add_resistor(vin, mid, 1e3);
+  c.add_capacitor(mid, sim::Circuit::ground, 1e-6);
+  sim::TranOptions opts;
+  opts.tstop = 5e-3;
+  opts.tstep = 1e-5;
+  opts.initial_conditions = {{mid, 0.0}};
+  const auto res = sim::solve_tran(c, opts);
+  ASSERT_TRUE(res.ok) << res.reason;
+  // One recorded time point per accepted step, plus the t = 0 sample.
+  EXPECT_EQ(res.stats.tran_steps_accepted + 1, res.time.size());
+  EXPECT_GE(res.stats.tran_be_steps, 1u);  // the startup step is BE
+  EXPECT_EQ(res.stats.tran_newton_rejects, 0u);
+  // Every accepted or LTE-rejected step ran one Newton solve; the internal
+  // t = 0 operating point contributes the rest.
+  EXPECT_GE(res.stats.newton_solves,
+            res.stats.tran_steps_accepted + res.stats.tran_steps_rejected);
+  EXPECT_GT(res.stats.newton_iters, res.stats.newton_solves);
+}
+
+TEST(ObsCounters, DcFailureReasonNamesRungAndIterationBudget) {
+  // Diode-connected NMOS pulled up through 10k: genuinely nonlinear, so one
+  // allowed iteration on a one-rung ladder cannot converge.
+  sim::Circuit c;
+  const int vdd = c.new_node("vdd");
+  const int d = c.new_node("d");
+  c.add_vsource(vdd, sim::Circuit::ground, 1.8);
+  c.add_resistor(vdd, d, 10e3);
+  c.add_mosfet(d, d, sim::Circuit::ground, 10e-6, 1e-6, nmos_model());
+  sim::DcOptions opts;
+  opts.gmin_ladder = {1e-12};
+  opts.max_iterations = 1;
+  const auto res = sim::solve_dc(c, opts);
+  ASSERT_FALSE(res.converged);
+  EXPECT_NE(res.reason.find("gmin rung 1/1"), std::string::npos) << res.reason;
+  EXPECT_NE(res.reason.find("newton 1/1"), std::string::npos) << res.reason;
+  EXPECT_NE(res.reason.find("at gmin="), std::string::npos) << res.reason;
+}
+
+// --- Stats registry --------------------------------------------------------
+
+TEST(ObsStats, RegistryAggregatesNetlistEvaluation) {
+  const auto deck =
+      ckt::NetlistCircuit::from_file(deck_path("buffer_tran.cir"), ckt::pdk_180nm());
+  const std::vector<double> mid(deck->space().dim(), 0.5);
+  obs::stats_reset();
+  const auto outcome = deck->evaluate_detailed(mid);
+  ASSERT_TRUE(outcome.metrics.has_value()) << outcome.failure;
+  // The per-outcome stats and the process registry must agree: the registry
+  // is fed exactly once per simulated condition, from evaluate_single.
+  EXPECT_GT(outcome.stats.newton_iters, 0u);
+  EXPECT_GT(outcome.stats.tran_steps_accepted, 0u);
+  EXPECT_EQ(obs::stats_value("newton_iters"), outcome.stats.newton_iters);
+  EXPECT_EQ(obs::stats_value("tran_steps_accepted"),
+            outcome.stats.tran_steps_accepted);
+  EXPECT_EQ(obs::stats_value("lu_first_factors"),
+            outcome.stats.lu_first_factors);
+  EXPECT_EQ(obs::stats_value("evals"), 1u);
+  EXPECT_EQ(obs::stats_value("eval_failures"), 0u);
+
+  std::ostringstream json;
+  obs::stats_write_json(json);
+  const std::string s = json.str();
+  EXPECT_NE(s.find("\"newton_iters\": "), std::string::npos);
+  EXPECT_NE(s.find("\"gp_fits\": "), std::string::npos);
+  EXPECT_EQ(s.front(), '{');
+  obs::stats_reset();
+  EXPECT_EQ(obs::stats_value("newton_iters"), 0u);
+}
+
+// --- Trace schema and concurrent flush -------------------------------------
+
+/// Structural check of one emitted event line (the writer emits one JSON
+/// object per line; Perfetto-required keys must all be present).
+void expect_event_line(const std::string& line) {
+  EXPECT_EQ(line.rfind("{\"name\":\"", 0), 0u) << line;
+  EXPECT_NE(line.find("\"ph\":\""), std::string::npos) << line;
+  EXPECT_NE(line.find("\"ts\":"), std::string::npos) << line;
+  EXPECT_NE(line.find("\"pid\":"), std::string::npos) << line;
+  EXPECT_NE(line.find("\"tid\":"), std::string::npos) << line;
+}
+
+std::uint32_t event_tid(const std::string& line) {
+  const auto pos = line.find("\"tid\":");
+  return static_cast<std::uint32_t>(
+      std::strtoul(line.c_str() + pos + 6, nullptr, 10));
+}
+
+TEST(ObsTrace, SchemaValidAndThreadBuffersSurviveConcurrentFlush) {
+  const auto deck =
+      ckt::NetlistCircuit::from_file(deck_path("opamp2.cir"), ckt::pdk_180nm());
+  const std::vector<std::vector<double>> xs(
+      32, std::vector<double>(deck->space().dim(), 0.5));
+  const auto serial = deck->evaluate_batch(xs);
+
+  const std::string path = trace_path("obs_trace_schema.json");
+  setenv("KATO_THREADS", "4", 1);
+  // Warm the pool untraced so the workers are spawned and parked — a parked
+  // worker wakes in microseconds and reliably claims chunks of the traced
+  // batch, whereas thread spawn can lose the race against fast evals.
+  (void)deck->evaluate_batch(xs);
+  obs::set_trace_buffer_capacity_for_test(4);  // force mid-run flushes
+  obs::trace_begin(path);
+  const auto traced = deck->evaluate_batch(xs);
+  const std::size_t n_events = obs::trace_end();
+  obs::set_trace_buffer_capacity_for_test(1 << 16);
+  unsetenv("KATO_THREADS");
+
+  EXPECT_GT(n_events, 0u);
+  ASSERT_EQ(traced.size(), serial.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    ASSERT_TRUE(traced[i].has_value());
+    EXPECT_EQ(*traced[i], *serial[i]) << "candidate " << i;
+  }
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "{\"traceEvents\":[");
+  std::size_t events_seen = 0;
+  std::set<std::uint32_t> tids;
+  bool saw_footer = false;
+  while (std::getline(in, line)) {
+    if (line.rfind("]", 0) == 0) {
+      EXPECT_NE(line.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+      saw_footer = true;
+      break;
+    }
+    if (line.size() >= 2 && line.compare(line.size() - 2, 2, ",\n") == 0)
+      line.resize(line.size() - 2);
+    if (!line.empty() && line.back() == ',') line.pop_back();
+    expect_event_line(line);
+    tids.insert(event_tid(line));
+    ++events_seen;
+  }
+  EXPECT_TRUE(saw_footer);
+  // thread_name metadata rows plus every collected event.
+  EXPECT_GE(events_seen, n_events);
+  // The fan-out ran on >= 2 threads and each one's buffer made it to disk.
+  EXPECT_GE(tids.size(), 2u);
+}
+
+TEST(ObsTrace, PauseResumeAndEndWithoutSession) {
+  EXPECT_EQ(obs::trace_end(), 0u);  // no session: clean no-op
+  EXPECT_FALSE(obs::trace_enabled());
+  obs::trace_resume();  // resume outside a session must not enable capture
+  EXPECT_FALSE(obs::trace_enabled());
+
+  const std::string path = trace_path("obs_trace_pause.json");
+  obs::trace_begin(path);
+  EXPECT_TRUE(obs::trace_enabled());
+  { KATO_OBS_SPAN("kept"); }
+  obs::trace_pause();
+  EXPECT_FALSE(obs::trace_enabled());
+  { KATO_OBS_SPAN("suppressed"); }
+  obs::trace_resume();
+  EXPECT_TRUE(obs::trace_enabled());
+  const std::size_t n = obs::trace_end();
+  EXPECT_EQ(n, 1u);
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  EXPECT_NE(ss.str().find("\"name\":\"kept\""), std::string::npos);
+  EXPECT_EQ(ss.str().find("suppressed"), std::string::npos);
+}
+
+// --- Off-path bit-identity (slow) ------------------------------------------
+
+TEST(ObsBo, SeededRunBitIdenticalWithTracingOn) {
+  const auto deck =
+      ckt::NetlistCircuit::from_file(deck_path("opamp2.cir"), ckt::pdk_180nm());
+  bo::BoConfig cfg;
+  cfg.n_init = 14;
+  cfg.iterations = 5;
+  cfg.batch = 2;
+  cfg.nsga.population = 12;
+  cfg.nsga.generations = 6;
+  cfg.max_gp_points = 96;
+  cfg.hyper_every = 3;
+  cfg.gp_initial.iterations = 15;
+  cfg.gp_refit.iterations = 6;
+
+  const auto plain =
+      bo::run_constrained(*deck, bo::ConstrainedMethod::kato, cfg, 5);
+
+  obs::trace_begin(trace_path("obs_bo_identity.json"));
+  const auto traced =
+      bo::run_constrained(*deck, bo::ConstrainedMethod::kato, cfg, 5);
+  const std::size_t n_events = obs::trace_end();
+  EXPECT_GT(n_events, 0u);
+
+  // Counters never feed arithmetic and spans only read the clock, so the
+  // optimization trajectory must be bit-identical with tracing enabled.
+  ASSERT_EQ(plain.trace.size(), traced.trace.size());
+  for (std::size_t i = 0; i < plain.trace.size(); ++i)
+    EXPECT_DOUBLE_EQ(plain.trace[i], traced.trace[i]) << "sim " << i;
+  ASSERT_EQ(plain.x_history.size(), traced.x_history.size());
+  for (std::size_t i = 0; i < plain.x_history.size(); ++i)
+    EXPECT_EQ(plain.x_history[i], traced.x_history[i]) << "sim " << i;
+  EXPECT_EQ(plain.best_metrics, traced.best_metrics);
+}
+
+}  // namespace
