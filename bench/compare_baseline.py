@@ -52,7 +52,10 @@ SPEEDUP_FLOORS = {"device_table_speedup": 3.0}
 # current run reports them.  trace_overhead_ratio is the cost of running a
 # full transient evaluation with an active KATO_TRACE session — the
 # instrumentation contract is <= 5% on its densest path.
-RATIO_CEILINGS = {"trace_overhead_ratio": 1.05}
+# journal_overhead_ratio is the cost of a whole seeded BO run with a
+# KATO_RUN_LOG session streaming per-iteration JSONL; same <= 5% contract.
+RATIO_CEILINGS = {"trace_overhead_ratio": 1.05,
+                  "journal_overhead_ratio": 1.05}
 
 
 def load(path):

@@ -5,6 +5,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/journal.hpp"
 #include "obs/obs.hpp"
 #include "rf/random_forest.hpp"
 #include "util/sampling.hpp"
@@ -14,6 +15,79 @@ namespace kato::bo {
 namespace {
 
 constexpr double k_inf = std::numeric_limits<double>::infinity();
+
+// --- Run-journal helpers ---------------------------------------------------
+// Journal emission is value-free: these helpers only read optimizer state
+// and format strings, and every call site is gated on the state's captured
+// journal flag, so a journaled run's RNG stream and arithmetic stay
+// bit-identical to an unjournaled one (pinned by obs_test's ObsBo cases).
+
+std::string config_json(const BoConfig& c, bool transfer) {
+  obs::JsonObj o;
+  o.uint("batch", c.batch)
+      .uint("iterations", c.iterations)
+      .uint("n_init", c.n_init)
+      .num("ucb_beta", c.ucb_beta)
+      .boolean("use_stl", c.use_stl)
+      .uint("max_gp_points", c.max_gp_points)
+      .uint("hyper_every", c.hyper_every)
+      .boolean("transfer", transfer);
+  return o.take();
+}
+
+/// New design points as an array of arrays, from index `from` on.
+std::string points_json(const std::vector<std::vector<double>>& xs,
+                        std::size_t from) {
+  std::string out = "[";
+  for (std::size_t i = from; i < xs.size(); ++i) {
+    if (i != from) out += ',';
+    out += obs::json_array(xs[i]);
+  }
+  out += ']';
+  return out;
+}
+
+/// Append the acquisition vectors of a selected batch, matched back into the
+/// Pareto set by exact design-vector equality (select_batch copies rows
+/// verbatim; random fill-ins that never sat on the front log as null).
+/// Rows of `p.f` are the negated acquisition objectives MACE minimizes.
+void append_acq(std::string& out, const moo::ParetoSet& p,
+                const std::vector<std::vector<double>>& batch) {
+  for (const auto& x : batch) {
+    if (out.size() > 1) out += ',';
+    std::size_t hit = p.x.size();
+    for (std::size_t i = 0; i < p.x.size(); ++i)
+      if (p.x[i] == x) {
+        hit = i;
+        break;
+      }
+    out += hit < p.x.size() ? obs::json_array(p.f[hit]) : "null";
+  }
+}
+
+/// GP refit diagnostics from the objective GP (metric 0): NLL/iterations of
+/// the last hyper-fit, current noise, and the kernel hyperparameters — in
+/// full for small kernels, as dimension+norm for NeuK's weight vector so a
+/// journal line stays bounded.
+std::string gp_json(GpSurrogate& s, bool hyper, bool warm) {
+  gp::GaussianProcess& g0 = s.model().metric(0);
+  const gp::GpFitInfo& info = g0.last_fit_info();
+  obs::JsonObj o;
+  o.boolean("hyper", hyper)
+      .boolean("warm", warm)
+      .num("nll", info.best_nll)
+      .num("fit_iters", info.iterations)
+      .num("noise", g0.noise_var());
+  const auto theta = g0.kernel().params();
+  if (theta.size() <= 16) {
+    o.raw("theta", obs::json_array({theta.begin(), theta.end()}));
+  } else {
+    double sq = 0.0;
+    for (const double t : theta) sq += t * t;
+    o.uint("n_theta", theta.size()).num("theta_norm", std::sqrt(sq));
+  }
+  return o.take();
+}
 
 /// Shared bookkeeping: simulate, record history, maintain the running best.
 class ConstrainedState {
@@ -33,7 +107,9 @@ class ConstrainedState {
     KATO_OBS_SPAN("simulate_batch");
     obs::bo_count(obs::BoCounter::proposal_batches);
     obs::bo_count(obs::BoCounter::proposals, xs.size());
+    const std::uint64_t t0 = jon_ ? obs::trace_now_ns() : 0;
     const auto metrics = circuit_.evaluate_batch(xs);
+    if (jon_) eval_ns_ += obs::trace_now_ns() - t0;
     std::vector<char> improved(xs.size());
     for (std::size_t i = 0; i < xs.size(); ++i)
       improved[i] = record(xs[i], metrics[i]) ? 1 : 0;
@@ -44,6 +120,80 @@ class ConstrainedState {
   std::size_t n_valid() const { return xs_.size(); }
   const ckt::SizingCircuit& circuit() const { return circuit_; }
   RunResult take_result() { return std::move(result_); }
+
+  // --- Run-journal emission (value-free; see helpers above) ---------------
+
+  bool journal_on() const { return jon_; }
+
+  void journal_begin(const char* method, const BoConfig& config,
+                     std::uint64_t seed, bool transfer) {
+    if (!jon_) return;
+    obs::JsonObj o;
+    o.str("event", "run_begin")
+        .uint("run", jid_)
+        .str("mode", "constrained")
+        .str("method", method)
+        .str("circuit", circuit_.name())
+        .uint("dim", circuit_.dim())
+        .uint("n_metrics", circuit_.n_metrics())
+        .uint("seed", seed)
+        .raw("config", config_json(config, transfer));
+    obs::journal_write(o.take());
+  }
+
+  /// One progress record covering everything simulated since the previous
+  /// one: the DOE batch ("doe"), a too-little-data random batch ("explore"),
+  /// or a model-driven iteration ("propose", with GP/acquisition payloads).
+  void journal_step(const char* phase, std::int64_t iter,
+                    const std::string& gp, const std::string& acq) {
+    if (!jon_) return;
+    obs::JsonObj o;
+    o.str("event", "iteration")
+        .uint("run", jid_)
+        .str("phase", phase)
+        .num("iter", static_cast<double>(iter))
+        .uint("sims", result_.trace.size());
+    std::size_t ok = 0;
+    std::size_t feas = 0;
+    for (std::size_t i = jmark_; i < result_.metrics_history.size(); ++i)
+      if (result_.metrics_history[i]) {
+        ++ok;
+        if (circuit_.feasible(*result_.metrics_history[i])) ++feas;
+      }
+    o.uint("n_prop", result_.trace.size() - jmark_)
+        .uint("n_valid", ok)
+        .uint("n_feasible", feas)
+        .num("eval_ms", static_cast<double>(eval_ns_) / 1e6)
+        .raw("proposals", points_json(result_.x_history, jmark_))
+        .raw("trace", obs::json_array({result_.trace.begin() +
+                                           static_cast<std::ptrdiff_t>(jmark_),
+                                       result_.trace.end()}))
+        .num("best", best_);
+    if (!result_.best_metrics.empty())
+      o.raw("best_violation", violation_json());
+    if (!gp.empty()) o.raw("gp", gp);
+    if (!acq.empty()) o.raw("acq_f", acq);
+    obs::journal_write(o.take());
+    jmark_ = result_.trace.size();
+    eval_ns_ = 0;
+  }
+
+  void journal_end(double w_kat, double w_self) {
+    if (!jon_) return;
+    obs::JsonObj o;
+    o.str("event", "run_end")
+        .uint("run", jid_)
+        .uint("sims", result_.trace.size())
+        .num("best", best_)
+        .raw("best_x", obs::json_array(result_.best_x));
+    if (!result_.best_metrics.empty())
+      o.raw("best_metrics", obs::json_array(result_.best_metrics))
+          .raw("best_violation", violation_json());
+    o.num("stl_w_kat", w_kat)
+        .num("stl_w_self", w_self)
+        .raw("regret_curve", obs::json_array(result_.trace));
+    obs::journal_write(o.take());
+  }
 
   /// Training matrices capped at `max_points`: all feasible designs are
   /// kept (they anchor the incumbent region), the remainder filled with the
@@ -104,11 +254,27 @@ class ConstrainedState {
     return improved;
   }
 
+  /// Constraint violations of the incumbent's metrics (0 when satisfied).
+  std::string violation_json() const {
+    const auto& specs = circuit_.constraints();
+    std::vector<double> v(specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i)
+      v[i] = specs[i].violation(result_.best_metrics[i + 1]);
+    return obs::json_array(v);
+  }
+
   const ckt::SizingCircuit& circuit_;
   RunResult result_;
   std::vector<std::vector<double>> xs_;  ///< valid sims only
   std::vector<std::vector<double>> ys_;
   double best_ = k_inf;
+  // Journal bookkeeping, captured once so one run is consistently journaled
+  // or not.  jmark_ is the history index at the last emitted step; eval_ns_
+  // accumulates simulate_batch wall time between steps.
+  const bool jon_ = obs::journal_enabled();
+  const std::uint64_t jid_ = jon_ ? obs::journal_next_run_id() : 0;
+  std::size_t jmark_ = 0;
+  std::uint64_t eval_ns_ = 0;
 };
 
 /// Greedy top-k distinct designs from a scored candidate pool.
@@ -237,8 +403,12 @@ RunResult run_constrained(const ckt::SizingCircuit& circuit,
     return pts;
   };
 
+  const bool transfer = method == ConstrainedMethod::kato && source != nullptr;
+  state.journal_begin(to_string(method), config, seed, transfer);
+
   // Initial random design set (DOE).
   (void)state.simulate_batch(random_batch(config.n_init));
+  state.journal_step("doe", -1, "", "");
 
   // Surrogates.
   util::Rng model_rng = rng.split();
@@ -247,7 +417,6 @@ RunResult run_constrained(const ckt::SizingCircuit& circuit,
       method == ConstrainedMethod::kato ? KernelKind::neuk : KernelKind::rbf,
       config.gp_initial, config.gp_refit, model_rng);
   std::unique_ptr<KatSurrogate> kat_model;
-  const bool transfer = method == ConstrainedMethod::kato && source != nullptr;
   if (transfer)
     kat_model = std::make_unique<KatSurrogate>(source->metric_model.get(), dim,
                                                circuit.n_metrics(), config.kat,
@@ -261,9 +430,11 @@ RunResult run_constrained(const ckt::SizingCircuit& circuit,
   mace_opts.ucb_beta = config.ucb_beta;
   mace_opts.nsga = config.nsga;
 
+  bool gp_fitted = false;  // first refit is a cold initial fit
   for (std::size_t it = 0; it < config.iterations; ++it) {
     if (state.n_valid() < 4) {  // not enough data to model: explore
       (void)state.simulate_batch(random_batch(config.batch));
+      state.journal_step("explore", static_cast<std::int64_t>(it), "", "");
       continue;
     }
     la::Matrix x;
@@ -274,8 +445,16 @@ RunResult run_constrained(const ckt::SizingCircuit& circuit,
     // gp_refit / KatGpConfig::refit_iterations budget.  Posterior-only
     // iterations skip hyper-training entirely.
     const bool hyper = it % config.hyper_every == 0;
+    // What the surrogate actually does (it forces an initial fit when none
+    // has run yet) — recorded in the journal's gp payload.
+    const bool eff_hyper = hyper || !gp_fitted;
+    const bool gp_warm = eff_hyper && gp_fitted;
     self_model->refit(x, y, model_rng, hyper);
     if (transfer) kat_model->refit(x, y, model_rng, hyper);
+    gp_fitted = true;
+    std::string gp_info;
+    if (state.journal_on()) gp_info = gp_json(*self_model, eff_hyper, gp_warm);
+    std::string acq;
 
     const double y_best = state.best();
     const auto seeds = state.incumbent_seeds(4);
@@ -294,6 +473,12 @@ RunResult run_constrained(const ckt::SizingCircuit& circuit,
           const auto a_kat = select_batch(p_kat, n_kat, dim, rng);
           const auto a_self =
               select_batch(p_self, config.batch - n_kat, dim, rng);
+          if (state.journal_on()) {
+            acq = "[";
+            append_acq(acq, p_kat, a_kat);
+            append_acq(acq, p_self, a_self);
+            acq += ']';
+          }
           for (char imp : state.simulate_batch(a_kat))
             if (imp) w_kat += 1.0;  // Eq. 14
           for (char imp : state.simulate_batch(a_self))
@@ -302,11 +487,23 @@ RunResult run_constrained(const ckt::SizingCircuit& circuit,
           // Transfer without STL: trust KAT-GP exclusively (ablation mode).
           const auto p =
               mace_proposals(*kat_model, specs, y_best, mace_opts, rng, seeds);
-          (void)state.simulate_batch(select_batch(p, config.batch, dim, rng));
+          const auto sel = select_batch(p, config.batch, dim, rng);
+          if (state.journal_on()) {
+            acq = "[";
+            append_acq(acq, p, sel);
+            acq += ']';
+          }
+          (void)state.simulate_batch(sel);
         } else {
           const auto p =
               mace_proposals(*self_model, specs, y_best, mace_opts, rng, seeds);
-          (void)state.simulate_batch(select_batch(p, config.batch, dim, rng));
+          const auto sel = select_batch(p, config.batch, dim, rng);
+          if (state.journal_on()) {
+            acq = "[";
+            append_acq(acq, p, sel);
+            acq += ']';
+          }
+          (void)state.simulate_batch(sel);
         }
         break;
       }
@@ -314,7 +511,13 @@ RunResult run_constrained(const ckt::SizingCircuit& circuit,
         mace_opts.variant = MaceVariant::full;
         const auto p =
             mace_proposals(*self_model, specs, y_best, mace_opts, rng, seeds);
-        (void)state.simulate_batch(select_batch(p, config.batch, dim, rng));
+        const auto sel = select_batch(p, config.batch, dim, rng);
+        if (state.journal_on()) {
+          acq = "[";
+          append_acq(acq, p, sel);
+          acq += ']';
+        }
+        (void)state.simulate_batch(sel);
         break;
       }
       case ConstrainedMethod::mesmoc: {
@@ -355,8 +558,10 @@ RunResult run_constrained(const ckt::SizingCircuit& circuit,
         break;
       }
     }
+    state.journal_step("propose", static_cast<std::int64_t>(it), gp_info, acq);
   }
 
+  state.journal_end(w_kat, w_self);
   RunResult result = state.take_result();
   result.stl_w_kat = w_kat;
   result.stl_w_self = w_self;
@@ -429,11 +634,79 @@ class FomState {
     KATO_OBS_SPAN("simulate_batch");
     obs::bo_count(obs::BoCounter::proposal_batches);
     obs::bo_count(obs::BoCounter::proposals, xs.size());
+    const std::uint64_t t0 = jon_ ? obs::trace_now_ns() : 0;
     const auto metrics = circuit_.evaluate_batch(xs);
+    if (jon_) eval_ns_ += obs::trace_now_ns() - t0;
     std::vector<char> improved(xs.size());
     for (std::size_t i = 0; i < xs.size(); ++i)
       improved[i] = record(xs[i], metrics[i]) ? 1 : 0;
     return improved;
+  }
+
+  // --- Run-journal emission (FOM-mode twin of ConstrainedState's) ---------
+  // `best` here is the figure of merit (maximized); there is no constraint
+  // vector, so n_feasible counts valid simulations.
+
+  bool journal_on() const { return jon_; }
+
+  void journal_begin(const char* method, const BoConfig& config,
+                     std::uint64_t seed, bool transfer) {
+    if (!jon_) return;
+    obs::JsonObj o;
+    o.str("event", "run_begin")
+        .uint("run", jid_)
+        .str("mode", "fom")
+        .str("method", method)
+        .str("circuit", circuit_.name())
+        .uint("dim", circuit_.dim())
+        .uint("n_metrics", circuit_.n_metrics())
+        .uint("seed", seed)
+        .raw("config", config_json(config, transfer));
+    obs::journal_write(o.take());
+  }
+
+  void journal_step(const char* phase, std::int64_t iter,
+                    const std::string& gp, const std::string& acq) {
+    if (!jon_) return;
+    obs::JsonObj o;
+    o.str("event", "iteration")
+        .uint("run", jid_)
+        .str("phase", phase)
+        .num("iter", static_cast<double>(iter))
+        .uint("sims", result_.trace.size());
+    std::size_t ok = 0;
+    for (std::size_t i = jmark_; i < result_.metrics_history.size(); ++i)
+      if (result_.metrics_history[i]) ++ok;
+    o.uint("n_prop", result_.trace.size() - jmark_)
+        .uint("n_valid", ok)
+        .uint("n_feasible", ok)
+        .num("eval_ms", static_cast<double>(eval_ns_) / 1e6)
+        .raw("proposals", points_json(result_.x_history, jmark_))
+        .raw("trace", obs::json_array({result_.trace.begin() +
+                                           static_cast<std::ptrdiff_t>(jmark_),
+                                       result_.trace.end()}))
+        .num("best", best_);
+    if (!gp.empty()) o.raw("gp", gp);
+    if (!acq.empty()) o.raw("acq_f", acq);
+    obs::journal_write(o.take());
+    jmark_ = result_.trace.size();
+    eval_ns_ = 0;
+  }
+
+  void journal_end(double w_kat, double w_self) {
+    if (!jon_) return;
+    obs::JsonObj o;
+    o.str("event", "run_end")
+        .uint("run", jid_)
+        .uint("sims", result_.trace.size())
+        .num("best", best_)
+        .raw("best_x", obs::json_array(result_.best_x));
+    if (!result_.best_metrics.empty())
+      o.raw("best_metrics", obs::json_array(result_.best_metrics));
+    o.num("stl_w_kat", w_kat)
+        .num("stl_w_self", w_self)
+        .raw("regret_curve", obs::json_array(result_.trace));
+    obs::journal_write(o.take());
   }
 
   double best_neg() const { return -best_; }
@@ -508,6 +781,11 @@ class FomState {
   std::vector<std::vector<double>> xs_;
   std::vector<double> neg_fom_;
   double best_ = -k_inf;
+  // Journal bookkeeping; see ConstrainedState.
+  const bool jon_ = obs::journal_enabled();
+  const std::uint64_t jid_ = jon_ ? obs::journal_next_run_id() : 0;
+  std::size_t jmark_ = 0;
+  std::uint64_t eval_ns_ = 0;
 };
 
 }  // namespace
@@ -529,10 +807,16 @@ RunResult run_fom(const ckt::SizingCircuit& circuit,
     return pts;
   };
 
+  const bool transfer = method == FomMethod::kato && source != nullptr;
+  state.journal_begin(to_string(method), config, seed, transfer);
+
   (void)state.simulate_batch(random_batch(config.n_init));
+  state.journal_step("doe", -1, "", "");
 
   if (method == FomMethod::random_search) {
     (void)state.simulate_batch(random_batch(config.batch * config.iterations));
+    state.journal_step("propose", 0, "", "");
+    state.journal_end(0.0, 0.0);
     return state.take_result();
   }
   if (method == FomMethod::tlmbo && source == nullptr)
@@ -540,13 +824,14 @@ RunResult run_fom(const ckt::SizingCircuit& circuit,
 
   util::Rng model_rng = rng.split();
   std::unique_ptr<Surrogate> model;
+  GpSurrogate* gp_model = nullptr;  // journal diagnostics want the GP view
   std::unique_ptr<KatSurrogate> kat_model;
-  const bool transfer = method == FomMethod::kato && source != nullptr;
   switch (method) {
     case FomMethod::kato:
       model = std::make_unique<GpSurrogate>(dim, 1, KernelKind::neuk,
                                             config.gp_initial, config.gp_refit,
                                             model_rng);
+      gp_model = static_cast<GpSurrogate*>(model.get());
       if (transfer)
         kat_model = std::make_unique<KatSurrogate>(source->fom_model.get(), dim,
                                                    1, config.kat, model_rng);
@@ -555,6 +840,7 @@ RunResult run_fom(const ckt::SizingCircuit& circuit,
       model = std::make_unique<GpSurrogate>(dim, 1, KernelKind::rbf,
                                             config.gp_initial, config.gp_refit,
                                             model_rng);
+      gp_model = static_cast<GpSurrogate*>(model.get());
       break;
     case FomMethod::tlmbo:
       model = std::make_unique<ResidualSurrogate>(source->fom_model.get(), dim,
@@ -575,9 +861,11 @@ RunResult run_fom(const ckt::SizingCircuit& circuit,
   mace_opts.ucb_beta = config.ucb_beta;
   mace_opts.nsga = config.nsga;
 
+  bool gp_fitted = false;  // first refit is a cold initial fit
   for (std::size_t it = 0; it < config.iterations; ++it) {
     if (state.n_valid() < 4) {
       (void)state.simulate_batch(random_batch(config.batch));
+      state.journal_step("explore", static_cast<std::int64_t>(it), "", "");
       continue;
     }
     const double y_best = state.best_neg();
@@ -594,6 +882,7 @@ RunResult run_fom(const ckt::SizingCircuit& circuit,
             {expected_improvement({p.mean, p.var}, y_best), std::move(cand)});
       }
       (void)state.simulate_batch(top_k_distinct(scored, config.batch, dim, rng));
+      state.journal_step("propose", static_cast<std::int64_t>(it), "", "");
       continue;
     }
 
@@ -601,8 +890,15 @@ RunResult run_fom(const ckt::SizingCircuit& circuit,
     la::Matrix y;
     state.training_data(config.max_gp_points, x, y);
     const bool hyper = it % config.hyper_every == 0;
+    const bool eff_hyper = hyper || !gp_fitted;
+    const bool gp_warm = eff_hyper && gp_fitted;
     model->refit(x, y, model_rng, hyper);
     if (transfer) kat_model->refit(x, y, model_rng, hyper);
+    gp_fitted = true;
+    std::string gp_info;
+    if (state.journal_on() && gp_model != nullptr)
+      gp_info = gp_json(*gp_model, eff_hyper, gp_warm);
+    std::string acq;
 
     if (transfer && config.use_stl) {
       const auto p_kat =
@@ -611,22 +907,43 @@ RunResult run_fom(const ckt::SizingCircuit& circuit,
           mace_proposals_unconstrained(*model, y_best, mace_opts, rng, seeds);
       const auto n_kat = static_cast<std::size_t>(std::lround(
           w_kat / (w_kat + w_self) * static_cast<double>(config.batch)));
-      for (char imp : state.simulate_batch(select_batch(p_kat, n_kat, dim, rng)))
+      const auto a_kat = select_batch(p_kat, n_kat, dim, rng);
+      const auto a_self = select_batch(p_self, config.batch - n_kat, dim, rng);
+      if (state.journal_on()) {
+        acq = "[";
+        append_acq(acq, p_kat, a_kat);
+        append_acq(acq, p_self, a_self);
+        acq += ']';
+      }
+      for (char imp : state.simulate_batch(a_kat))
         if (imp) w_kat += 1.0;
-      for (char imp : state.simulate_batch(
-               select_batch(p_self, config.batch - n_kat, dim, rng)))
+      for (char imp : state.simulate_batch(a_self))
         if (imp) w_self += 1.0;
     } else if (transfer) {
       const auto p =
           mace_proposals_unconstrained(*kat_model, y_best, mace_opts, rng, seeds);
-      (void)state.simulate_batch(select_batch(p, config.batch, dim, rng));
+      const auto sel = select_batch(p, config.batch, dim, rng);
+      if (state.journal_on()) {
+        acq = "[";
+        append_acq(acq, p, sel);
+        acq += ']';
+      }
+      (void)state.simulate_batch(sel);
     } else {
       const auto p =
           mace_proposals_unconstrained(*model, y_best, mace_opts, rng, seeds);
-      (void)state.simulate_batch(select_batch(p, config.batch, dim, rng));
+      const auto sel = select_batch(p, config.batch, dim, rng);
+      if (state.journal_on()) {
+        acq = "[";
+        append_acq(acq, p, sel);
+        acq += ']';
+      }
+      (void)state.simulate_batch(sel);
     }
+    state.journal_step("propose", static_cast<std::int64_t>(it), gp_info, acq);
   }
 
+  state.journal_end(w_kat, w_self);
   RunResult result = state.take_result();
   result.stl_w_kat = w_kat;
   result.stl_w_self = w_self;

@@ -45,6 +45,7 @@ moo::ParetoSet mace_proposals(const Surrogate& surrogate,
                               util::Rng& rng,
                               const std::vector<std::vector<double>>& seeds) {
   KATO_OBS_SPAN("acquisition");
+  KATO_OBS_STAGE(acquisition);
   const bool have_incumbent = std::isfinite(y_best);
   const std::size_t n_obj = options.variant == MaceVariant::modified ? 3 : 6;
   const auto scales = constraint_scales(surrogate, specs.size());
@@ -87,6 +88,7 @@ moo::ParetoSet mace_proposals_unconstrained(
     const Surrogate& surrogate, double y_best, const MaceOptions& options,
     util::Rng& rng, const std::vector<std::vector<double>>& seeds) {
   KATO_OBS_SPAN("acquisition");
+  KATO_OBS_STAGE(acquisition);
   auto acquisition = [&options,
                       y_best](const std::vector<gp::GpPrediction>& preds) {
     const gp::GpPrediction obj = preds.front();

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdlib>
 
+#include "obs/journal.hpp"
 #include "util/parallel.hpp"
 
 namespace kato::core {
@@ -58,6 +59,30 @@ void for_each_seed(std::size_t count,
   }
 }
 
+/// Bracket a seed series in the run journal: `series_begin` announces the
+/// fan-out (the per-run events that follow carry their own run ids, so
+/// interleaved runs demultiplex), `series_end` records the aggregate band's
+/// final value.  Value-free like all journal emission.
+void journal_series(const char* event, const std::string& name,
+                    const ckt::SizingCircuit& circuit, const char* mode,
+                    const std::vector<std::uint64_t>& seeds,
+                    const MethodSeries* series) {
+  if (!obs::journal_enabled()) return;
+  obs::JsonObj o;
+  o.str("event", event)
+      .str("name", name)
+      .str("circuit", circuit.name())
+      .str("mode", mode)
+      .uint("n_seeds", seeds.size());
+  o.raw("seeds",
+        obs::json_array(std::vector<double>(seeds.begin(), seeds.end())));
+  if (series != nullptr && !series->band.median.empty())
+    o.num("final_median", series->band.median.back())
+        .num("final_q25", series->band.q25.back())
+        .num("final_q75", series->band.q75.back());
+  obs::journal_write(o.take());
+}
+
 }  // namespace
 
 TransferComparison run_transfer_comparison(
@@ -89,6 +114,8 @@ MethodSeries run_constrained_series(const ckt::SizingCircuit& circuit,
   // pool; run i lands in slot i regardless of KATO_THREADS, keeping the
   // aggregate bit-identical to the sequential loop.
   series.runs.resize(seeds.size());
+  journal_series("series_begin", series.name, circuit, "constrained", seeds,
+                 nullptr);
   for_each_seed(seeds.size(), [&](std::size_t i) {
     series.runs[i] =
         bo::run_constrained(circuit, method, config, seeds[i], source);
@@ -97,6 +124,8 @@ MethodSeries run_constrained_series(const ckt::SizingCircuit& circuit,
   for (const auto& run : series.runs) traces.push_back(run.trace);
   sanitize_traces(traces, /*minimize=*/true);
   series.band = util::aggregate_traces(traces);
+  journal_series("series_end", series.name, circuit, "constrained", seeds,
+                 &series);
   return series;
 }
 
@@ -109,6 +138,7 @@ MethodSeries run_fom_series(const ckt::SizingCircuit& circuit,
   MethodSeries series;
   series.name = label.empty() ? bo::to_string(method) : label;
   series.runs.resize(seeds.size());
+  journal_series("series_begin", series.name, circuit, "fom", seeds, nullptr);
   for_each_seed(seeds.size(), [&](std::size_t i) {
     series.runs[i] = bo::run_fom(circuit, norm, method, config, seeds[i], source);
   });
@@ -116,6 +146,7 @@ MethodSeries run_fom_series(const ckt::SizingCircuit& circuit,
   for (const auto& run : series.runs) traces.push_back(run.trace);
   sanitize_traces(traces, /*minimize=*/false);
   series.band = util::aggregate_traces(traces);
+  journal_series("series_end", series.name, circuit, "fom", seeds, &series);
   return series;
 }
 

@@ -151,6 +151,7 @@ double GaussianProcess::nll_and_grad_ws(FitScratch& s, const la::Vector& y,
 
 void GaussianProcess::fit(const GpFitOptions& opts, util::Rng& rng) {
   KATO_OBS_SPAN("gp_fit");
+  KATO_OBS_STAGE(gp_fit);
   if (x_.empty()) throw std::logic_error("GaussianProcess::fit: no data");
 
   // Hyper-training subset (full posterior still uses all points).

@@ -524,6 +524,7 @@ NetlistCircuit::EvalOutcome NetlistCircuit::evaluate_single(
     const std::vector<double>& unit_x, std::size_t corner,
     std::size_t sample) const {
   KATO_OBS_SPAN("evaluate_single");
+  KATO_OBS_STAGE(eval);
   EvalOutcome out;
   // Single registry capture point for the whole stack: every public eval
   // path (evaluate / evaluate_detailed / evaluate_batch) funnels through
@@ -553,6 +554,7 @@ NetlistCircuit::EvalOutcome NetlistCircuit::evaluate_single(
   const auto op = sim::solve_dc(elab.circuit, dc_opts);
   out.stats.merge(op.stats);
   if (!op.converged) {
+    obs::bo_count(obs::BoCounter::fail_dc);
     out.failure = "DC operating point failed: " +
                   (op.reason.empty() ? "did not converge" : op.reason);
     return out;
@@ -563,6 +565,7 @@ NetlistCircuit::EvalOutcome NetlistCircuit::evaluate_single(
     sweep = sim::solve_ac(elab.circuit, op, elab.freqs);
     out.stats.merge(sweep.stats);
     if (!sweep.ok) {
+      obs::bo_count(obs::BoCounter::fail_ac);
       out.failure = "AC sweep failed (singular linearized system) after " +
                     std::to_string(sweep.stats.ac_points) + "/" +
                     std::to_string(elab.freqs.size()) + " frequency points";
@@ -583,6 +586,7 @@ NetlistCircuit::EvalOutcome NetlistCircuit::evaluate_single(
     tran = sim::solve_tran(elab.circuit, topts, &op);
     out.stats.merge(tran.stats);
     if (!tran.ok) {
+      obs::bo_count(obs::BoCounter::fail_tran);
       out.failure = "transient analysis failed: " + tran.reason;
       return out;
     }
@@ -599,6 +603,7 @@ NetlistCircuit::EvalOutcome NetlistCircuit::evaluate_single(
       metrics.push_back(net::eval_expr(*m, env, &hook));
     out.metrics = std::move(metrics);
   } catch (const SimFailure& failure) {
+    obs::bo_count(obs::BoCounter::fail_measure);
     out.failure = failure.what();
   }
   return out;

@@ -1,0 +1,134 @@
+#include "obs/journal.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <ostream>
+
+namespace kato::obs {
+
+namespace detail {
+std::atomic<bool> g_journal_on{false};
+}  // namespace detail
+
+namespace {
+
+/// Writer state, leaked like the registry so late emitters during static
+/// teardown never touch a destroyed stream.
+struct JournalState {
+  std::mutex mu;
+  std::ofstream file;
+  std::ostream* os = nullptr;  ///< &file or &std::cout; null when closed
+  std::size_t lines = 0;
+};
+
+JournalState* journal_state() {
+  static JournalState* s = new JournalState;
+  return s;
+}
+
+}  // namespace
+
+void journal_begin(const std::string& path) {
+  JournalState* s = journal_state();
+  std::lock_guard<std::mutex> lock(s->mu);
+  if (s->os != nullptr) {  // end the previous session first
+    s->os->flush();
+    if (s->file.is_open()) s->file.close();
+    s->os = nullptr;
+  }
+  s->lines = 0;
+  if (path == "-") {
+    s->os = &std::cout;
+  } else {
+    // Open (and truncate) eagerly so a run killed before its first event
+    // still leaves a well-defined — empty — journal, and so a bad path
+    // fails loudly at startup instead of at the first iteration.
+    s->file.open(path, std::ios::trunc);
+    if (!s->file) {
+      std::fprintf(stderr,
+                   "KATO_RUN_LOG: cannot write '%s'; journal disabled\n",
+                   path.c_str());
+      return;
+    }
+    s->os = &s->file;
+  }
+  // Release pairs with journal_enabled()'s acquire: an emitter that sees
+  // the flag also sees the open stream.
+  detail::g_journal_on.store(true, std::memory_order_release);
+}
+
+std::size_t journal_end() {
+  JournalState* s = journal_state();
+  detail::g_journal_on.store(false, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(s->mu);
+  if (s->os == nullptr) return 0;
+  s->os->flush();
+  if (s->file.is_open()) s->file.close();
+  s->os = nullptr;
+  return s->lines;
+}
+
+void journal_write(std::string_view line) {
+  if (!journal_enabled()) return;
+  JournalState* s = journal_state();
+  std::lock_guard<std::mutex> lock(s->mu);
+  if (s->os == nullptr) return;  // lost a race with journal_end
+  s->os->write(line.data(), static_cast<std::streamsize>(line.size()));
+  s->os->put('\n');
+  // Flush inside the lock: the line is durably on its way before the next
+  // writer runs, so a kill at any instant truncates at a line boundary of
+  // the stream buffer, never mid-interleave.
+  s->os->flush();
+  s->lines += 1;
+}
+
+std::uint64_t journal_next_run_id() {
+  static std::atomic<std::uint64_t> next{0};
+  return next.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_num(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string json_array(const std::vector<double>& v) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i != 0) out += ',';
+    out += json_num(v[i]);
+  }
+  out += ']';
+  return out;
+}
+
+}  // namespace kato::obs

@@ -1,5 +1,6 @@
 #include "obs/obs.hpp"
 
+#include <bit>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -9,6 +10,8 @@
 #include <string_view>
 #include <utility>
 #include <vector>
+
+#include "obs/journal.hpp"
 
 namespace kato::obs {
 
@@ -42,8 +45,9 @@ constexpr SimField k_sim_fields[] = {
 constexpr std::size_t k_n_sim = sizeof(k_sim_fields) / sizeof(k_sim_fields[0]);
 
 constexpr const char* k_bo_names[] = {
-    "gp_fits",          "gp_fit_iters", "gp_warm_starts", "proposal_batches",
-    "proposals",        "evals",        "eval_failures",
+    "gp_fits",   "gp_fit_iters", "gp_warm_starts", "proposal_batches",
+    "proposals", "evals",        "eval_failures",  "fail_dc",
+    "fail_ac",   "fail_tran",    "fail_measure",
 };
 constexpr std::size_t k_n_bo = static_cast<std::size_t>(BoCounter::count_);
 static_assert(sizeof(k_bo_names) / sizeof(k_bo_names[0]) == k_n_bo);
@@ -60,6 +64,87 @@ struct Registry {
 Registry* registry() {
   static Registry* r = new Registry;
   return r;
+}
+
+// --- Histogram state -------------------------------------------------------
+
+constexpr std::size_t k_n_stages = static_cast<std::size_t>(Stage::count_);
+constexpr const char* k_stage_names[k_n_stages] = {
+    "dc", "ac", "tran", "eval", "gp_fit", "acquisition",
+};
+
+/// 2^(i/12) for i in 0..11: the geometric sub-bucket boundaries inside one
+/// octave, written out as literals so bucketing never calls libm (exp2/log2
+/// may differ across libm builds; constants plus IEEE compares cannot).
+constexpr double k_sub_bounds[k_hist_sub] = {
+    1.0,
+    1.0594630943592953,
+    1.122462048309373,
+    1.189207115002721,
+    1.2599210498948732,
+    1.3348398541700344,
+    1.4142135623730951,
+    1.4983070768766815,
+    1.5874010519681994,
+    1.681792830507429,
+    1.7817974362806785,
+    1.8877486253633868,
+};
+
+struct HistShard;
+
+/// Shared histogram state, leaked like the registry.  `retired` holds the
+/// totals of shards whose threads have exited; live shards are summed on
+/// top at snapshot time.
+struct HistState {
+  std::mutex mu;
+  std::vector<HistShard*> shards;
+  std::uint64_t retired[k_n_stages][k_hist_buckets] = {};
+  std::uint64_t retired_sum[k_n_stages] = {};
+};
+
+HistState* hist_state() {
+  static HistState* h = new HistState;
+  return h;
+}
+
+thread_local HistShard* t_hist_ptr = nullptr;
+
+/// Per-thread histogram shard: written only by its owner with relaxed
+/// load+store pairs (a plain add on the owning core), read by snapshots
+/// under the state mutex.  Registration mirrors ThreadBuf.
+struct HistShard {
+  std::atomic<std::uint64_t> cell[k_n_stages][k_hist_buckets] = {};
+  std::atomic<std::uint64_t> sum[k_n_stages] = {};
+
+  HistShard() {
+    HistState* h = hist_state();
+    std::lock_guard<std::mutex> lock(h->mu);
+    h->shards.push_back(this);
+    t_hist_ptr = this;
+  }
+
+  ~HistShard() {
+    HistState* h = hist_state();
+    std::lock_guard<std::mutex> lock(h->mu);
+    for (std::size_t s = 0; s < k_n_stages; ++s) {
+      for (int b = 0; b < k_hist_buckets; ++b)
+        h->retired[s][b] += cell[s][b].load(std::memory_order_relaxed);
+      h->retired_sum[s] += sum[s].load(std::memory_order_relaxed);
+    }
+    for (auto it = h->shards.begin(); it != h->shards.end(); ++it)
+      if (*it == this) {
+        h->shards.erase(it);
+        break;
+      }
+    t_hist_ptr = nullptr;
+  }
+};
+
+HistShard& local_hist() {
+  if (t_hist_ptr != nullptr) return *t_hist_ptr;
+  thread_local HistShard shard;
+  return shard;
 }
 
 // --- Trace state -----------------------------------------------------------
@@ -230,8 +315,10 @@ struct ObsBoot {
       trace_begin(*path);
       trace_state()->dump_at_exit = true;
     }
+    if (auto path = sink_from_env("KATO_RUN_LOG")) journal_begin(*path);
   }
   ~ObsBoot() {
+    journal_end();  // no-op unless a session is open
     if (trace_state()->dump_at_exit) trace_end();
     const auto& sink = registry()->sink;
     if (!sink) return;
@@ -278,8 +365,23 @@ void stats_write_json(std::ostream& os) {
        << "\": " << r->sim[i].load(std::memory_order_relaxed) << ",\n";
   for (std::size_t i = 0; i < k_n_bo; ++i)
     os << "  \"" << k_bo_names[i]
-       << "\": " << r->bo[i].load(std::memory_order_relaxed)
-       << (i + 1 < k_n_bo ? ",\n" : "\n");
+       << "\": " << r->bo[i].load(std::memory_order_relaxed) << ",\n";
+  // Per-stage latency summaries: exact bucket-quantiles of the merged
+  // histogram, in the same flat namespace so every consumer of this dump
+  // (CI's json.load check, kato_report, stats_value-style greps) keeps
+  // working with plain key lookups.
+  for (std::size_t s = 0; s < k_n_stages; ++s) {
+    const HistSnapshot h = hist_snapshot(static_cast<Stage>(s));
+    const char* name = k_stage_names[s];
+    os << "  \"hist_" << name << "_count\": " << h.count << ",\n"
+       << "  \"hist_" << name << "_sum_ns\": " << h.sum_ns << ",\n"
+       << "  \"hist_" << name << "_p50_ns\": " << h.quantile_ns(0.50)
+       << ",\n"
+       << "  \"hist_" << name << "_p90_ns\": " << h.quantile_ns(0.90)
+       << ",\n"
+       << "  \"hist_" << name << "_p99_ns\": " << h.quantile_ns(0.99)
+       << (s + 1 < k_n_stages ? ",\n" : "\n");
+  }
   os << "}\n";
 }
 
@@ -298,6 +400,129 @@ void stats_reset() {
   Registry* r = registry();
   for (auto& a : r->sim) a.store(0, std::memory_order_relaxed);
   for (auto& a : r->bo) a.store(0, std::memory_order_relaxed);
+  HistState* h = hist_state();
+  std::lock_guard<std::mutex> lock(h->mu);
+  for (std::size_t s = 0; s < k_n_stages; ++s) {
+    for (int b = 0; b < k_hist_buckets; ++b) h->retired[s][b] = 0;
+    h->retired_sum[s] = 0;
+  }
+  for (HistShard* sh : h->shards)
+    for (std::size_t s = 0; s < k_n_stages; ++s) {
+      for (int b = 0; b < k_hist_buckets; ++b)
+        sh->cell[s][b].store(0, std::memory_order_relaxed);
+      sh->sum[s].store(0, std::memory_order_relaxed);
+    }
+}
+
+// --- Latency histograms ----------------------------------------------------
+
+const char* stage_name(Stage s) {
+  return k_stage_names[static_cast<std::size_t>(s)];
+}
+
+int hist_bucket_index(std::uint64_t ns) {
+  if (ns == 0) return 0;
+  const int octave = 63 - std::countl_zero(ns);
+  // ratio in [1, 2): exact for ns < 2^53; above that the double rounding is
+  // still a pure function of ns, which is all determinism needs.
+  const double ratio = static_cast<double>(ns) /
+                       static_cast<double>(std::uint64_t{1} << octave);
+  int sub = k_hist_sub - 1;
+  while (sub > 0 && ratio < k_sub_bounds[sub]) --sub;
+  return octave * k_hist_sub + sub;
+}
+
+std::uint64_t hist_bucket_lower_ns(int bucket) {
+  const int octave = bucket / k_hist_sub;
+  const int sub = bucket % k_hist_sub;
+  const double lower =
+      static_cast<double>(std::uint64_t{1} << octave) * k_sub_bounds[sub];
+  // The top octave's upper sub-buckets exceed 2^64 ns (>580 years); clamp
+  // instead of hitting an out-of-range double->integer conversion.
+  if (lower >= 18446744073709551615.0) return ~std::uint64_t{0};
+  return static_cast<std::uint64_t>(lower);
+}
+
+void hist_record(Stage s, std::uint64_t ns) {
+  HistShard& h = local_hist();
+  const std::size_t si = static_cast<std::size_t>(s);
+  auto& cell = h.cell[si][hist_bucket_index(ns)];
+  cell.store(cell.load(std::memory_order_relaxed) + 1,
+             std::memory_order_relaxed);
+  auto& sum = h.sum[si];
+  sum.store(sum.load(std::memory_order_relaxed) + ns,
+            std::memory_order_relaxed);
+}
+
+HistSnapshot hist_snapshot(Stage s) {
+  HistSnapshot out;
+  HistState* h = hist_state();
+  const std::size_t si = static_cast<std::size_t>(s);
+  std::lock_guard<std::mutex> lock(h->mu);
+  for (int b = 0; b < k_hist_buckets; ++b) out.buckets[b] = h->retired[si][b];
+  out.sum_ns = h->retired_sum[si];
+  for (HistShard* sh : h->shards) {
+    for (int b = 0; b < k_hist_buckets; ++b)
+      out.buckets[b] += sh->cell[si][b].load(std::memory_order_relaxed);
+    out.sum_ns += sh->sum[si].load(std::memory_order_relaxed);
+  }
+  for (int b = 0; b < k_hist_buckets; ++b) out.count += out.buckets[b];
+  return out;
+}
+
+std::uint64_t HistSnapshot::quantile_ns(double q) const {
+  if (count == 0) return 0;
+  const double rd = q * static_cast<double>(count);
+  std::uint64_t rank = static_cast<std::uint64_t>(rd);
+  if (static_cast<double>(rank) < rd) ++rank;  // ceil
+  if (rank < 1) rank = 1;
+  if (rank > count) rank = count;
+  std::uint64_t cum = 0;
+  for (int b = 0; b < k_hist_buckets; ++b) {
+    cum += buckets[b];
+    if (cum >= rank) return hist_bucket_lower_ns(b);
+  }
+  return hist_bucket_lower_ns(k_hist_buckets - 1);
+}
+
+void expose_metrics(std::ostream& os) {
+  Registry* r = registry();
+  const auto counter = [&os](const char* name, std::uint64_t v) {
+    os << "# TYPE kato_" << name << "_total counter\n"
+       << "kato_" << name << "_total " << v << "\n";
+  };
+  for (std::size_t i = 0; i < k_n_sim; ++i)
+    counter(k_sim_fields[i].name, r->sim[i].load(std::memory_order_relaxed));
+  for (std::size_t i = 0; i < k_n_bo; ++i)
+    counter(k_bo_names[i], r->bo[i].load(std::memory_order_relaxed));
+  os << "# TYPE kato_stage_latency_seconds histogram\n";
+  char le[48];
+  for (std::size_t s = 0; s < k_n_stages; ++s) {
+    const HistSnapshot h = hist_snapshot(static_cast<Stage>(s));
+    const char* name = k_stage_names[s];
+    // Cumulative series over the occupied buckets only (sparse exposition
+    // is legal as long as `le` increases); `le` is each bucket's upper
+    // bound, i.e. the next bucket's lower bound, in seconds.
+    std::uint64_t cum = 0;
+    for (int b = 0; b < k_hist_buckets; ++b) {
+      if (h.buckets[b] == 0) continue;
+      cum += h.buckets[b];
+      if (b + 1 < k_hist_buckets) {
+        std::snprintf(le, sizeof(le), "%.9g",
+                      static_cast<double>(hist_bucket_lower_ns(b + 1)) / 1e9);
+        os << "kato_stage_latency_seconds_bucket{stage=\"" << name
+           << "\",le=\"" << le << "\"} " << cum << "\n";
+      }
+    }
+    os << "kato_stage_latency_seconds_bucket{stage=\"" << name
+       << "\",le=\"+Inf\"} " << h.count << "\n";
+    std::snprintf(le, sizeof(le), "%.9g",
+                  static_cast<double>(h.sum_ns) / 1e9);
+    os << "kato_stage_latency_seconds_sum{stage=\"" << name << "\"} " << le
+       << "\n"
+       << "kato_stage_latency_seconds_count{stage=\"" << name << "\"} "
+       << h.count << "\n";
+  }
 }
 
 std::optional<std::string> parse_sink_path(const char* value) {

@@ -26,6 +26,15 @@
 //     defined the KATO_OBS_SPAN macro compiles to nothing at all.  Span
 //     names must be string literals (the buffer stores the pointer).
 //
+//   * Latency histograms — always-on log2-bucketed duration histograms per
+//     pipeline stage (dc/ac/tran/eval/gp_fit/acquisition), recorded by the
+//     KATO_OBS_STAGE scoped timer, summarized as exact bucket-quantiles in
+//     the KATO_STATS dump and as a Prometheus text snapshot via
+//     expose_metrics().  See the "Latency histograms" section below.
+//
+//   The run journal (KATO_RUN_LOG, per-BO-iteration JSONL) lives in the
+//   sibling header obs/journal.hpp.
+//
 // Both environment variables follow the KATO_SEEDS full-string discipline:
 // an unset variable disables the feature silently, a set-but-unusable value
 // (empty, or with leading/trailing whitespace) disables it with a one-line
@@ -38,6 +47,7 @@
 // parked between parallel_for calls, so every call site in the repo
 // satisfies this).  The registry is relaxed atomics and needs no such care.
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -91,6 +101,13 @@ enum class BoCounter : int {
   proposals,         ///< candidate designs across those batches
   evals,             ///< NetlistCircuit single-condition evaluations
   eval_failures,     ///< ... that ended infeasible/non-converged
+  // Failure-reason breakdown: which stage an evaluation died in.  Summed
+  // they equal eval_failures; kato_report turns them into the per-stage
+  // failure table.
+  fail_dc,       ///< DC operating point did not converge
+  fail_ac,       ///< AC sweep failed after a good DC point
+  fail_tran,     ///< transient run failed after a good DC point
+  fail_measure,  ///< simulation finished but a measurement was unusable
   count_
 };
 
@@ -251,6 +268,79 @@ class TraceSpan {
   std::uint64_t t0_;
 };
 
+// --- Latency histograms ----------------------------------------------------
+//
+// Fixed log2-bucketed duration histograms, one per pipeline stage.  Each
+// octave [2^k, 2^(k+1)) is split into 12 geometric sub-buckets, so bucket
+// width is 2^(1/12) ~ 1.0595 — about 6% relative resolution, constant from
+// nanoseconds to hours, in 768 flat counters per stage.  Recording is a
+// bucket-index computation (count-leading-zeros plus at most 11 double
+// compares against constants — no libm, so the mapping is bit-deterministic
+// across machines) and two plain adds into a thread-local shard, the same
+// single-owner relaxed-atomic pattern as SimStats.  Snapshots sum the
+// retired totals and every live shard under a mutex; integer addition
+// commutes, so the merged histogram depends only on the multiset of
+// recorded durations, never on which thread recorded what (pinned by
+// obs_test at KATO_THREADS=1 vs 4).  Like the counters, histograms are
+// value-free: they observe durations and feed nothing back.
+
+/// Stages with a latency histogram.  `eval` wraps one full single-condition
+/// circuit evaluation; dc/ac/tran are the analyses inside it; gp_fit and
+/// acquisition are the BO-side phases.
+enum class Stage : int { dc, ac, tran, eval, gp_fit, acquisition, count_ };
+
+inline constexpr int k_hist_sub = 12;  ///< sub-buckets per octave (~6%)
+inline constexpr int k_hist_buckets = 64 * k_hist_sub;
+
+/// JSON/Prometheus label for one stage ("dc", "gp_fit", ...).
+const char* stage_name(Stage s);
+
+/// Bucket index for a duration — exposed so tests can pin goldens by hand.
+int hist_bucket_index(std::uint64_t ns);
+
+/// Inclusive lower bound of one bucket in ns (floor of 2^octave * 2^(s/12)).
+std::uint64_t hist_bucket_lower_ns(int bucket);
+
+/// Record one duration into `s`'s histogram (any thread, wait-free).
+void hist_record(Stage s, std::uint64_t ns);
+
+/// Deterministic merged view of one stage's histogram.
+struct HistSnapshot {
+  std::uint64_t count = 0;   ///< total recorded durations
+  std::uint64_t sum_ns = 0;  ///< exact sum of recorded durations
+  std::array<std::uint64_t, k_hist_buckets> buckets{};
+
+  /// Exact bucket-quantile: the lower bound of the bucket holding rank
+  /// ceil(q * count) (so the true duration is within +6% of the returned
+  /// value).  0 when the histogram is empty.
+  std::uint64_t quantile_ns(double q) const;
+};
+
+HistSnapshot hist_snapshot(Stage s);
+
+/// Write every counter and stage histogram in Prometheus text exposition
+/// format (counters as kato_<name>_total, histograms as the cumulative
+/// kato_stage_latency_seconds series) — the future daemon's /metrics body.
+void expose_metrics(std::ostream& os);
+
+/// Scoped stage timer: records construction-to-destruction into the stage
+/// histogram.  Two clock reads against the ms-scale stages it wraps; always
+/// on (like the counters) unless compiled out via KATO_OBS_STAGE.
+class StageTimer {
+ public:
+  explicit StageTimer(Stage s) : stage_(s), t0_(trace_now_ns()) {}
+  ~StageTimer() {
+    const std::uint64_t t1 = trace_now_ns();
+    hist_record(stage_, t1 > t0_ ? t1 - t0_ : 0);
+  }
+  StageTimer(const StageTimer&) = delete;
+  StageTimer& operator=(const StageTimer&) = delete;
+
+ private:
+  Stage stage_;
+  std::uint64_t t0_;
+};
+
 }  // namespace kato::obs
 
 // Scoped-span macro: compiles to nothing when KATO_OBS_DISABLE is defined,
@@ -260,6 +350,14 @@ class TraceSpan {
 #define KATO_OBS_CONCAT_(a, b) KATO_OBS_CONCAT_IMPL_(a, b)
 #define KATO_OBS_SPAN(name) \
   ::kato::obs::TraceSpan KATO_OBS_CONCAT_(kato_obs_span_, __LINE__) { name }
+// Scoped stage-latency timer: histogram counterpart of KATO_OBS_SPAN.
+// `stage` is a bare Stage enumerator (dc, tran, gp_fit, ...).
+#define KATO_OBS_STAGE(stage)                                        \
+  ::kato::obs::StageTimer KATO_OBS_CONCAT_(kato_obs_stage_,          \
+                                           __LINE__) {              \
+    ::kato::obs::Stage::stage                                        \
+  }
 #else
 #define KATO_OBS_SPAN(name) static_cast<void>(0)
+#define KATO_OBS_STAGE(stage) static_cast<void>(0)
 #endif

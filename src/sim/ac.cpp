@@ -107,6 +107,7 @@ std::vector<double> log_freq_grid(double f_lo, double f_hi, int per_decade) {
 AcSweep solve_ac(const Circuit& ckt, const DcResult& op,
                  const std::vector<double>& freqs, MnaSolver solver) {
   KATO_OBS_SPAN("ac_sweep");
+  KATO_OBS_STAGE(ac);
   AcSweep sweep;
   sweep.freq = freqs;
   if (!op.converged) return sweep;

@@ -31,6 +31,7 @@ DcResult solve_dc(const Circuit& ckt, const DcOptions& opts,
   // path) the symbolic factorization are computed once and reused across
   // every gmin rung — set_gmin only changes values.
   KATO_OBS_SPAN("dc_solve");
+  KATO_OBS_STAGE(dc);
   MnaAssembler assembler(
       ckt, MnaOptions{opts.gmin_ladder.empty() ? 1e-12
                                                : opts.gmin_ladder.front(),

@@ -67,6 +67,7 @@ TranResult solve_tran(const Circuit& ckt, const TranOptions& opts,
     return out;
   }
   KATO_OBS_SPAN("tran_solve");
+  KATO_OBS_STAGE(tran);
   double tstep = opts.tstep > 0.0 ? opts.tstep : opts.tstop / 1000.0;
   tstep = std::min(tstep, opts.tstop);
   const double dtmax =

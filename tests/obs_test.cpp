@@ -6,15 +6,19 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <set>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bo/drivers.hpp"
 #include "netlist/netlist_circuit.hpp"
+#include "obs/journal.hpp"
 #include "obs/obs.hpp"
 #include "sim/dc.hpp"
 #include "sim/transient.hpp"
@@ -218,6 +222,11 @@ TEST(ObsStats, RegistryAggregatesNetlistEvaluation) {
 
 // --- Trace schema and concurrent flush -------------------------------------
 
+// The span-count assertions below require KATO_OBS_SPAN to emit; under
+// KATO_OBS_DISABLE the macro compiles to nothing, so the tests would count
+// zero events by design rather than by defect.
+#ifndef KATO_OBS_DISABLE
+
 /// Structural check of one emitted event line (the writer emits one JSON
 /// object per line; Perfetto-required keys must all be present).
 void expect_event_line(const std::string& line) {
@@ -313,6 +322,283 @@ TEST(ObsTrace, PauseResumeAndEndWithoutSession) {
   EXPECT_EQ(ss.str().find("suppressed"), std::string::npos);
 }
 
+#endif  // KATO_OBS_DISABLE
+
+// --- Latency histograms ----------------------------------------------------
+
+TEST(ObsHist, BucketIndexHandGoldens) {
+  // Bucket = octave * 12 + sub, sub from the 2^(s/12) ladder.  All of these
+  // are hand-derivable: 3 ns sits in octave 1 at ratio 1.5, between
+  // 2^(7/12) ~ 1.4983 and 2^(8/12) ~ 1.5874, so sub = 7.
+  EXPECT_EQ(obs::hist_bucket_index(0), 0);
+  EXPECT_EQ(obs::hist_bucket_index(1), 0);
+  EXPECT_EQ(obs::hist_bucket_index(2), 12);
+  EXPECT_EQ(obs::hist_bucket_index(3), 19);
+  EXPECT_EQ(obs::hist_bucket_index(4), 24);
+  // 1000/512 ~ 1.953 is above 2^(11/12) ~ 1.8877: last sub of octave 9.
+  EXPECT_EQ(obs::hist_bucket_index(1000), 9 * 12 + 11);
+  EXPECT_EQ(obs::hist_bucket_index(1024), 10 * 12);
+  EXPECT_EQ(obs::hist_bucket_index(std::uint64_t{1} << 40), 40 * 12);
+
+  // Exact powers of two open their octave.
+  EXPECT_EQ(obs::hist_bucket_lower_ns(0), 1u);
+  EXPECT_EQ(obs::hist_bucket_lower_ns(12), 2u);
+  EXPECT_EQ(obs::hist_bucket_lower_ns(24), 4u);
+  EXPECT_EQ(obs::hist_bucket_lower_ns(40 * 12), std::uint64_t{1} << 40);
+
+  // Bracketing invariant, lower(b) <= v < lower(b+1), holds once the
+  // integer floor of the bound is finer than the ~6% bucket width (tiny
+  // octaves truncate their bounds onto each other).
+  for (std::uint64_t v : {std::uint64_t{1000}, std::uint64_t{123456},
+                          std::uint64_t{987654321},
+                          (std::uint64_t{1} << 40) + 12345}) {
+    const int b = obs::hist_bucket_index(v);
+    EXPECT_LE(obs::hist_bucket_lower_ns(b), v) << v;
+    EXPECT_LT(v, obs::hist_bucket_lower_ns(b + 1)) << v;
+  }
+  // Bounds stay strictly increasing through the top octave (no clamp
+  // collision below 2^64 ns).
+  EXPECT_LT(obs::hist_bucket_lower_ns(obs::k_hist_buckets - 2),
+            obs::hist_bucket_lower_ns(obs::k_hist_buckets - 1));
+}
+
+TEST(ObsHist, QuantileHandGoldens) {
+  obs::HistSnapshot empty;
+  EXPECT_EQ(empty.quantile_ns(0.5), 0u);
+
+  // 10 durations near 100 ns, 89 near 1 us, 1 near 10 us: rank walks are
+  // hand-checkable.  rank(p50) = 50 and rank(p99) = 99 both land in the
+  // middle bucket (cumulative 10 -> 99 -> 100); only q = 1.0 reaches the
+  // outlier bucket and q = 0 clamps to rank 1.
+  const int b_lo = obs::hist_bucket_index(100);
+  const int b_mid = obs::hist_bucket_index(1000);
+  const int b_hi = obs::hist_bucket_index(10000);
+  obs::HistSnapshot h;
+  h.buckets[static_cast<std::size_t>(b_lo)] = 10;
+  h.buckets[static_cast<std::size_t>(b_mid)] = 89;
+  h.buckets[static_cast<std::size_t>(b_hi)] = 1;
+  h.count = 100;
+  EXPECT_EQ(h.quantile_ns(0.0), obs::hist_bucket_lower_ns(b_lo));
+  EXPECT_EQ(h.quantile_ns(0.10), obs::hist_bucket_lower_ns(b_lo));
+  EXPECT_EQ(h.quantile_ns(0.50), obs::hist_bucket_lower_ns(b_mid));
+  EXPECT_EQ(h.quantile_ns(0.90), obs::hist_bucket_lower_ns(b_mid));
+  EXPECT_EQ(h.quantile_ns(0.99), obs::hist_bucket_lower_ns(b_mid));
+  EXPECT_EQ(h.quantile_ns(1.0), obs::hist_bucket_lower_ns(b_hi));
+}
+
+TEST(ObsHist, RecordSnapshotStatsDumpAndReset) {
+  obs::stats_reset();
+  obs::hist_record(obs::Stage::dc, 100);
+  obs::hist_record(obs::Stage::dc, 100);
+  obs::hist_record(obs::Stage::dc, 5000);
+  const auto h = obs::hist_snapshot(obs::Stage::dc);
+  EXPECT_EQ(h.count, 3u);
+  EXPECT_EQ(h.sum_ns, 5200u);
+  EXPECT_EQ(h.buckets[static_cast<std::size_t>(obs::hist_bucket_index(100))],
+            2u);
+  EXPECT_EQ(h.buckets[static_cast<std::size_t>(obs::hist_bucket_index(5000))],
+            1u);
+  // Untouched stages stay empty.
+  EXPECT_EQ(obs::hist_snapshot(obs::Stage::gp_fit).count, 0u);
+
+  std::ostringstream json;
+  obs::stats_write_json(json);
+  const std::string s = json.str();
+  EXPECT_NE(s.find("\"hist_dc_count\": 3"), std::string::npos) << s;
+  EXPECT_NE(s.find("\"hist_dc_sum_ns\": 5200"), std::string::npos) << s;
+  EXPECT_NE(s.find("\"hist_dc_p50_ns\": "), std::string::npos);
+  EXPECT_NE(s.find("\"hist_dc_p90_ns\": "), std::string::npos);
+  EXPECT_NE(s.find("\"hist_tran_p99_ns\": "), std::string::npos);
+  EXPECT_NE(s.find("\"hist_gp_fit_p99_ns\": "), std::string::npos);
+  EXPECT_NE(s.find("\"fail_dc\": "), std::string::npos);
+
+  obs::stats_reset();
+  EXPECT_EQ(obs::hist_snapshot(obs::Stage::dc).count, 0u);
+}
+
+TEST(ObsHist, ShardMergeBitIdenticalAcrossThreadCounts) {
+  // The same multiset of durations recorded by one thread and by four must
+  // merge to the same snapshot: shards hold plain integer adds, and
+  // addition commutes.  This is the property that makes histogram output
+  // independent of KATO_THREADS for a given set of simulated work.
+  std::vector<std::uint64_t> durations(2048);
+  for (std::size_t i = 0; i < durations.size(); ++i)
+    durations[i] = (i * 37) % 100000 + 1;
+
+  obs::stats_reset();
+  for (const std::uint64_t v : durations)
+    obs::hist_record(obs::Stage::tran, v);
+  const auto serial = obs::hist_snapshot(obs::Stage::tran);
+
+  obs::stats_reset();
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&durations, t] {
+      for (std::size_t i = static_cast<std::size_t>(t); i < durations.size();
+           i += 4)
+        obs::hist_record(obs::Stage::tran, durations[i]);
+    });
+  }
+  for (auto& w : workers) w.join();  // exits retire shards into the totals
+  const auto sharded = obs::hist_snapshot(obs::Stage::tran);
+
+  EXPECT_EQ(serial.count, sharded.count);
+  EXPECT_EQ(serial.sum_ns, sharded.sum_ns);
+  EXPECT_EQ(serial.buckets, sharded.buckets);
+  obs::stats_reset();
+}
+
+TEST(ObsHist, ExposeMetricsIsPrometheusText) {
+  obs::stats_reset();
+  obs::bo_count(obs::BoCounter::evals, 3);
+  obs::bo_count(obs::BoCounter::fail_dc, 1);
+  obs::hist_record(obs::Stage::dc, 1500);
+  obs::hist_record(obs::Stage::dc, 1500);
+  obs::hist_record(obs::Stage::dc, 40000);
+
+  std::ostringstream os;
+  obs::expose_metrics(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("# TYPE kato_evals_total counter\nkato_evals_total 3\n"),
+            std::string::npos);
+  EXPECT_NE(s.find("kato_fail_dc_total 1\n"), std::string::npos);
+  EXPECT_NE(s.find("# TYPE kato_newton_iters_total counter"),
+            std::string::npos);
+  EXPECT_NE(s.find("# TYPE kato_stage_latency_seconds histogram"),
+            std::string::npos);
+  EXPECT_NE(s.find("kato_stage_latency_seconds_bucket{stage=\"dc\",le=\""),
+            std::string::npos);
+  EXPECT_NE(s.find("kato_stage_latency_seconds_bucket{stage=\"dc\","
+                   "le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(s.find("kato_stage_latency_seconds_count{stage=\"dc\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(s.find("kato_stage_latency_seconds_sum{stage=\"dc\"} "),
+            std::string::npos);
+  // Empty stages still expose their +Inf/_sum/_count triple.
+  EXPECT_NE(s.find("kato_stage_latency_seconds_count{stage=\"gp_fit\"} 0\n"),
+            std::string::npos);
+
+  // Structural pass: every line is a comment or `name[{labels}] value` with
+  // a parseable number — what a Prometheus scraper requires.
+  std::istringstream lines(s);
+  std::string line;
+  while (std::getline(lines, line)) {
+    ASSERT_FALSE(line.empty());
+    if (line[0] == '#') {
+      EXPECT_EQ(line.rfind("# TYPE kato_", 0), 0u) << line;
+      continue;
+    }
+    EXPECT_EQ(line.rfind("kato_", 0), 0u) << line;
+    const auto space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    const std::string value = line.substr(space + 1);
+    char* end = nullptr;
+    std::strtod(value.c_str(), &end);
+    EXPECT_EQ(*end, '\0') << line;
+    const auto brace = line.find('{');
+    if (brace != std::string::npos) {
+      EXPECT_EQ(line[space - 1], '}') << line;
+    }
+  }
+  obs::stats_reset();
+}
+
+// --- Run journal (writer and helpers) --------------------------------------
+
+TEST(ObsJournal, JsonHelpersGoldens) {
+  EXPECT_EQ(obs::json_escape("plain"), "plain");
+  EXPECT_EQ(obs::json_escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(obs::json_escape("x\n\t\r"), "x\\n\\t\\r");
+  EXPECT_EQ(obs::json_escape(std::string("\x01", 1)), "\\u0001");
+
+  EXPECT_EQ(obs::json_num(2.0), "2");
+  EXPECT_EQ(obs::json_num(1.5), "1.5");
+  EXPECT_EQ(obs::json_num(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(obs::json_num(-std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(obs::json_num(std::nan("")), "null");
+  EXPECT_EQ(obs::json_array({1.0, 0.5,
+                             std::numeric_limits<double>::infinity()}),
+            "[1,0.5,null]");
+  EXPECT_EQ(obs::json_array({}), "[]");
+
+  obs::JsonObj o;
+  o.str("event", "x").uint("n", 2).boolean("ok", true).num("v", 0.25);
+  o.raw("a", "[1,2]");
+  EXPECT_EQ(o.take(),
+            "{\"event\":\"x\",\"n\":2,\"ok\":true,\"v\":0.25,\"a\":[1,2]}");
+}
+
+TEST(ObsJournal, WriterLifecycleTruncationAndBadPath) {
+  EXPECT_FALSE(obs::journal_enabled());
+  EXPECT_EQ(obs::journal_end(), 0u);  // no session: clean no-op
+
+  const std::string path = trace_path("obs_journal_lifecycle.jsonl");
+  obs::journal_begin(path);
+  EXPECT_TRUE(obs::journal_enabled());
+  obs::journal_write("{\"event\":\"a\"}");
+  obs::journal_write("{\"event\":\"b\"}");
+  EXPECT_EQ(obs::journal_end(), 2u);
+  EXPECT_FALSE(obs::journal_enabled());
+  {
+    std::ifstream in(path);
+    std::string l1, l2, extra;
+    ASSERT_TRUE(std::getline(in, l1));
+    ASSERT_TRUE(std::getline(in, l2));
+    EXPECT_EQ(l1, "{\"event\":\"a\"}");
+    EXPECT_EQ(l2, "{\"event\":\"b\"}");
+    EXPECT_FALSE(std::getline(in, extra));
+  }
+
+  // A new session truncates the previous file.
+  obs::journal_begin(path);
+  obs::journal_write("{\"event\":\"c\"}");
+  EXPECT_EQ(obs::journal_end(), 1u);
+  {
+    std::ifstream in(path);
+    std::string l1, extra;
+    ASSERT_TRUE(std::getline(in, l1));
+    EXPECT_EQ(l1, "{\"event\":\"c\"}");
+    EXPECT_FALSE(std::getline(in, extra));
+  }
+
+  // Unwritable path: warn-and-disable, never half-enable.
+  obs::journal_begin("/nonexistent_kato_dir/journal.jsonl");
+  EXPECT_FALSE(obs::journal_enabled());
+  EXPECT_EQ(obs::journal_end(), 0u);
+
+  // Disabled writes are dropped, not queued.
+  obs::journal_write("{\"event\":\"dropped\"}");
+  obs::journal_begin(path);
+  EXPECT_EQ(obs::journal_end(), 0u);
+}
+
+TEST(ObsJournal, RunIdsAreProcessUnique) {
+  const auto a = obs::journal_next_run_id();
+  const auto b = obs::journal_next_run_id();
+  EXPECT_LT(a, b);
+}
+
+TEST(ObsJournal, RunLogEnvFollowsSinkDiscipline) {
+  // KATO_RUN_LOG goes through the same sink_from_env gate as
+  // KATO_STATS/KATO_TRACE: full-string parse, whitespace edges rejected.
+  unsetenv("KATO_RUN_LOG");
+  EXPECT_FALSE(obs::sink_from_env("KATO_RUN_LOG").has_value());
+  setenv("KATO_RUN_LOG", "", 1);
+  EXPECT_FALSE(obs::sink_from_env("KATO_RUN_LOG").has_value());
+  setenv("KATO_RUN_LOG", " run.jsonl", 1);
+  EXPECT_FALSE(obs::sink_from_env("KATO_RUN_LOG").has_value());
+  setenv("KATO_RUN_LOG", "run.jsonl\t", 1);
+  EXPECT_FALSE(obs::sink_from_env("KATO_RUN_LOG").has_value());
+  setenv("KATO_RUN_LOG", "-", 1);
+  ASSERT_TRUE(obs::sink_from_env("KATO_RUN_LOG").has_value());
+  EXPECT_EQ(*obs::sink_from_env("KATO_RUN_LOG"), "-");
+  setenv("KATO_RUN_LOG", "run.jsonl", 1);
+  ASSERT_TRUE(obs::sink_from_env("KATO_RUN_LOG").has_value());
+  EXPECT_EQ(*obs::sink_from_env("KATO_RUN_LOG"), "run.jsonl");
+  unsetenv("KATO_RUN_LOG");
+}
+
 // --- Off-path bit-identity (slow) ------------------------------------------
 
 TEST(ObsBo, SeededRunBitIdenticalWithTracingOn) {
@@ -336,7 +622,11 @@ TEST(ObsBo, SeededRunBitIdenticalWithTracingOn) {
   const auto traced =
       bo::run_constrained(*deck, bo::ConstrainedMethod::kato, cfg, 5);
   const std::size_t n_events = obs::trace_end();
+#ifndef KATO_OBS_DISABLE
   EXPECT_GT(n_events, 0u);
+#else
+  (void)n_events;
+#endif
 
   // Counters never feed arithmetic and spans only read the clock, so the
   // optimization trajectory must be bit-identical with tracing enabled.
@@ -347,6 +637,116 @@ TEST(ObsBo, SeededRunBitIdenticalWithTracingOn) {
   for (std::size_t i = 0; i < plain.x_history.size(); ++i)
     EXPECT_EQ(plain.x_history[i], traced.x_history[i]) << "sim " << i;
   EXPECT_EQ(plain.best_metrics, traced.best_metrics);
+}
+
+/// Shared config for the journaled-run tests: small enough to stay inside
+/// the slow-suite budget, large enough to exercise DOE + refits + proposals.
+bo::BoConfig journal_test_config() {
+  bo::BoConfig cfg;
+  cfg.n_init = 14;
+  cfg.iterations = 5;
+  cfg.batch = 2;
+  cfg.nsga.population = 12;
+  cfg.nsga.generations = 6;
+  cfg.max_gp_points = 96;
+  cfg.hyper_every = 3;
+  cfg.gp_initial.iterations = 15;
+  cfg.gp_refit.iterations = 6;
+  return cfg;
+}
+
+/// Run the same seeded constrained optimization with the journal off and
+/// on; require a bit-identical trajectory and a schema-complete journal
+/// whose run_end replays the run's own best-so-far curve.
+void check_journaled_run(const std::string& deck_name) {
+  const auto deck =
+      ckt::NetlistCircuit::from_file(deck_path(deck_name), ckt::pdk_180nm());
+  const bo::BoConfig cfg = journal_test_config();
+
+  const auto plain =
+      bo::run_constrained(*deck, bo::ConstrainedMethod::kato, cfg, 5);
+
+  const std::string path = trace_path("obs_journal_" + deck_name + ".jsonl");
+  obs::journal_begin(path);
+  ASSERT_TRUE(obs::journal_enabled());
+  const auto journaled =
+      bo::run_constrained(*deck, bo::ConstrainedMethod::kato, cfg, 5);
+  const std::size_t lines = obs::journal_end();
+
+  // Journaling is value-free: same seed, same trajectory, to the bit.
+  ASSERT_EQ(plain.trace.size(), journaled.trace.size());
+  for (std::size_t i = 0; i < plain.trace.size(); ++i)
+    EXPECT_DOUBLE_EQ(plain.trace[i], journaled.trace[i]) << "sim " << i;
+  ASSERT_EQ(plain.x_history.size(), journaled.x_history.size());
+  for (std::size_t i = 0; i < plain.x_history.size(); ++i)
+    EXPECT_EQ(plain.x_history[i], journaled.x_history[i]) << "sim " << i;
+  EXPECT_EQ(plain.best_metrics, journaled.best_metrics);
+
+  // run_begin + DOE record + one record per BO iteration + run_end.
+  EXPECT_EQ(lines, 2u + 1u + cfg.iterations);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::vector<std::string> events;
+  std::string line;
+  while (std::getline(in, line)) events.push_back(line);
+  ASSERT_EQ(events.size(), lines);
+  for (const auto& e : events) {
+    EXPECT_EQ(e.front(), '{') << e;
+    EXPECT_EQ(e.back(), '}') << e;
+  }
+  const std::string& begin = events.front();
+  EXPECT_NE(begin.find("\"event\":\"run_begin\""), std::string::npos);
+  EXPECT_NE(begin.find("\"mode\":\"constrained\""), std::string::npos);
+  EXPECT_NE(begin.find("\"method\":\"KATO\""), std::string::npos);
+  EXPECT_NE(begin.find("\"seed\":5"), std::string::npos);
+  EXPECT_NE(begin.find("\"config\":{"), std::string::npos);
+  EXPECT_NE(begin.find("\"iterations\":5"), std::string::npos);
+
+  EXPECT_NE(events[1].find("\"phase\":\"doe\""), std::string::npos);
+  EXPECT_NE(events[1].find("\"iter\":-1"), std::string::npos);
+  std::size_t n_iteration = 0;
+  for (std::size_t i = 1; i + 1 < events.size(); ++i) {
+    EXPECT_NE(events[i].find("\"event\":\"iteration\""), std::string::npos);
+    EXPECT_NE(events[i].find("\"proposals\":["), std::string::npos);
+    EXPECT_NE(events[i].find("\"trace\":["), std::string::npos);
+    EXPECT_NE(events[i].find("\"best\":"), std::string::npos);
+    ++n_iteration;
+  }
+  EXPECT_EQ(n_iteration, 1u + cfg.iterations);
+
+  const std::string& end = events.back();
+  EXPECT_NE(end.find("\"event\":\"run_end\""), std::string::npos);
+  EXPECT_NE(end.find("\"sims\":" + std::to_string(journaled.trace.size())),
+            std::string::npos);
+  EXPECT_NE(end.find("\"best\":" + obs::json_num(journaled.trace.back())),
+            std::string::npos);
+  EXPECT_NE(end.find("\"regret_curve\":["), std::string::npos);
+
+  // Replay: the run_end regret curve is exactly the concatenation of the
+  // per-iteration trace segments — and both match the in-memory result.
+  const std::string expected_curve =
+      "\"regret_curve\":" + obs::json_array(journaled.trace);
+  EXPECT_NE(end.find(expected_curve), std::string::npos);
+  std::string replayed;
+  for (std::size_t i = 1; i + 1 < events.size(); ++i) {
+    const auto pos = events[i].find("\"trace\":[");
+    ASSERT_NE(pos, std::string::npos);
+    const auto close = events[i].find(']', pos);
+    ASSERT_NE(close, std::string::npos);
+    std::string seg = events[i].substr(pos + 9, close - (pos + 9));
+    if (!seg.empty() && !replayed.empty()) replayed += ',';
+    replayed += seg;
+  }
+  EXPECT_EQ("[" + replayed + "]", obs::json_array(journaled.trace));
+}
+
+TEST(ObsBo, JournaledOpamp2RunBitIdenticalAndSchemaComplete) {
+  check_journaled_run("opamp2.cir");
+}
+
+TEST(ObsBo, JournaledBufferTranRunBitIdenticalAndSchemaComplete) {
+  check_journaled_run("buffer_tran.cir");
 }
 
 }  // namespace
