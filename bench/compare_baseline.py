@@ -54,8 +54,12 @@ SPEEDUP_FLOORS = {"device_table_speedup": 3.0}
 # instrumentation contract is <= 5% on its densest path.
 # journal_overhead_ratio is the cost of a whole seeded BO run with a
 # KATO_RUN_LOG session streaming per-iteration JSONL; same <= 5% contract.
+# recovery_off_overhead_ratio is the cost of the fault-injection and
+# eval-deadline checks when armed but idle (never-firing fault + far-future
+# deadline vs everything disarmed); same <= 5% contract.
 RATIO_CEILINGS = {"trace_overhead_ratio": 1.05,
-                  "journal_overhead_ratio": 1.05}
+                  "journal_overhead_ratio": 1.05,
+                  "recovery_off_overhead_ratio": 1.05}
 
 
 def load(path):

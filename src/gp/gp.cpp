@@ -7,6 +7,7 @@
 
 #include "nn/mlp.hpp"
 #include "obs/obs.hpp"
+#include "util/fault.hpp"
 #include "util/parallel.hpp"
 #include "util/stats.hpp"
 
@@ -72,7 +73,12 @@ double GaussianProcess::nll_and_grad(const la::Matrix& x, const la::Vector& y,
   const double noise = std::max(std::exp(log_noise_), 1e-12);
   for (std::size_t i = 0; i < n; ++i) k(i, i) += noise;
 
-  const auto chol = la::cholesky_jittered(k);
+  // gp:chol_fail skips the zero-jitter rung as if the factorization had
+  // failed, driving the escalating-jitter retry it exists to test.
+  const int start =
+      util::fault_fires(util::FaultSite::gp_chol_fail) ? 1 : 0;
+  const auto chol = la::cholesky_jittered(k, start);
+  if (chol.jitter > 0.0) obs::bo_count(obs::BoCounter::gp_jitter_retries);
   const la::Vector alpha = la::cholesky_solve(chol.l, y);
   const double logdet = la::cholesky_logdet(chol.l);
   const double nll = 0.5 * la::dot(y, alpha) + 0.5 * logdet +
@@ -99,7 +105,10 @@ double GaussianProcess::nll_and_grad_ws(FitScratch& s, const la::Vector& y,
   const double noise = std::max(std::exp(log_noise_), 1e-12);
   for (std::size_t i = 0; i < n; ++i) s.k(i, i) += noise;
 
-  la::cholesky_jittered_into(s.k, s.l);
+  const int start =
+      util::fault_fires(util::FaultSite::gp_chol_fail) ? 1 : 0;
+  if (la::cholesky_jittered_into(s.k, s.l, start) > 0.0)
+    obs::bo_count(obs::BoCounter::gp_jitter_retries);
   la::cholesky_solve_into(s.l, y, s.alpha, s.tmp);
   const double logdet = la::cholesky_logdet(s.l);
   const double nll = 0.5 * la::dot(y, s.alpha) + 0.5 * logdet +
@@ -223,7 +232,10 @@ void GaussianProcess::refresh_posterior() {
   la::Matrix k = kernel_->matrix(x_);
   const double noise = std::max(std::exp(log_noise_), 1e-12);
   for (std::size_t i = 0; i < n; ++i) k(i, i) += noise;
-  auto chol = la::cholesky_jittered(k);
+  const int start =
+      util::fault_fires(util::FaultSite::gp_chol_fail) ? 1 : 0;
+  auto chol = la::cholesky_jittered(k, start);
+  if (chol.jitter > 0.0) obs::bo_count(obs::BoCounter::gp_jitter_retries);
   Posterior p;
   p.alpha = la::cholesky_solve(chol.l, y_std_);
   la::Matrix t_scratch;

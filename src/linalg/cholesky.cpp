@@ -41,9 +41,9 @@ std::optional<Matrix> cholesky(const Matrix& a) {
   return l;
 }
 
-JitteredCholesky cholesky_jittered(const Matrix& a) {
+JitteredCholesky cholesky_jittered(const Matrix& a, int start_attempt) {
   JitteredCholesky result;
-  result.jitter = cholesky_jittered_into(a, result.l);
+  result.jitter = cholesky_jittered_into(a, result.l, start_attempt);
   return result;
 }
 
@@ -161,7 +161,7 @@ bool cholesky_into(const Matrix& a, Matrix& l, double jitter) {
   return true;
 }
 
-double cholesky_jittered_into(const Matrix& a, Matrix& l) {
+double cholesky_jittered_into(const Matrix& a, Matrix& l, int start_attempt) {
   const std::size_t n = a.rows();
   double mean_diag = 0.0;
   for (std::size_t i = 0; i < n; ++i) mean_diag += a(i, i);
@@ -170,7 +170,10 @@ double cholesky_jittered_into(const Matrix& a, Matrix& l) {
 
   double jitter = 0.0;
   for (int attempt = 0; attempt < 8; ++attempt) {
-    if (cholesky_into(a, l, jitter)) return jitter;
+    // start_attempt > 0 skips the first rungs as if they had failed — the
+    // gp:chol_fail injection path; 0 (the default) is bit-identical to the
+    // historical ladder.
+    if (attempt >= start_attempt && cholesky_into(a, l, jitter)) return jitter;
     jitter = (jitter == 0.0) ? 1e-10 * mean_diag : jitter * 10.0;
   }
   throw std::runtime_error("cholesky_jittered_into: matrix not PD at max jitter");

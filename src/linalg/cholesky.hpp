@@ -23,8 +23,10 @@ struct JitteredCholesky {
 
 /// Cholesky with an escalating diagonal jitter ladder (0, 1e-10, ... 1e-4,
 /// scaled by the mean diagonal).  Throws std::runtime_error if the matrix
-/// cannot be factored even at the largest jitter.
-JitteredCholesky cholesky_jittered(const Matrix& a);
+/// cannot be factored even at the largest jitter.  `start_attempt` skips
+/// that many leading rungs as if they had failed (fault-injection hook;
+/// 0 is the historical behaviour).
+JitteredCholesky cholesky_jittered(const Matrix& a, int start_attempt = 0);
 
 /// Solve L x = b (forward substitution) with L lower triangular.
 Vector solve_lower(const Matrix& l, const Vector& b);
@@ -55,7 +57,8 @@ bool cholesky_into(const Matrix& a, Matrix& l, double jitter = 0.0);
 /// Jitter-ladder factorization into `l` (same ladder as cholesky_jittered).
 /// Returns the jitter applied; throws std::runtime_error when the matrix
 /// cannot be factored at the largest jitter.
-double cholesky_jittered_into(const Matrix& a, Matrix& l);
+double cholesky_jittered_into(const Matrix& a, Matrix& l,
+                              int start_attempt = 0);
 
 /// Solve (L L^T) x = b using `tmp` as the forward-solve scratch.
 void cholesky_solve_into(const Matrix& l, const Vector& b, Vector& x,

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/fault.hpp"
+
 namespace kato::la {
 
 namespace {
@@ -256,6 +258,10 @@ bool SparseLuT<T>::full_factor(const std::vector<T>& values) {
 
 template <typename T>
 bool SparseLuT<T>::refactor(const std::vector<T>& values) {
+  // lu:collapse pretends the recorded pivot sequence went stale: refactor
+  // reports failure exactly as the collapse guard below would, and factor()
+  // falls back to a fresh pivoting pass (surfaced as lu_pivot_fallbacks).
+  if (util::fault_fires(util::FaultSite::lu_collapse)) return false;
   const std::size_t n = pat_.n();
   for (std::size_t k = 0; k < n; ++k) {
     const std::size_t cc = q_[k];

@@ -4,10 +4,12 @@
 #include <cmath>
 #include <exception>
 #include <set>
+#include <stdexcept>
 
 #include "sim/ac.hpp"
 #include "sim/dc.hpp"
 #include "sim/transient.hpp"
+#include "util/fault.hpp"
 #include "util/parallel.hpp"
 
 namespace kato::ckt {
@@ -430,9 +432,18 @@ std::vector<std::optional<std::vector<double>>> NetlistCircuit::evaluate_batch(
     // worker elaborates a private sim::Circuit (with its own assembler,
     // pattern and factorization workspaces) and writes only its own slot, so
     // any chunking of [0, n) yields bit-identical results.
+    // A candidate whose evaluation throws (evaluate_single converts most
+    // exceptions to failure outcomes already; this is the backstop for
+    // anything escaping earlier, e.g. elaboration) loses only its own slot
+    // — parallel_for would otherwise rethrow and kill the whole batch.
     util::parallel_for(xs.size(), [&](std::size_t begin, std::size_t end) {
-      for (std::size_t i = begin; i < end; ++i)
-        out[i] = evaluate_detailed(xs[i]).metrics;
+      for (std::size_t i = begin; i < end; ++i) {
+        try {
+          out[i] = evaluate_detailed(xs[i]).metrics;
+        } catch (...) {
+          out[i] = std::nullopt;
+        }
+      }
     });
     return out;
   }
@@ -447,7 +458,11 @@ std::vector<std::optional<std::vector<double>>> NetlistCircuit::evaluate_batch(
       const std::size_t i = s / fan;
       const std::size_t c = (s % fan) / mc_samples_;
       const std::size_t k = s % mc_samples_;
-      conds[s] = evaluate_single(xs[i], c, k).metrics;
+      try {
+        conds[s] = evaluate_single(xs[i], c, k).metrics;
+      } catch (...) {
+        conds[s] = std::nullopt;  // same backstop as the fan == 1 path
+      }
     }
   });
   std::vector<std::optional<std::vector<double>>> out(xs.size());
@@ -539,74 +554,96 @@ NetlistCircuit::EvalOutcome NetlistCircuit::evaluate_single(
     }
   } recorder{out};
 
-  const auto vars = bind_vars(unit_x);
-  const CornerSetup& cs = corners_[corner];
-  const net::Scope const_scope{&cs.consts, nullptr};
-  const net::Scope env{&vars, &const_scope};
-  net::Elaboration elab = net::elaborate(deck_, pdk_, env);
-  if (deck_.mc.present)
-    net::apply_mos_mismatch(elab.circuit, sample, vth_sigma_, beta_sigma_);
-  const double temperature = cs.temp.value_or(elab.temperature);
+  // Per-candidate wall-clock budget: armed for this thread only; the Newton
+  // and timestep loops poll it cooperatively and bail with a tagged reason.
+  const util::EvalDeadline deadline_guard(util::eval_deadline_ms());
+  try {
+    if (util::fault_fires(util::FaultSite::eval_slow)) {
+      // Stall just past the armed budget so the deadline machinery — not
+      // the sleep itself — decides this candidate's fate.
+      const std::uint64_t budget = util::eval_deadline_ms();
+      util::fault_sleep_ms(budget > 0 ? budget + 5 : 10);
+    }
+    if (util::fault_fires(util::FaultSite::eval_throw))
+      throw std::runtime_error("injected fault eval:throw");
 
-  sim::DcOptions dc_opts;
-  dc_opts.temp = temperature;
-  dc_opts.device_eval = device_eval_;
-  const auto op = sim::solve_dc(elab.circuit, dc_opts);
-  out.stats.merge(op.stats);
-  if (!op.converged) {
-    obs::bo_count(obs::BoCounter::fail_dc);
-    out.failure = "DC operating point failed: " +
-                  (op.reason.empty() ? "did not converge" : op.reason);
+    const auto vars = bind_vars(unit_x);
+    const CornerSetup& cs = corners_[corner];
+    const net::Scope const_scope{&cs.consts, nullptr};
+    const net::Scope env{&vars, &const_scope};
+    net::Elaboration elab = net::elaborate(deck_, pdk_, env);
+    if (deck_.mc.present)
+      net::apply_mos_mismatch(elab.circuit, sample, vth_sigma_, beta_sigma_);
+    const double temperature = cs.temp.value_or(elab.temperature);
+
+    sim::DcOptions dc_opts;
+    dc_opts.temp = temperature;
+    dc_opts.device_eval = device_eval_;
+    const auto op = sim::solve_dc(elab.circuit, dc_opts);
+    out.stats.merge(op.stats);
+    if (!op.converged) {
+      obs::bo_count(obs::BoCounter::fail_dc);
+      out.failure = "DC operating point failed: " +
+                    (op.reason.empty() ? "did not converge" : op.reason);
+      return out;
+    }
+
+    sim::AcSweep sweep;
+    if (needs_ac_) {
+      sweep = sim::solve_ac(elab.circuit, op, elab.freqs);
+      out.stats.merge(sweep.stats);
+      if (!sweep.ok) {
+        obs::bo_count(obs::BoCounter::fail_ac);
+        out.failure = "AC sweep failed (singular linearized system) after " +
+                      std::to_string(sweep.stats.ac_points) + "/" +
+                      std::to_string(elab.freqs.size()) + " frequency points";
+        return out;
+      }
+    }
+
+    sim::TranResult tran;
+    if (needs_tran_) {
+      sim::TranOptions topts;
+      topts.tstep = elab.tran.tstep;
+      topts.tstop = elab.tran.tstop;
+      topts.fixed_step = elab.tran.fixed_step;
+      topts.backward_euler = elab.tran.backward_euler;
+      topts.temp = temperature;
+      topts.device_eval = device_eval_;
+      topts.initial_conditions = elab.tran.ics;
+      tran = sim::solve_tran(elab.circuit, topts, &op);
+      out.stats.merge(tran.stats);
+      if (!tran.ok) {
+        obs::bo_count(obs::BoCounter::fail_tran);
+        out.failure = "transient analysis failed: " + tran.reason;
+        return out;
+      }
+    }
+
+    KATO_OBS_SPAN("measures");
+    const SimMeasure hook(elab, op, needs_ac_ ? &sweep : nullptr,
+                          needs_tran_ ? &tran : nullptr, env);
+    try {
+      std::vector<double> metrics;
+      metrics.reserve(1 + specs_.size());
+      metrics.push_back(net::eval_expr(*objective_.measure, env, &hook));
+      for (const auto& m : spec_measures_)
+        metrics.push_back(net::eval_expr(*m, env, &hook));
+      out.metrics = std::move(metrics);
+    } catch (const SimFailure& failure) {
+      obs::bo_count(obs::BoCounter::fail_measure);
+      out.failure = failure.what();
+    }
+    return out;
+  } catch (const std::exception& e) {
+    // Anything thrown past the stage handlers above (elaboration errors,
+    // injected eval:throw, allocation failures in a pathological deck)
+    // becomes a per-candidate failure outcome instead of escaping into —
+    // and killing — a batch evaluation.
+    out.metrics.reset();
+    out.failure = e.what();
     return out;
   }
-
-  sim::AcSweep sweep;
-  if (needs_ac_) {
-    sweep = sim::solve_ac(elab.circuit, op, elab.freqs);
-    out.stats.merge(sweep.stats);
-    if (!sweep.ok) {
-      obs::bo_count(obs::BoCounter::fail_ac);
-      out.failure = "AC sweep failed (singular linearized system) after " +
-                    std::to_string(sweep.stats.ac_points) + "/" +
-                    std::to_string(elab.freqs.size()) + " frequency points";
-      return out;
-    }
-  }
-
-  sim::TranResult tran;
-  if (needs_tran_) {
-    sim::TranOptions topts;
-    topts.tstep = elab.tran.tstep;
-    topts.tstop = elab.tran.tstop;
-    topts.fixed_step = elab.tran.fixed_step;
-    topts.backward_euler = elab.tran.backward_euler;
-    topts.temp = temperature;
-    topts.device_eval = device_eval_;
-    topts.initial_conditions = elab.tran.ics;
-    tran = sim::solve_tran(elab.circuit, topts, &op);
-    out.stats.merge(tran.stats);
-    if (!tran.ok) {
-      obs::bo_count(obs::BoCounter::fail_tran);
-      out.failure = "transient analysis failed: " + tran.reason;
-      return out;
-    }
-  }
-
-  KATO_OBS_SPAN("measures");
-  const SimMeasure hook(elab, op, needs_ac_ ? &sweep : nullptr,
-                        needs_tran_ ? &tran : nullptr, env);
-  try {
-    std::vector<double> metrics;
-    metrics.reserve(1 + specs_.size());
-    metrics.push_back(net::eval_expr(*objective_.measure, env, &hook));
-    for (const auto& m : spec_measures_)
-      metrics.push_back(net::eval_expr(*m, env, &hook));
-    out.metrics = std::move(metrics);
-  } catch (const SimFailure& failure) {
-    obs::bo_count(obs::BoCounter::fail_measure);
-    out.failure = failure.what();
-  }
-  return out;
 }
 
 }  // namespace kato::ckt

@@ -30,6 +30,8 @@ constexpr SimField k_sim_fields[] = {
     {"damping_clamps", &SimStats::damping_clamps},
     {"gmin_rungs", &SimStats::gmin_rungs},
     {"dc_restarts", &SimStats::dc_restarts},
+    {"dc_homotopy_escalations", &SimStats::dc_homotopy_escalations},
+    {"dc_pseudo_transients", &SimStats::dc_pseudo_transients},
     {"lu_first_factors", &SimStats::lu_first_factors},
     {"lu_refactors", &SimStats::lu_refactors},
     {"lu_pivot_fallbacks", &SimStats::lu_pivot_fallbacks},
@@ -39,15 +41,19 @@ constexpr SimField k_sim_fields[] = {
     {"tran_steps_rejected", &SimStats::tran_steps_rejected},
     {"tran_be_steps", &SimStats::tran_be_steps},
     {"tran_newton_rejects", &SimStats::tran_newton_rejects},
+    {"tran_stepfloor_restarts", &SimStats::tran_stepfloor_restarts},
+    {"tran_device_fallbacks", &SimStats::tran_device_fallbacks},
+    {"deadline_kills", &SimStats::deadline_kills},
     {"device_table_hits", &SimStats::device_table_hits},
     {"device_table_misses", &SimStats::device_table_misses},
 };
 constexpr std::size_t k_n_sim = sizeof(k_sim_fields) / sizeof(k_sim_fields[0]);
 
 constexpr const char* k_bo_names[] = {
-    "gp_fits",   "gp_fit_iters", "gp_warm_starts", "proposal_batches",
-    "proposals", "evals",        "eval_failures",  "fail_dc",
-    "fail_ac",   "fail_tran",    "fail_measure",
+    "gp_fits",   "gp_fit_iters", "gp_warm_starts",    "proposal_batches",
+    "proposals", "evals",        "eval_failures",     "fail_dc",
+    "fail_ac",   "fail_tran",    "fail_measure",      "gp_jitter_retries",
+    "faults_injected",
 };
 constexpr std::size_t k_n_bo = static_cast<std::size_t>(BoCounter::count_);
 static_assert(sizeof(k_bo_names) / sizeof(k_bo_names[0]) == k_n_bo);

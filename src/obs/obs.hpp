@@ -68,6 +68,9 @@ struct SimStats {
   std::uint64_t damping_clamps = 0;   ///< iterations where max_step clamped
   std::uint64_t gmin_rungs = 0;       ///< continuation rungs walked
   std::uint64_t dc_restarts = 0;      ///< cold restarts at the first rung
+  // DC recovery ladder (escalations past the gmin ladder).
+  std::uint64_t dc_homotopy_escalations = 0;  ///< source-stepping runs
+  std::uint64_t dc_pseudo_transients = 0;     ///< pseudo-transient fallbacks
   // Linear solves.  First/refactor split both paths: the dense path counts
   // each full LU as a refactor after its first, the sparse path counts
   // in-place numeric refactorizations; pivot fallbacks (a refactor that had
@@ -83,6 +86,12 @@ struct SimStats {
   std::uint64_t tran_steps_rejected = 0;  ///< LTE rejections
   std::uint64_t tran_be_steps = 0;        ///< steps integrated with backward Euler
   std::uint64_t tran_newton_rejects = 0;  ///< step retries after Newton failure
+  // Transient recovery ladder.
+  std::uint64_t tran_stepfloor_restarts = 0;  ///< hmin cuts + BE restarts
+  std::uint64_t tran_device_fallbacks = 0;    ///< table -> analytic rebuilds
+  // Deadline enforcement (KATO_EVAL_DEADLINE_MS): analyses killed because
+  // the candidate's wall-clock budget ran out.
+  std::uint64_t deadline_kills = 0;
   // Device-table cache (per-assembler lookups at construction).
   std::uint64_t device_table_hits = 0;
   std::uint64_t device_table_misses = 0;
@@ -108,6 +117,9 @@ enum class BoCounter : int {
   fail_ac,       ///< AC sweep failed after a good DC point
   fail_tran,     ///< transient run failed after a good DC point
   fail_measure,  ///< simulation finished but a measurement was unusable
+  // Robustness layer (src/util/fault.hpp).
+  gp_jitter_retries,  ///< GP Cholesky factorizations that needed jitter
+  faults_injected,    ///< KATO_FAULT firings across all sites
   count_
 };
 

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "sim/mna.hpp"
+#include "util/fault.hpp"
 
 namespace kato::sim {
 
@@ -39,8 +40,20 @@ DcResult solve_dc(const Circuit& ckt, const DcOptions& opts,
   if (override_sources) assembler.set_vsource_values(&opts.vsource_override);
   result.rung_stats.reserve(opts.gmin_ladder.size());
   std::size_t restarts = 0;
+  std::size_t rungs_walked = 0;
+  // dc:singular pretends the system is unsolvable at every gmin rung and
+  // every homotopy source step, so the pseudo-transient fallback is the
+  // only path to an operating point — the one deterministic way to force
+  // the bottom of the recovery ladder on a healthy circuit.
+  const bool inject_singular = util::fault_fires(util::FaultSite::dc_singular);
+  // A budget that is already spent kills the solve before any rung runs:
+  // the in-loop polls are amortized (a fast-converging Newton may finish
+  // without ever reading the clock), so this is the one guaranteed check.
+  bool deadline_killed = util::deadline_exceeded();
+  if (!inject_singular && !deadline_killed)
   for (std::size_t r = 0; r < opts.gmin_ladder.size(); ++r) {
     const double gmin = opts.gmin_ladder[r];
+    ++rungs_walked;
     assembler.set_gmin(gmin);
     const obs::SimStats before = assembler.stats();
     obs::SimStats attempt = before;  // start of the rung's final attempt
@@ -72,12 +85,126 @@ DcResult solve_dc(const Circuit& ckt, const DcOptions& opts,
                                      attempt.newton_iters) +
                       "/" + std::to_string(opts.max_iterations) + ": " + why +
                       " at gmin=" + fmt_double(gmin);
+    if (!converged && util::deadline_exceeded()) {
+      deadline_killed = true;
+      break;
+    }
   }
+  if (inject_singular)
+    result.reason = "injected fault dc:singular (gmin ladder and source "
+                    "stepping forced unsolvable)";
+
+  // Recovery ladder: the gmin continuation failed (or never ran), so
+  // escalate — source-stepping homotopy first, pseudo-transient last.
+  const double gmin_final =
+      opts.gmin_ladder.empty() ? 1e-12 : opts.gmin_ladder.back();
+  std::uint64_t homotopy_escalations = 0;
+  std::uint64_t pseudo_transients = 0;
+  if (!converged && !deadline_killed && util::recovery_enabled()) {
+    if (!inject_singular) {
+      // Stage 1: source-stepping homotopy.  All vsources ramp together
+      // from 0 (where the circuit is trivially solvable) to their target
+      // values, reusing the one assembler — set_vsource_values is a value
+      // rewrite, the stamp plan and symbolic factorization survive.
+      ++homotopy_escalations;
+      assembler.set_gmin(gmin_final);
+      std::vector<double> base(ckt.vsources().size());
+      for (std::size_t k = 0; k < base.size(); ++k)
+        base[k] = override_sources ? opts.vsource_override[k]
+                                   : ckt.vsources()[k].dc;
+      std::vector<double> ramped(base.size(), 0.0);
+      assembler.set_vsource_values(&ramped);
+      la::Vector xh(ckt.mna_size(), 0.0);
+      double alpha = 0.0;
+      double step = 0.1;
+      std::string hwhy;
+      while (alpha < 1.0) {
+        if (util::deadline_exceeded()) {
+          deadline_killed = true;
+          break;
+        }
+        const double next = std::min(1.0, alpha + step);
+        for (std::size_t k = 0; k < base.size(); ++k)
+          ramped[k] = next * base[k];
+        la::Vector x_try = xh;
+        if (assembler.newton(x_try, newton, &hwhy)) {
+          xh = std::move(x_try);
+          alpha = next;
+          step = std::min(step * 1.7, 0.25);
+        } else {
+          step *= 0.5;
+          if (step < 1e-3) break;  // wedged: hand over to pseudo-transient
+        }
+      }
+      assembler.set_vsource_values(override_sources ? &opts.vsource_override
+                                                    : nullptr);
+      if (alpha >= 1.0) {
+        x = std::move(xh);
+        converged = true;
+      }
+    }
+    if (!converged && !deadline_killed) {
+      // Stage 2: pseudo-transient continuation.  An artificial capacitor
+      // from every node to ground turns the DC problem into a heavily
+      // damped transient; backward-Euler steps with a growing h anneal the
+      // damping away (geq = C/h -> 0), then a companion-free Newton
+      // polishes the settled point at the final gmin.
+      ++pseudo_transients;
+      assembler.set_gmin(gmin_final);
+      constexpr double k_cap = 1e-6;
+      std::vector<CompanionStamp> comps(n);
+      la::Vector xp(ckt.mna_size(), 0.0);
+      double h = 1e-6;
+      std::string pwhy;
+      assembler.set_companions(&comps);
+      bool settled = false;
+      for (int it = 0; it < 400 && !settled; ++it) {
+        if (util::deadline_exceeded()) {
+          deadline_killed = true;
+          break;
+        }
+        const double geq = k_cap / h;
+        for (std::size_t i = 0; i < n; ++i)
+          comps[i] = {static_cast<int>(i) + 1, 0, geq, -geq * xp[i]};
+        la::Vector x_try = xp;
+        if (assembler.newton(x_try, newton, &pwhy)) {
+          double dv = 0.0;
+          for (std::size_t i = 0; i < n; ++i)
+            dv = std::max(dv, std::abs(x_try[i] - xp[i]));
+          xp = std::move(x_try);
+          if (h > 1e6 || (dv < 1e-9 && h > 1.0)) settled = true;
+          h *= 4.0;
+        } else {
+          h *= 0.125;
+          if (h < 1e-18) break;  // damping maxed out and still failing
+        }
+      }
+      assembler.set_companions(nullptr);
+      if (settled) {
+        x = xp;
+        converged = assembler.newton(x, newton, &pwhy);
+        if (!converged) {
+          // Keep the settled pseudo-transient point for the reports even
+          // though the polish failed; the failure reason explains why.
+          x = std::move(xp);
+          result.reason = "pseudo-transient settled but final newton "
+                          "failed: " + pwhy;
+        }
+      }
+    }
+  }
+
   result.converged = converged;
   if (converged) result.reason.clear();
+  if (deadline_killed && result.reason.empty())
+    result.reason = "deadline exceeded (KATO_EVAL_DEADLINE_MS) during dc "
+                    "recovery";
   result.stats = assembler.stats();
-  result.stats.gmin_rungs = opts.gmin_ladder.size();
+  result.stats.gmin_rungs = rungs_walked;
   result.stats.dc_restarts = restarts;
+  result.stats.dc_homotopy_escalations = homotopy_escalations;
+  result.stats.dc_pseudo_transients = pseudo_transients;
+  if (deadline_killed) result.stats.deadline_kills = 1;
 
   result.node_voltage.assign(ckt.n_nodes(), 0.0);
   for (std::size_t i = 0; i < n; ++i) result.node_voltage[i + 1] = x[i];

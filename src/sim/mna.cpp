@@ -8,6 +8,7 @@
 #include <stdexcept>
 
 #include "linalg/lu.hpp"
+#include "util/fault.hpp"
 
 namespace kato::sim {
 
@@ -355,6 +356,14 @@ bool MnaAssembler::newton_dense(la::Vector& x, const NewtonOptions& opts,
   la::Vector& res = res_ws_;
   ++stats_.newton_solves;
   for (int it = 0; it < opts.max_iterations; ++it) {
+    // Cooperative deadline poll, amortized: a clock read per sub-microsecond
+    // iteration would cost real time, one per 16 catches runaways just fine —
+    // and polling at 15/31/... keeps quickly-converging solves (the common
+    // case: a handful of iterations per timestep) entirely clock-free.
+    if ((it & 15) == 15 && util::deadline_exceeded()) {
+      if (reason) *reason = "deadline exceeded (KATO_EVAL_DEADLINE_MS)";
+      return false;
+    }
     ++stats_.newton_iters;
     if (!assemble(x, jac, res)) {
       if (reason) *reason = "non-finite device currents in the MNA residual";
@@ -399,6 +408,10 @@ bool MnaAssembler::newton_sparse(la::Vector& x, const NewtonOptions& opts,
   la::Vector& res = res_ws_;
   ++stats_.newton_solves;
   for (int it = 0; it < opts.max_iterations; ++it) {
+    if ((it & 15) == 15 && util::deadline_exceeded()) {
+      if (reason) *reason = "deadline exceeded (KATO_EVAL_DEADLINE_MS)";
+      return false;
+    }
     ++stats_.newton_iters;
     std::fill(values_.begin(), values_.end(), 0.0);
     if (!assemble_values(x, values_.data(), res, sparse_slots_)) {

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <memory>
 
 #include "sim/ac.hpp"
+#include "util/fault.hpp"
 
 namespace kato::sim {
 
@@ -74,7 +76,7 @@ TranResult solve_tran(const Circuit& ckt, const TranOptions& opts,
       opts.fixed_step ? tstep
                       : std::min(opts.dtmax > 0.0 ? opts.dtmax : opts.tstop / 50.0,
                                  opts.tstop);
-  const double hmin = opts.tstop * 1e-12;
+  double hmin = opts.tstop * 1e-12;  // recovery may cut this floor once
 
   const std::size_t n = ckt.n_nodes() - 1;
   const std::size_t nv = ckt.vsources().size();
@@ -158,12 +160,14 @@ TranResult solve_tran(const Circuit& ckt, const TranOptions& opts,
   // the symbolic factorization are computed at the first Newton iteration
   // and reused across the entire run (companion/source values change, the
   // pattern never does).
-  MnaAssembler assembler(
+  // (unique_ptr so the device-eval recovery fallback below can rebuild it —
+  // the reference member makes MnaAssembler itself non-assignable).
+  auto assembler = std::make_unique<MnaAssembler>(
       ckt, MnaOptions{/*gmin=*/1e-12, opts.temp, opts.solver,
                       opts.device_eval});
   std::vector<CompanionStamp> comps(caps.size());
-  assembler.set_companions(&comps);
-  assembler.set_vsource_values(&src);
+  assembler->set_companions(&comps);
+  assembler->set_vsource_values(&src);
 
   // Predictor history: up to 3 most recent accepted points.
   std::vector<double> hist_t;
@@ -192,7 +196,7 @@ TranResult solve_tran(const Circuit& ckt, const TranOptions& opts,
   // bulk call when the solve exits — the loop body is ~1.5 us on the
   // benchmark decks, and emitting events one at a time from inside it blew
   // the <=1.05 traced-eval bench gate on cold buffer lines alone.
-  auto merge_stats = [&] { out.stats.merge(assembler.stats()); };
+  auto merge_stats = [&] { out.stats.merge(assembler->stats()); };
   const bool trace_steps = obs::trace_enabled();
   std::vector<obs::SpanMark> step_marks;
   if (trace_steps) step_marks.reserve(512);
@@ -209,7 +213,20 @@ TranResult solve_tran(const Circuit& ckt, const TranOptions& opts,
     if (trace_steps) step_marks.push_back({name, obs::trace_now_ns()});
   };
 
+  int floor_cuts = 0;  // step-floor recovery fires at most once per run
+  std::uint64_t steps_polled = 0;
+
   while (t < opts.tstop * (1.0 - 1e-12)) {
+    // Amortized over 8 steps: sub-us timesteps make a per-step clock read
+    // measurable against the <= 1.05 idle-overhead gate, and millisecond
+    // deadline budgets cannot notice an 8-step polling granularity.
+    if ((steps_polled++ & 7) == 0 && util::deadline_exceeded()) {
+      ++out.stats.deadline_kills;
+      out.reason =
+          "deadline exceeded (KATO_EVAL_DEADLINE_MS) at t=" + fmt_double(t);
+      merge_stats();
+      return out;
+    }
     if (out.time.size() >= max_points) {
       out.reason = "more than " + std::to_string(max_points) +
                    " timesteps before tstop (step control collapsed)";
@@ -245,11 +262,65 @@ TranResult solve_tran(const Circuit& ckt, const TranOptions& opts,
 
     la::Vector x_new = x;
     std::string why;
-    if (!assembler.newton(x_new, opts.newton, &why)) {
+    // tran:nan_device stands in for a table model returning NaN mid-run:
+    // the step is rejected exactly as if Newton had seen the NaN, driving
+    // the recovery ladder below (step-floor cut, then the analytic
+    // device-eval rebuild, which as a side effect disarms this site).
+    const bool inject_nan =
+        assembler->device_eval() == DeviceEval::table &&
+        util::fault_fires(util::FaultSite::tran_nan_device);
+    if (inject_nan || !assembler->newton(x_new, opts.newton, &why)) {
+      if (inject_nan) why = "injected fault tran:nan_device";
+      if (util::deadline_exceeded()) {
+        ++out.stats.deadline_kills;
+        out.reason = "deadline exceeded (KATO_EVAL_DEADLINE_MS) at t=" +
+                     fmt_double(t + h_try);
+        merge_stats();
+        return out;
+      }
       h = h_try * 0.25;
       be_next = true;
       ++out.stats.tran_newton_rejects;
       if (h < hmin || ++rejects > 100) {
+        if (util::recovery_enabled() && floor_cuts == 0) {
+          // Recovery stage 1: cut the step floor three decades and restart
+          // the integrator (BE + fresh history) from the last accepted
+          // point — stiff corners often yield to a much smaller h.
+          hmin *= 1e-3;
+          ++floor_cuts;
+          ++out.stats.tran_stepfloor_restarts;
+          rejects = 0;
+          h = std::min(tstep, dtmax);
+          be_next = true;
+          hist_t.clear();
+          hist_x.clear();
+          push_history(t);
+          tick("tran_step_rejected");
+          continue;
+        }
+        if (util::recovery_enabled() &&
+            assembler->device_eval() == DeviceEval::table) {
+          // Recovery stage 2: rebuild the assembler on the analytic device
+          // path.  Table interpolation error near a sharp region boundary
+          // can wedge Newton where the exact model converges; the rebuild
+          // re-plans stamps and symbolic factorization from scratch.
+          out.stats.merge(assembler->stats());
+          assembler = std::make_unique<MnaAssembler>(
+              ckt, MnaOptions{/*gmin=*/1e-12, opts.temp, opts.solver,
+                              DeviceEval::analytic});
+          assembler->set_companions(&comps);
+          assembler->set_vsource_values(&src);
+          ++out.stats.tran_device_fallbacks;
+          floor_cuts = 0;  // the analytic path gets its own floor cut
+          rejects = 0;
+          h = std::min(tstep, dtmax);
+          be_next = true;
+          hist_t.clear();
+          hist_x.clear();
+          push_history(t);
+          tick("tran_step_rejected");
+          continue;
+        }
         out.reason = "Newton failed at t=" + fmt_double(t + h_try) + " (step " +
                      std::to_string(out.time.size()) + ", " +
                      std::to_string(rejects) + " rejects): " + why;

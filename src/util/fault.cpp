@@ -1,0 +1,221 @@
+#include "util/fault.hpp"
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "obs/obs.hpp"
+
+namespace kato::util {
+
+namespace {
+
+// Armed spec lives in three plain atomics so fault_fires stays lock-free:
+// g_fault_site doubles as the "armed" flag (count_ == disarmed).  Writes
+// happen at startup and from single-threaded test code, never concurrently
+// with each other.
+std::atomic<int> g_fault_site{static_cast<int>(FaultSite::count_)};
+std::atomic<double> g_fault_rate{0.0};
+std::atomic<std::uint64_t> g_fault_seed{0};
+std::atomic<std::uint64_t> g_fault_draws{0};
+
+std::atomic<bool> g_recovery{true};
+std::atomic<std::uint64_t> g_deadline_ms{0};
+
+// Per-thread absolute deadline (steady-clock ns); 0 == unarmed.
+thread_local std::uint64_t t_deadline_ns = 0;
+
+constexpr const char* k_site_names[] = {
+    "dc:singular", "tran:nan_device", "lu:collapse",
+    "gp:chol_fail", "eval:slow",      "eval:throw",
+};
+static_assert(sizeof(k_site_names) / sizeof(k_site_names[0]) ==
+                  static_cast<std::size_t>(FaultSite::count_),
+              "k_site_names must cover every FaultSite");
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Same tolerant boolean as resolve_mna_solver's KATO_SPARSE: only an
+/// explicit "0"/"off"/"false" (case-sensitive, full string) disables.
+bool parse_toggle_off(const char* v) {
+  return std::strcmp(v, "0") == 0 || std::strcmp(v, "off") == 0 ||
+         std::strcmp(v, "false") == 0;
+}
+
+/// Startup hook mirroring obs::ObsBoot: parses KATO_FAULT /
+/// KATO_EVAL_DEADLINE_MS / KATO_RECOVERY before main() so the hot-path
+/// checks never need a once-flag.
+struct FaultBoot {
+  FaultBoot() {
+    set_fault(fault_from_env());
+    if (auto ms = deadline_ms_from_env()) set_eval_deadline_ms(*ms);
+    if (const char* v = std::getenv("KATO_RECOVERY"))
+      if (parse_toggle_off(v)) set_recovery_enabled(false);
+  }
+};
+FaultBoot g_fault_boot;
+
+}  // namespace
+
+std::optional<FaultSpec> parse_fault_spec(const char* value) {
+  if (value == nullptr || *value == '\0') return std::nullopt;
+  const std::string s(value);
+  // Full-string discipline: any whitespace anywhere is a shell-quoting
+  // accident (and would sneak past strtod/strtoull, which skip it).
+  for (char c : s)
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r') return std::nullopt;
+  // "<stage>:<kind>:<rate>:<seed>" — stage:kind is itself colon-separated,
+  // so split from the right: the last two fields are rate and seed.
+  const auto p_seed = s.rfind(':');
+  if (p_seed == std::string::npos || p_seed == 0) return std::nullopt;
+  const auto p_rate = s.rfind(':', p_seed - 1);
+  if (p_rate == std::string::npos || p_rate == 0) return std::nullopt;
+  const std::string site_str = s.substr(0, p_rate);
+  const std::string rate_str = s.substr(p_rate + 1, p_seed - p_rate - 1);
+  const std::string seed_str = s.substr(p_seed + 1);
+  if (rate_str.empty() || seed_str.empty()) return std::nullopt;
+
+  FaultSpec spec;
+  spec.site = FaultSite::count_;
+  for (std::size_t i = 0; i < static_cast<std::size_t>(FaultSite::count_); ++i)
+    if (site_str == k_site_names[i]) spec.site = static_cast<FaultSite>(i);
+  if (spec.site == FaultSite::count_) return std::nullopt;
+
+  // Full-token numeric parses: strtod/strtoull must consume every
+  // character, and the seed must not be a negative number in disguise.
+  char* end = nullptr;
+  errno = 0;
+  spec.rate = std::strtod(rate_str.c_str(), &end);
+  if (errno != 0 || end != rate_str.c_str() + rate_str.size())
+    return std::nullopt;
+  if (!(spec.rate > 0.0) || spec.rate > 1.0) return std::nullopt;
+  if (seed_str.front() == '-' || seed_str.front() == '+') return std::nullopt;
+  errno = 0;
+  spec.seed = std::strtoull(seed_str.c_str(), &end, 10);
+  if (errno != 0 || end != seed_str.c_str() + seed_str.size())
+    return std::nullopt;
+  return spec;
+}
+
+std::optional<FaultSpec> fault_from_env() {
+  const char* value = std::getenv("KATO_FAULT");
+  if (value == nullptr) return std::nullopt;
+  auto parsed = parse_fault_spec(value);
+  if (!parsed)
+    std::fprintf(stderr,
+                 "KATO_FAULT: ignoring unusable spec '%s' (want "
+                 "<stage>:<kind>:<rate>:<seed>, rate in (0,1]); "
+                 "feature disabled\n",
+                 value);
+  return parsed;
+}
+
+void set_fault(const std::optional<FaultSpec>& spec) {
+  g_fault_draws.store(0, std::memory_order_relaxed);
+  if (!spec) {
+    g_fault_site.store(static_cast<int>(FaultSite::count_),
+                       std::memory_order_relaxed);
+    return;
+  }
+  g_fault_rate.store(spec->rate, std::memory_order_relaxed);
+  g_fault_seed.store(spec->seed, std::memory_order_relaxed);
+  g_fault_site.store(static_cast<int>(spec->site), std::memory_order_relaxed);
+}
+
+double fault_uniform(std::uint64_t seed, std::uint64_t index) {
+  // splitmix64 finalizer over a golden-ratio counter stream: a pure
+  // function of (seed, index), so schedules replay exactly.
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (index + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  return static_cast<double>(z >> 11) * 0x1.0p-53;
+}
+
+bool fault_fires(FaultSite site) {
+  if (g_fault_site.load(std::memory_order_relaxed) !=
+      static_cast<int>(site))
+    return false;
+  const std::uint64_t idx = g_fault_draws.fetch_add(1,
+                                                    std::memory_order_relaxed);
+  const bool fire =
+      fault_uniform(g_fault_seed.load(std::memory_order_relaxed), idx) <
+      g_fault_rate.load(std::memory_order_relaxed);
+  if (fire) obs::bo_count(obs::BoCounter::faults_injected);
+  return fire;
+}
+
+const char* fault_site_name(FaultSite site) {
+  const auto i = static_cast<std::size_t>(site);
+  if (i >= static_cast<std::size_t>(FaultSite::count_)) return "?";
+  return k_site_names[i];
+}
+
+bool recovery_enabled() {
+  return g_recovery.load(std::memory_order_relaxed);
+}
+
+void set_recovery_enabled(bool on) {
+  g_recovery.store(on, std::memory_order_relaxed);
+}
+
+std::optional<std::uint64_t> parse_deadline_ms(const char* value) {
+  if (value == nullptr || *value == '\0') return std::nullopt;
+  const std::string s(value);
+  for (char c : s)  // strtoull skips leading whitespace; we must not
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r') return std::nullopt;
+  if (s.front() == '-' || s.front() == '+') return std::nullopt;
+  char* end = nullptr;
+  errno = 0;
+  const std::uint64_t ms = std::strtoull(s.c_str(), &end, 10);
+  if (errno != 0 || end != s.c_str() + s.size()) return std::nullopt;
+  if (ms == 0) return std::nullopt;  // "0" is a mistake, not "no deadline"
+  return ms;
+}
+
+std::optional<std::uint64_t> deadline_ms_from_env() {
+  const char* value = std::getenv("KATO_EVAL_DEADLINE_MS");
+  if (value == nullptr) return std::nullopt;
+  auto parsed = parse_deadline_ms(value);
+  if (!parsed)
+    std::fprintf(stderr,
+                 "KATO_EVAL_DEADLINE_MS: ignoring unusable value '%s' "
+                 "(want a positive integer millisecond budget); "
+                 "feature disabled\n",
+                 value);
+  return parsed;
+}
+
+std::uint64_t eval_deadline_ms() {
+  return g_deadline_ms.load(std::memory_order_relaxed);
+}
+
+void set_eval_deadline_ms(std::uint64_t ms) {
+  g_deadline_ms.store(ms, std::memory_order_relaxed);
+}
+
+EvalDeadline::EvalDeadline(std::uint64_t ms) : prev_ns_(t_deadline_ns) {
+  if (ms > 0) t_deadline_ns = now_ns() + ms * 1000000ULL;
+}
+
+EvalDeadline::~EvalDeadline() { t_deadline_ns = prev_ns_; }
+
+bool deadline_exceeded() {
+  return t_deadline_ns != 0 && now_ns() >= t_deadline_ns;
+}
+
+void fault_sleep_ms(std::uint64_t ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+}  // namespace kato::util

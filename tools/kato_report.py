@@ -47,6 +47,12 @@ REQUIRED = {
 
 STAGES = ["dc", "ac", "tran", "eval", "gp_fit", "acquisition"]
 FAIL_KEYS = ["fail_dc", "fail_ac", "fail_tran", "fail_measure"]
+RECOVERY_KEYS = [
+    "dc_homotopy_escalations", "dc_pseudo_transients",
+    "tran_stepfloor_restarts", "tran_device_fallbacks",
+    "lu_pivot_fallbacks", "gp_jitter_retries",
+    "deadline_kills", "faults_injected",
+]
 
 
 def load_journal(path, errors):
@@ -226,6 +232,13 @@ def report_stats(stats, title="Stage latency percentiles"):
                              f"{100.0 * n / failures:.1f}%"])
         lines += table(["stage", "failures", "share"], rows)
     lines.append("")
+    rows = [[key, str(stats.get(key, 0))]
+            for key in RECOVERY_KEYS if stats.get(key, 0)]
+    if rows:
+        lines.append("### Recovery events")
+        lines.append("")
+        lines += table(["event", "count"], rows)
+        lines.append("")
     return lines
 
 
